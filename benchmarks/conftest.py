@@ -1,0 +1,13 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the measured series (the numbers recorded in EXPERIMENTS.md).
+``--benchmark-only`` runs them; plain ``pytest`` skips this directory.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

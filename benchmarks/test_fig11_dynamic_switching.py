@@ -1,0 +1,48 @@
+"""Figure 11: dynamic partition switching under a mid-run load spike.
+
+Paper claims: before the load arrives Pyxis tracks Manual; after the
+DB is loaded the EWMA-driven switcher moves to the JDBC-like partition
+(the reported mix goes 0% -> 100%), and Pyxis's settled latency tracks
+the better of the two static implementations.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig11
+from repro.bench.report import format_fig11
+
+
+def test_fig11_dynamic_switching(benchmark):
+    result = run_once(benchmark, lambda: fig11(fast=True))
+    print()
+    print(format_fig11(result))
+
+    def phase_mean(name: str, start: float, end: float) -> float:
+        samples = [
+            latency for when, latency in result.buckets[name]
+            if start <= when < end
+        ]
+        return sum(samples) / len(samples)
+
+    load_time = result.load_time
+    end = max(when for when, _ in result.buckets["pyxis"])
+
+    # Before the load: Pyxis tracks Manual (within 25%), beats JDBC.
+    pre_pyxis = phase_mean("pyxis", 0, load_time)
+    pre_manual = phase_mean("manual", 0, load_time)
+    pre_jdbc = phase_mean("jdbc", 0, load_time)
+    assert pre_pyxis < pre_manual * 1.25
+    assert pre_pyxis < pre_jdbc * 0.6
+
+    # After settling (skip the adaptation window): Pyxis tracks JDBC
+    # while Manual is degraded.
+    settle = load_time + (end - load_time) * 0.4
+    post_pyxis = phase_mean("pyxis", settle, end)
+    post_jdbc = phase_mean("jdbc", settle, end)
+    post_manual = phase_mean("manual", settle, end)
+    assert post_pyxis < post_manual
+    assert post_pyxis < post_jdbc * 1.5
+
+    # The partition mix flips from manual-like to jdbc-like.
+    fractions = [frac["jdbc_like"] for _, frac in result.pyxis_mix]
+    assert fractions[0] < 0.05
+    assert fractions[-1] > 0.95

@@ -1,0 +1,32 @@
+"""Figure 12: TPC-W browsing mix on a 16-core database server.
+
+Paper claims: same ordering as TPC-C with a somewhat larger
+Pyxis-versus-Manual gap (more program logic flows through the
+runtime), and the Pyxis partition keeps no-database interactions on
+the application server.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig12
+from repro.bench.report import format_curves
+
+
+def test_fig12_tpcw_16core(benchmark):
+    result = run_once(benchmark, lambda: fig12(fast=True))
+    print()
+    print(format_curves(result))
+
+    jdbc = result.best_latency("jdbc")
+    manual = result.best_latency("manual")
+    pyxis = result.best_latency("pyxis")
+
+    # Manual and Pyxis beat JDBC.
+    assert manual < jdbc
+    assert pyxis < jdbc
+    # Pyxis within 30% of Manual ("a bit more overhead", Section 7.2).
+    assert pyxis <= manual * 1.3
+
+    # Network: the DB-heavy Pyxis partition ships less than JDBC.
+    jdbc_net = max(p.net_kb_per_sec for p in result.curves["jdbc"])
+    pyxis_net = max(p.net_kb_per_sec for p in result.curves["pyxis"])
+    assert pyxis_net < jdbc_net

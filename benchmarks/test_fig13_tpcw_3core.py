@@ -1,0 +1,33 @@
+"""Figure 13: TPC-W browsing mix on a 3-core database server.
+
+Paper claims: Manual wins at low WIPS, but its extra DB-side program
+logic saturates the 3 cores; JDBC and the Pyxis low-budget partition
+sustain higher WIPS.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig13
+from repro.bench.report import format_curves
+
+
+def test_fig13_tpcw_3core(benchmark):
+    result = run_once(benchmark, lambda: fig13(fast=True))
+    print()
+    print(format_curves(result))
+
+    lowest = {
+        impl: result.curves[impl][0].latency_ms
+        for impl in result.implementations()
+    }
+    highest = {
+        impl: result.curves[impl][-1].latency_ms
+        for impl in result.implementations()
+    }
+    # Crossover: Manual best when idle, worst when saturated.
+    assert lowest["manual"] < lowest["jdbc"]
+    assert highest["manual"] > highest["jdbc"]
+    assert highest["manual"] > highest["pyxis"]
+
+    # The low-budget Pyxis partition tracks JDBC.
+    for p_jdbc, p_pyxis in zip(result.curves["jdbc"], result.curves["pyxis"]):
+        assert p_pyxis.latency_ms <= p_jdbc.latency_ms * 1.3 + 2.0

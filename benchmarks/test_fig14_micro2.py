@@ -1,0 +1,27 @@
+"""Figure 14: microbenchmark 2 -- three budgets x three loads.
+
+Paper claims: the generated partitions are APP, APP--DB and DB, and
+the fastest partition per load level follows the diagonal (DB when
+unloaded, APP--DB under partial load, APP under full load) -- the
+middle partition being one a developer writing only the two extremes
+by hand would have missed.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig14
+from repro.bench.report import format_fig14
+
+
+def test_fig14_micro2(benchmark):
+    result = run_once(benchmark, fig14)
+    print()
+    print(format_fig14(result))
+    print(f"fractions on DB: {result.fractions_on_db}")
+
+    assert result.best_for("no_load") == "DB"
+    assert result.best_for("partial_load") == "APP-DB"
+    assert result.best_for("full_load") == "APP"
+
+    # The three partitions are genuinely different programs.
+    fractions = [result.fractions_on_db[p] for p in result.partitions]
+    assert fractions[0] == 0.0 and fractions[0] < fractions[1] < fractions[2]

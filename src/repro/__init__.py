@@ -1,0 +1,47 @@
+"""Pyxis reproduction: automatic partitioning of database applications.
+
+A from-scratch Python reproduction of *Automatic Partitioning of
+Database Applications* (Cheung, Arden, Madden, Myers; PVLDB 5(11),
+2012).  Pyxis takes a database-backed application, profiles it,
+statically analyzes its dependencies, and solves a binary integer
+program to split the code between the application server and the
+database server, minimizing network round trips subject to a CPU
+budget.
+
+Quickstart::
+
+    from repro import Pyxis, Database, connect
+    from repro.runtime import PartitionedApp
+    from repro.sim import Cluster
+
+    pyx = Pyxis.from_source(APP_SOURCE, entry_points=[("Order", "place")])
+    profile = pyx.profile_with(conn, workload)
+    partitions = pyx.partition(profile)
+    app = PartitionedApp(partitions.highest().compiled, Cluster(), conn)
+    app.invoke("Order", "place", 42, 0.9)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.pipeline import Partition, PartitionSet, Pyxis, PyxisConfig
+from repro.core.partition_graph import Placement
+from repro.db import Database, connect
+from repro.runtime.entrypoints import PartitionedApp
+from repro.sim.cluster import Cluster, ClusterConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Pyxis",
+    "PyxisConfig",
+    "Partition",
+    "PartitionSet",
+    "Placement",
+    "Database",
+    "connect",
+    "PartitionedApp",
+    "Cluster",
+    "ClusterConfig",
+    "__version__",
+]

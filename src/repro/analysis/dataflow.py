@@ -1,0 +1,57 @@
+"""Generic worklist dataflow framework over CFGs.
+
+Analyses define a :class:`DataflowProblem` (lattice join + transfer
+function); :func:`solve_forward` iterates to a fixpoint.  Facts are
+frozensets, which suits the bit-vector style problems used here
+(reaching definitions, liveness-like sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Generic, Hashable, TypeVar
+
+from repro.lang.cfg import CFG, ENTRY, EXIT
+
+Fact = FrozenSet
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass
+class DataflowProblem(Generic[T]):
+    """A forward may-analysis: join = union.
+
+    ``transfer(sid, in_fact) -> out_fact`` applies the node's effect;
+    ``entry_fact`` seeds the ENTRY node.
+    """
+
+    transfer: Callable[[int, FrozenSet[T]], FrozenSet[T]]
+    entry_fact: FrozenSet[T] = frozenset()
+
+
+def solve_forward(
+    cfg: CFG, problem: DataflowProblem[T]
+) -> tuple[dict[int, FrozenSet[T]], dict[int, FrozenSet[T]]]:
+    """Solve a forward may-problem; returns (IN, OUT) maps keyed by sid."""
+    in_facts: dict[int, FrozenSet[T]] = {sid: frozenset() for sid in cfg.nodes}
+    out_facts: dict[int, FrozenSet[T]] = {sid: frozenset() for sid in cfg.nodes}
+    in_facts[ENTRY] = problem.entry_fact
+    out_facts[ENTRY] = problem.transfer(ENTRY, problem.entry_fact)
+
+    worklist = [sid for sid in cfg.nodes if sid != ENTRY]
+    pending = set(worklist)
+    while worklist:
+        sid = worklist.pop()
+        pending.discard(sid)
+        merged: FrozenSet[T] = frozenset()
+        for pred in cfg.preds(sid):
+            merged = merged | out_facts[pred]
+        in_facts[sid] = merged
+        new_out = problem.transfer(sid, merged)
+        if new_out != out_facts[sid]:
+            out_facts[sid] = new_out
+            for succ in cfg.succs(sid):
+                if succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return in_facts, out_facts

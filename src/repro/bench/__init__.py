@@ -1,0 +1,54 @@
+"""Experiment harness.
+
+* :mod:`repro.bench.harness` -- runs the three implementations the
+  paper compares (JDBC, Manual, Pyxis) against the simulated cluster
+  and collects per-transaction stage traces;
+* :mod:`repro.bench.experiments` -- one function per paper table /
+  figure (fig9, fig10, fig11, fig12, fig13, micro1, fig14);
+* :mod:`repro.bench.report` -- text tables mirroring the paper's
+  plots, printed by the pytest benchmarks and the examples.
+"""
+
+from repro.bench.harness import (
+    BaselineMode,
+    run_baseline_traced,
+    TraceSet,
+    collect_tpcc_traces,
+    collect_tpcw_traces,
+    sweep,
+    tag_lock_groups,
+)
+from repro.bench.experiments import (
+    CurvePoint,
+    ExperimentResult,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    micro1,
+    fig14,
+)
+from repro.bench.report import format_curves, format_fig11, format_fig14
+
+__all__ = [
+    "BaselineMode",
+    "run_baseline_traced",
+    "TraceSet",
+    "collect_tpcc_traces",
+    "collect_tpcw_traces",
+    "sweep",
+    "tag_lock_groups",
+    "CurvePoint",
+    "ExperimentResult",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "micro1",
+    "fig14",
+    "format_curves",
+    "format_fig11",
+    "format_fig14",
+]

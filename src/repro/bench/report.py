@@ -1,0 +1,91 @@
+"""Text reporting: tables mirroring the paper's plots."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    Fig11Result,
+    Fig14Result,
+    Micro1Result,
+)
+
+
+def format_curves(result: ExperimentResult) -> str:
+    """Latency / CPU / network table per implementation and rate."""
+    lines = [f"== {result.name} (db_cores={result.notes.get('db_cores')}) =="]
+    header = (
+        f"{'impl':<8} {'offered':>9} {'tput':>9} {'lat ms':>9} "
+        f"{'p95 ms':>9} {'app%':>6} {'db%':>6} {'KB/s':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for impl in result.implementations():
+        for point in result.curves[impl]:
+            lines.append(
+                f"{impl:<8} {point.offered_rate:>9.0f} "
+                f"{point.throughput:>9.0f} {point.latency_ms:>9.2f} "
+                f"{point.p95_latency_ms:>9.2f} "
+                f"{100 * point.app_util:>6.1f} {100 * point.db_util:>6.1f} "
+                f"{point.net_kb_per_sec:>9.1f}"
+            )
+        lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_fig11(result: Fig11Result) -> str:
+    lines = [
+        f"== fig11: dynamic switching (rate={result.rate:.0f}/s, "
+        f"DB loaded at t={result.load_time:.0f}s) =="
+    ]
+    header = f"{'t (s)':>8} " + " ".join(
+        f"{name:>12}" for name in sorted(result.buckets)
+    )
+    lines.append(header + "   jdbc-like %")
+    by_time: dict[float, dict[str, float]] = {}
+    for name, series in result.buckets.items():
+        for when, latency in series:
+            by_time.setdefault(round(when, 3), {})[name] = latency
+    mix_lookup = {round(when, 3): frac for when, frac in result.pyxis_mix}
+    for when in sorted(by_time):
+        row = f"{when:>8.0f} "
+        for name in sorted(result.buckets):
+            latency = by_time[when].get(name)
+            row += (
+                f"{1000 * latency:>11.1f}ms" if latency is not None
+                else f"{'-':>12}"
+            )
+        nearest = min(
+            mix_lookup, key=lambda t: abs(t - when), default=None
+        )
+        if nearest is not None and abs(nearest - when) <= result.load_time:
+            row += f"   {100 * mix_lookup[nearest].get('jdbc_like', 0.0):.0f}%"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_fig14(result: Fig14Result) -> str:
+    lines = ["== fig14: microbenchmark 2 completion times (s) =="]
+    header = f"{'partition':<10}" + "".join(
+        f"{load:>15}" for load in result.loads
+    )
+    lines.append(header)
+    for label in result.partitions:
+        row = f"{label:<10}"
+        for load in result.loads:
+            value = result.times[(label, load)]
+            marker = "*" if result.best_for(load) == label else " "
+            row += f"{value:>14.3f}{marker}"
+        lines.append(row)
+    lines.append("(* = fastest partition for that load; paper's diagonal)")
+    return "\n".join(lines)
+
+
+def format_micro1(result: Micro1Result) -> str:
+    return (
+        f"== micro1: runtime overhead (n={result.n}) ==\n"
+        f"native : {result.native_seconds * 1000:.3f} ms\n"
+        f"pyxis  : {result.pyxis_seconds * 1000:.3f} ms\n"
+        f"overhead: {result.overhead:.1f}x (paper: ~6x vs native Java)"
+    )

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro partition FILE --entry Class.method [...]
+        Parse, profile (with a synthetic single-invocation workload or
+        user-provided args), partition, and print the PyxIL listing and
+        placement summary for each budget.
+
+    python -m repro experiments [fig9 fig10 fig11 fig12 fig13 fig14 micro1]
+        Regenerate the paper's figures/tables and print the series.
+
+    python -m repro demo
+        Run the quickstart (the paper's running example) end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.pipeline import Pyxis, PyxisConfig
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.db import Database, connect
+    from repro.pyxil.program import format_pyxil
+
+    source = open(args.file).read()
+    entry_points = []
+    for entry in args.entry:
+        if "." not in entry:
+            print(f"error: entry {entry!r} must be Class.method",
+                  file=sys.stderr)
+            return 2
+        class_name, method = entry.split(".", 1)
+        entry_points.append((class_name, method))
+    pyxis = Pyxis.from_source(
+        source,
+        entry_points or None,
+        PyxisConfig(latency=args.latency, solver=args.solver),
+    )
+    print(f"parsed {len(list(pyxis.program.functions()))} methods; "
+          f"entry points: {pyxis.program.entry_points}")
+
+    # Without a workload we partition on the static structure alone
+    # (every statement weighted 1) -- still useful for inspection.
+    from repro.profiler.profile_data import ProfileData
+
+    profile = ProfileData()
+    budgets = args.budget if args.budget else None
+    pset = pyxis.partition(
+        profile,
+        budgets=[float(b) for b in budgets] if budgets else [0.0, 1e9],
+    )
+    print(pset.graph.summary())
+    for part in pset.by_budget():
+        print(f"\n=== budget {part.budget:.0f} "
+              f"({part.fraction_on_db * 100:.0f}% of statements on DB, "
+              f"objective {part.result.objective * 1000:.3f} ms) ===")
+        if args.pyxil:
+            print(format_pyxil(part.placed))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench import experiments as experiments_mod
+    from repro.bench import report as report_mod
+
+    available = {
+        "fig9": lambda: report_mod.format_curves(
+            experiments_mod.fig9(fast=args.fast)
+        ),
+        "fig10": lambda: report_mod.format_curves(
+            experiments_mod.fig10(fast=args.fast)
+        ),
+        "fig11": lambda: report_mod.format_fig11(
+            experiments_mod.fig11(fast=args.fast)
+        ),
+        "fig12": lambda: report_mod.format_curves(
+            experiments_mod.fig12(fast=args.fast)
+        ),
+        "fig13": lambda: report_mod.format_curves(
+            experiments_mod.fig13(fast=args.fast)
+        ),
+        "fig14": lambda: report_mod.format_fig14(experiments_mod.fig14()),
+        "micro1": lambda: report_mod.format_micro1(
+            experiments_mod.micro1()
+        ),
+    }
+    names = args.names or list(available)
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        print(f"error: unknown experiments {unknown}; "
+              f"options: {sorted(available)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(available[name]())
+        print()
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    import examples.quickstart as quickstart  # type: ignore[import-not-found]
+
+    quickstart.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pyxis reproduction: automatic partitioning of "
+                    "database applications (VLDB 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_part = sub.add_parser("partition", help="partition an application file")
+    p_part.add_argument("file", help="Python source with partitionable classes")
+    p_part.add_argument(
+        "--entry", action="append", default=[],
+        help="entry point as Class.method (repeatable)",
+    )
+    p_part.add_argument("--budget", action="append", default=[],
+                        help="CPU budget (repeatable)")
+    p_part.add_argument("--latency", type=float, default=0.001,
+                        help="one-way network latency in seconds")
+    p_part.add_argument("--solver", default="scipy",
+                        choices=["scipy", "bnb", "greedy"])
+    p_part.add_argument("--pyxil", action="store_true",
+                        help="print the PyxIL listing per budget")
+    p_part.set_defaults(func=_cmd_partition)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper figures")
+    p_exp.add_argument("names", nargs="*", help="fig9 fig10 ... micro1")
+    p_exp.add_argument("--full", dest="fast", action="store_false",
+                       help="full-length sweeps (slow)")
+    p_exp.set_defaults(func=_cmd_experiments, fast=True)
+
+    p_demo = sub.add_parser("demo", help="run the quickstart example")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

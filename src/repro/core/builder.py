@@ -1,0 +1,582 @@
+"""Partition-graph construction (Section 4.2).
+
+Combines the static analyses (control dependence, def/use, points-to,
+call graph) with dynamic profile data into the weighted partition
+graph.  Edge weights follow the paper exactly:
+
+=============  =======================================
+Control edge   ``LAT * cnt(e)``
+Data edge      ``size(src) / BW * cnt(e)``
+Update edge    ``size(src) / BW * cnt(dst)``
+Statement      node weight ``cnt(s)``
+Field node     weight 0
+=============  =======================================
+
+with ``cnt(e) = min(cnt(src), cnt(dst))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from repro.analysis.defuse import StatementAccess
+from repro.analysis.interproc import CallGraph
+from repro.analysis.points_to import AllocKind, PointsToResult
+from repro.lang.cfg import ENTRY
+from repro.lang.ir import (
+    Assign,
+    Atom,
+    Block,
+    CallKind,
+    FunctionIR,
+    ProgramIR,
+    Stmt,
+    VarRef,
+)
+from repro.core.partition_graph import (
+    DBCODE_NODE_ID,
+    Edge,
+    EdgeKind,
+    Node,
+    NodeKind,
+    PartitionGraph,
+    Placement,
+    array_node_id,
+    entry_node_id,
+    field_node_id,
+    stmt_node_id,
+)
+from repro.profiler.profile_data import ProfileData
+
+
+@dataclass
+class _AggregateAccess:
+    """Transitive read/write footprint used for ordering decisions."""
+
+    var_reads: set[str] = dataclass_field(default_factory=set)
+    var_writes: set[str] = dataclass_field(default_factory=set)
+    field_reads: set[str] = dataclass_field(default_factory=set)
+    field_writes: set[str] = dataclass_field(default_factory=set)
+    array_reads: set[int] = dataclass_field(default_factory=set)
+    array_writes: set[int] = dataclass_field(default_factory=set)
+    effectful: bool = False
+
+    def merge(self, other: "_AggregateAccess") -> None:
+        self.var_reads |= other.var_reads
+        self.var_writes |= other.var_writes
+        self.field_reads |= other.field_reads
+        self.field_writes |= other.field_writes
+        self.array_reads |= other.array_reads
+        self.array_writes |= other.array_writes
+        self.effectful = self.effectful or other.effectful
+
+    def conflicts(self, other: "_AggregateAccess") -> bool:
+        if self.var_writes & other.var_writes:
+            return True
+        if self.var_reads & other.var_writes:
+            return True
+        if self.var_writes & other.var_reads:
+            return True
+        if (self.field_reads | self.field_writes) & other.field_writes:
+            return True
+        if self.field_writes & (other.field_reads | other.field_writes):
+            return True
+        if (self.array_reads | self.array_writes) & other.array_writes:
+            return True
+        if self.array_writes & (other.array_reads | other.array_writes):
+            return True
+        return self.effectful and other.effectful
+
+
+@dataclass
+class BuilderConfig:
+    """Network parameters for edge weights (Section 4.2).
+
+    ``latency`` is the one-way control-transfer latency in seconds and
+    ``bandwidth`` is in bytes/second, matching the simulator defaults.
+    """
+
+    latency: float = 0.001
+    bandwidth: float = 125_000_000.0
+    # Statements never observed during profiling still get a small
+    # weight so the solver keeps rarely-run code near its dependencies.
+    unprofiled_count: int = 1
+
+
+class GraphBuilder:
+    """Builds a :class:`PartitionGraph` for one analyzed program."""
+
+    def __init__(
+        self,
+        program: ProgramIR,
+        call_graph: CallGraph,
+        points_to: PointsToResult,
+        profile: ProfileData,
+        config: Optional[BuilderConfig] = None,
+    ) -> None:
+        self.program = program
+        self.cg = call_graph
+        self.pts = points_to
+        self.profile = profile
+        self.config = config if config is not None else BuilderConfig()
+        self.graph = PartitionGraph()
+
+    # -- profile helpers ---------------------------------------------------------
+
+    def _cnt(self, sid: int) -> float:
+        count = self.profile.count(sid)
+        return float(count if count > 0 else self.config.unprofiled_count)
+
+    def _edge_cnt(self, src_sid: int, dst_sid: int) -> float:
+        return min(self._cnt(src_sid), self._cnt(dst_sid))
+
+    def _bw_weight(self, size: float, cnt: float) -> float:
+        return size / self.config.bandwidth * cnt
+
+    # -- top level ------------------------------------------------------------------
+
+    def build(self) -> PartitionGraph:
+        self._add_nodes()
+        self._add_control_edges()
+        self._add_seq_edges()
+        self._add_db_edges()
+        self._add_local_data_edges()
+        self._add_interproc_data_edges()
+        self._add_field_edges()
+        self._add_array_edges()
+        self._add_order_edges()
+        return self.graph
+
+    # -- nodes ---------------------------------------------------------------------
+
+    def _add_nodes(self) -> None:
+        graph = self.graph
+        graph.add_node(
+            Node(DBCODE_NODE_ID, NodeKind.DBCODE, pin=Placement.DB,
+                 label="database code")
+        )
+        jdbc_sids: list[int] = []
+        for func in self.program.functions():
+            analysis = self.cg.analysis(func.qualified_name)
+            for stmt in func.walk():
+                node = Node(
+                    stmt_node_id(stmt.sid),
+                    NodeKind.STMT,
+                    weight=self._cnt(stmt.sid),
+                    sid=stmt.sid,
+                    label=f"{func.qualified_name}:{stmt.sid}",
+                )
+                graph.add_node(node)
+                acc = analysis.defuse.accesses[stmt.sid]
+                if acc.has_db_call:
+                    jdbc_sids.append(stmt.sid)
+                if acc.is_print:
+                    graph.pin(node.id, Placement.APP)
+            if func.is_entry:
+                entry = graph.add_node(
+                    Node(
+                        entry_node_id(func.qualified_name),
+                        NodeKind.ENTRY,
+                        pin=Placement.APP,
+                        label=f"entry {func.qualified_name}",
+                    )
+                )
+        # All JDBC calls share the connection's native state: one variable.
+        if jdbc_sids:
+            graph.colocate(stmt_node_id(sid) for sid in jdbc_sids)
+        # Field nodes.
+        for cls in self.program.classes.values():
+            for field_name in cls.fields:
+                graph.add_node(
+                    Node(
+                        field_node_id(cls.name, field_name),
+                        NodeKind.FIELD,
+                        weight=0.0,
+                        label=f"field {cls.name}.{field_name}",
+                    )
+                )
+        # Array/native allocation-site nodes, placed with their site.
+        for sid, site in self.pts.alloc_sites.items():
+            if site.kind is AllocKind.OBJECT:
+                continue  # objects are split per-field, not placed whole
+            node_id = array_node_id(sid)
+            graph.add_node(
+                Node(node_id, NodeKind.ARRAY, weight=0.0, sid=sid,
+                     label=f"alloc@{sid}:{site.kind.value}")
+            )
+            graph.colocate([node_id, stmt_node_id(sid)])
+
+    # -- control edges ------------------------------------------------------------
+
+    def _add_control_edges(self) -> None:
+        lat = self.config.latency
+        for func in self.program.functions():
+            analysis = self.cg.analysis(func.qualified_name)
+            entry_sids = sorted(analysis.control_deps.get(ENTRY, set()))
+            for src_sid, dependents in analysis.control_deps.items():
+                if src_sid == ENTRY:
+                    continue
+                for dst_sid in dependents:
+                    if dst_sid == src_sid:
+                        continue
+                    self.graph.add_edge(
+                        stmt_node_id(src_sid),
+                        stmt_node_id(dst_sid),
+                        EdgeKind.CONTROL,
+                        weight=lat * self._edge_cnt(src_sid, dst_sid),
+                        label="ctrl",
+                    )
+            # Entry-level statements: control-dependent on every caller.
+            callers = self.cg.callers_of(func.qualified_name)
+            for dst_sid in entry_sids:
+                for site in callers:
+                    self.graph.add_edge(
+                        stmt_node_id(site.sid),
+                        stmt_node_id(dst_sid),
+                        EdgeKind.CONTROL,
+                        weight=lat * self._edge_cnt(site.sid, dst_sid),
+                        label="call",
+                    )
+            # Entry-point methods are invoked from unpartitioned code on
+            # the application server.  Entering (and leaving) the method
+            # costs one control transfer regardless of how many
+            # statements it contains, so charge a single edge to the
+            # first statement (2x latency: the transfer in and the
+            # return transfer out) rather than one edge per entry-level
+            # statement -- the paper's cost model notes that charging
+            # every such edge "leads to overestimation".
+            if func.is_entry and func.body.stmts:
+                first_sid = func.body.stmts[0].sid
+                self.graph.add_edge(
+                    entry_node_id(func.qualified_name),
+                    stmt_node_id(first_sid),
+                    EdgeKind.CONTROL,
+                    weight=2.0 * lat * self._cnt(first_sid),
+                    label="entry",
+                )
+
+    def _add_db_edges(self) -> None:
+        """Control edges from JDBC-call statements to the database code.
+
+        A JDBC call issued from the application server costs a full
+        request/response round trip, so the edge carries 2x latency.
+        """
+        lat = self.config.latency
+        for func in self.program.functions():
+            analysis = self.cg.analysis(func.qualified_name)
+            for stmt in func.walk():
+                acc = analysis.defuse.accesses[stmt.sid]
+                if acc.has_db_call:
+                    self.graph.add_edge(
+                        stmt_node_id(stmt.sid),
+                        DBCODE_NODE_ID,
+                        EdgeKind.CONTROL,
+                        weight=2.0 * lat * self._cnt(stmt.sid),
+                        label="jdbc",
+                    )
+
+    def _add_seq_edges(self) -> None:
+        """Sequencing edges between consecutive statements of a block.
+
+        The runtime transfers control whenever consecutive statements
+        have different placements, even when no control or data
+        dependency links them (e.g. two independent loops in a row).
+        One edge per adjacent pair, weighted like a control edge,
+        models exactly that cost.
+        """
+        lat = self.config.latency
+        for func in self.program.functions():
+            pending: list[Block] = [func.body]
+            while pending:
+                block = pending.pop()
+                stmts = block.stmts
+                for first, second in zip(stmts, stmts[1:]):
+                    self.graph.add_edge(
+                        stmt_node_id(first.sid),
+                        stmt_node_id(second.sid),
+                        EdgeKind.CONTROL,
+                        weight=lat * self._edge_cnt(first.sid, second.sid),
+                        label="seq",
+                    )
+                for stmt in stmts:
+                    pending.extend(stmt.blocks())
+
+    # -- data edges -----------------------------------------------------------------
+
+    def _add_local_data_edges(self) -> None:
+        for func in self.program.functions():
+            analysis = self.cg.analysis(func.qualified_name)
+            for def_sid, use_sid, var in analysis.defuse.edges():
+                if def_sid == use_sid:
+                    continue
+                size = self.profile.assign_size(def_sid)
+                self.graph.add_edge(
+                    stmt_node_id(def_sid),
+                    stmt_node_id(use_sid),
+                    EdgeKind.DATA,
+                    weight=self._bw_weight(
+                        size, self._edge_cnt(def_sid, use_sid)
+                    ),
+                    label=var,
+                )
+
+    def _add_interproc_data_edges(self) -> None:
+        """Call-argument and return-value data edges."""
+        for site in self.cg.call_sites.values():
+            for callee_name in site.callees:
+                callee = self.cg.functions.get(callee_name)
+                if callee is None:
+                    continue
+                arg_size = self.profile.arg_size(site.sid)
+                for param in callee.func.params:
+                    for use_sid in callee.defuse.param_uses(param):
+                        self.graph.add_edge(
+                            stmt_node_id(site.sid),
+                            stmt_node_id(use_sid),
+                            EdgeKind.DATA,
+                            weight=self._bw_weight(
+                                arg_size, self._edge_cnt(site.sid, use_sid)
+                            ),
+                            label=f"arg:{param}",
+                        )
+                result_size = self.profile.result_size(site.sid)
+                for ret in callee.return_stmts():
+                    self.graph.add_edge(
+                        stmt_node_id(ret.sid),
+                        stmt_node_id(site.sid),
+                        EdgeKind.DATA,
+                        weight=self._bw_weight(
+                            result_size, self._edge_cnt(ret.sid, site.sid)
+                        ),
+                        label="ret",
+                    )
+
+    def _field_classes(self, func: FunctionIR, obj: Atom, field_name: str) -> list[str]:
+        """Classes whose field node an access may touch."""
+        classes: set[str] = set()
+        if isinstance(obj, VarRef):
+            if obj.name == "self":
+                classes.add(func.class_name)
+            classes.update(
+                self.pts.classes_of(func.qualified_name, obj.name)
+            )
+        out = []
+        for cls_name in sorted(classes):
+            cls = self.program.classes.get(cls_name)
+            if cls is not None and field_name in cls.fields:
+                out.append(cls_name)
+        return out
+
+    def _add_field_edges(self) -> None:
+        for func in self.program.functions():
+            analysis = self.cg.analysis(func.qualified_name)
+            for stmt in func.walk():
+                acc = analysis.defuse.accesses[stmt.sid]
+                for obj, field_name in acc.field_reads:
+                    for cls in self._field_classes(func, obj, field_name):
+                        size = self.profile.field_size(cls, field_name)
+                        self.graph.add_edge(
+                            field_node_id(cls, field_name),
+                            stmt_node_id(stmt.sid),
+                            EdgeKind.DATA,
+                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
+                            label=f"read {field_name}",
+                        )
+                for obj, field_name in acc.field_writes:
+                    for cls in self._field_classes(func, obj, field_name):
+                        size = self.profile.field_size(cls, field_name)
+                        self.graph.add_edge(
+                            field_node_id(cls, field_name),
+                            stmt_node_id(stmt.sid),
+                            EdgeKind.UPDATE,
+                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
+                            label=f"write {field_name}",
+                        )
+
+    def _array_sites(self, func: FunctionIR, atom: Atom) -> list[int]:
+        sites = []
+        if isinstance(atom, VarRef):
+            for site in self.pts.pts(func.qualified_name, atom.name):
+                if site.kind is not AllocKind.OBJECT and site.sid > 0:
+                    sites.append(site.sid)
+        return sorted(set(sites))
+
+    def _add_array_edges(self) -> None:
+        for func in self.program.functions():
+            analysis = self.cg.analysis(func.qualified_name)
+            for stmt in func.walk():
+                acc = analysis.defuse.accesses[stmt.sid]
+                for atom in acc.index_reads:
+                    for alloc_sid in self._array_sites(func, atom):
+                        if alloc_sid == stmt.sid:
+                            continue
+                        size = self.profile.assign_size(alloc_sid)
+                        self.graph.add_edge(
+                            array_node_id(alloc_sid),
+                            stmt_node_id(stmt.sid),
+                            EdgeKind.DATA,
+                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
+                            label="elem-read",
+                        )
+                for atom in acc.index_writes:
+                    for alloc_sid in self._array_sites(func, atom):
+                        if alloc_sid == stmt.sid:
+                            continue
+                        size = self.profile.assign_size(alloc_sid)
+                        self.graph.add_edge(
+                            array_node_id(alloc_sid),
+                            stmt_node_id(stmt.sid),
+                            EdgeKind.UPDATE,
+                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
+                            label="elem-write",
+                        )
+
+    # -- ordering edges (Section 4.4) ---------------------------------------------
+    #
+    # Reordering permutes the *direct children* of a block, so a
+    # compound statement (loop, if) or a call must be ordered using the
+    # accesses of everything it transitively executes -- its nested
+    # statements and its callees' statements.  The aggregates below
+    # summarize exactly that ("side-effects and data dependencies due
+    # to calls are summarized at the call site", Section 4.4).
+
+    def _is_effectful(self, acc: StatementAccess) -> bool:
+        for call in acc.calls:
+            if call.kind in (CallKind.DB, CallKind.METHOD, CallKind.ALLOC_OBJECT):
+                return True
+            if call.kind is CallKind.NATIVE and call.name == "print":
+                return True
+        return False
+
+    def _function_summary(self, name: str) -> "_AggregateAccess":
+        cached = self._summaries.get(name)
+        if cached is not None:
+            return cached
+        # Pre-seed to guard against (rejected) recursion.
+        summary = _AggregateAccess()
+        self._summaries[name] = summary
+        analysis = self.cg.functions.get(name)
+        if analysis is not None:
+            for stmt in analysis.func.walk():
+                summary.merge(self._stmt_direct(analysis.func, stmt))
+        return summary
+
+    def _stmt_direct(self, func: FunctionIR, stmt: Stmt) -> "_AggregateAccess":
+        """Aggregate for one statement alone plus its callees."""
+        analysis = self.cg.analysis(func.qualified_name)
+        acc = analysis.defuse.accesses[stmt.sid]
+        # Any read of a variable that may alias an array observes the
+        # array's contents (it may escape via return or call), so it
+        # must be ordered after element writes.
+        aliased_reads = {
+            s
+            for var in acc.var_reads
+            for s in self._array_sites(func, VarRef(var))
+        }
+        agg = _AggregateAccess(
+            var_reads=set(acc.var_reads),
+            var_writes=set(acc.var_writes),
+            field_reads={f for _, f in acc.field_reads},
+            field_writes={f for _, f in acc.field_writes},
+            array_reads=aliased_reads | {
+                s for atom in acc.index_reads
+                for s in self._array_sites(func, atom)
+            },
+            array_writes={
+                s for atom in acc.index_writes
+                for s in self._array_sites(func, atom)
+            },
+            effectful=self._is_effectful(acc),
+        )
+        for callee in self.cg.callees_of(stmt.sid):
+            agg.merge(self._function_summary(callee))
+        return agg
+
+    def _aggregate(self, func: FunctionIR, stmt: Stmt) -> "_AggregateAccess":
+        """Aggregate for a statement including its nested statements."""
+        agg = self._stmt_direct(func, stmt)
+        for block in stmt.blocks():
+            for inner in block.walk():
+                agg.merge(self._stmt_direct(func, inner))
+        return agg
+
+    def _add_order_edges(self) -> None:
+        """Output/anti dependence edges within each straight-line block."""
+        self._summaries: dict[str, _AggregateAccess] = {}
+        for func in self.program.functions():
+            blocks: list[Block] = [func.body]
+            seen: list[Block] = []
+            while blocks:
+                block = blocks.pop()
+                seen.append(block)
+                for stmt in block.stmts:
+                    blocks.extend(stmt.blocks())
+            for block in seen:
+                stmts = block.stmts
+                aggregates = [self._aggregate(func, s) for s in stmts]
+                barriers = [_is_barrier(s) for s in stmts]
+                for i, first in enumerate(stmts):
+                    for j in range(i + 1, len(stmts)):
+                        if (
+                            barriers[i]
+                            or barriers[j]
+                            or aggregates[i].conflicts(aggregates[j])
+                        ):
+                            self.graph.add_edge(
+                                stmt_node_id(first.sid),
+                                stmt_node_id(stmts[j].sid),
+                                EdgeKind.ORDER,
+                                label="order",
+                            )
+
+
+def _is_barrier(stmt: Stmt) -> bool:
+    """True when ``stmt`` may exit its enclosing block early.
+
+    Such statements cannot move relative to *anything* in the block:
+    code hoisted above them may wrongly execute on the early-exit path,
+    and effectful code sunk below them may wrongly be skipped.
+
+    * ``return`` (or any compound statement containing one) exits
+      through every nesting level;
+    * ``break`` / ``continue`` exit their block, as does an ``if``
+      containing them -- but a loop *consumes* its own breaks and
+      continues, so they do not propagate out of While/ForEach.
+    """
+    from repro.lang.ir import Break as _Break
+    from repro.lang.ir import Continue as _Continue
+    from repro.lang.ir import ForEach as _ForEach
+    from repro.lang.ir import If as _If
+    from repro.lang.ir import Return as _Return
+    from repro.lang.ir import While as _While
+
+    if isinstance(stmt, (_Return, _Break, _Continue)):
+        return True
+    if isinstance(stmt, _If):
+        return any(
+            _is_barrier(inner)
+            for block in stmt.blocks()
+            for inner in block.stmts
+        )
+    if isinstance(stmt, (_While, _ForEach)):
+        # Breaks/continues are consumed; only returns escape.
+        return any(
+            isinstance(inner, _Return)
+            for block in stmt.blocks()
+            for inner in block.walk()
+        )
+    return False
+
+
+def build_partition_graph(
+    program: ProgramIR,
+    call_graph: CallGraph,
+    points_to: PointsToResult,
+    profile: ProfileData,
+    config: Optional[BuilderConfig] = None,
+) -> PartitionGraph:
+    """Build the weighted partition graph for ``program``."""
+    return GraphBuilder(
+        program, call_graph, points_to, profile, config
+    ).build()

@@ -1,0 +1,66 @@
+"""In-memory relational database substrate.
+
+The paper runs its benchmarks against MySQL through JDBC.  This package
+is the reproduction's synthetic equivalent: a small but real relational
+engine with
+
+* a typed catalog (:mod:`repro.db.catalog`),
+* hash and ordered secondary indexes (:mod:`repro.db.index`),
+* a heap-table storage engine (:mod:`repro.db.engine`),
+* a SQL front end -- lexer, parser, planner, executor
+  (:mod:`repro.db.sql`),
+* transactions with strict two-phase locking and deadlock detection
+  (:mod:`repro.db.txn`), and
+* a JDBC-like client API with prepared statements and result sets
+  (:mod:`repro.db.jdbc`).
+
+The engine executes for real (every query returns correct rows); the
+cluster simulator charges CPU time for each operation so partitioned
+programs observe realistic relative costs.
+"""
+
+from repro.db.errors import (
+    DatabaseError,
+    SqlSyntaxError,
+    PlanError,
+    ExecutionError,
+    IntegrityError,
+    UnknownTableError,
+    UnknownColumnError,
+    TransactionError,
+    DeadlockError,
+    LockTimeoutError,
+)
+from repro.db.catalog import Column, ColumnType, TableSchema, Catalog
+from repro.db.index import HashIndex, OrderedIndex
+from repro.db.engine import Database, Table
+from repro.db.jdbc import Connection, PreparedStatement, ResultSet, connect
+from repro.db.txn import LockManager, LockMode, Transaction
+
+__all__ = [
+    "DatabaseError",
+    "SqlSyntaxError",
+    "PlanError",
+    "ExecutionError",
+    "IntegrityError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "TransactionError",
+    "DeadlockError",
+    "LockTimeoutError",
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Catalog",
+    "HashIndex",
+    "OrderedIndex",
+    "Database",
+    "Table",
+    "Connection",
+    "PreparedStatement",
+    "ResultSet",
+    "connect",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+]

@@ -1,0 +1,205 @@
+"""Typed schema catalog.
+
+Tables are declared with typed columns, a primary key and optional
+secondary indexes.  The catalog validates row shapes on insert and is
+the single source of truth for column offsets used by the executor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.db.errors import IntegrityError, PlanError, UnknownColumnError, UnknownTableError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types (a pragmatic subset of SQL types)."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    def validate(self, value: Any) -> Any:
+        """Coerce/validate ``value`` for storage; None passes through."""
+        if value is None:
+            return None
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                raise IntegrityError(f"boolean {value!r} is not an INTEGER")
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            raise IntegrityError(f"{value!r} is not an INTEGER")
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool):
+                raise IntegrityError(f"boolean {value!r} is not a FLOAT")
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise IntegrityError(f"{value!r} is not a FLOAT")
+        if self is ColumnType.TEXT:
+            if isinstance(value, str):
+                return value
+            raise IntegrityError(f"{value!r} is not TEXT")
+        if self is ColumnType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            raise IntegrityError(f"{value!r} is not a BOOLEAN")
+        raise AssertionError(f"unhandled column type {self}")  # pragma: no cover
+
+    @classmethod
+    def from_name(cls, name: str) -> "ColumnType":
+        normalized = name.strip().lower()
+        aliases = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "smallint": cls.INTEGER,
+            "float": cls.FLOAT,
+            "double": cls.FLOAT,
+            "real": cls.FLOAT,
+            "decimal": cls.FLOAT,
+            "numeric": cls.FLOAT,
+            "text": cls.TEXT,
+            "varchar": cls.TEXT,
+            "char": cls.TEXT,
+            "string": cls.TEXT,
+            "bool": cls.BOOLEAN,
+            "boolean": cls.BOOLEAN,
+        }
+        if normalized not in aliases:
+            raise PlanError(f"unknown column type {name!r}")
+        return aliases[normalized]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        if value is None and not self.nullable:
+            raise IntegrityError(f"column {self.name!r} is NOT NULL")
+        return self.type.validate(value)
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Declaration of a secondary index over one or more columns."""
+
+    name: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    ordered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise PlanError(f"index {self.name!r} must cover at least one column")
+
+
+class TableSchema:
+    """Schema of one table: columns, primary key, secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str],
+        indexes: Iterable[IndexSpec] = (),
+    ) -> None:
+        if not columns:
+            raise PlanError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self._offsets = {col.name: i for i, col in enumerate(self.columns)}
+        if len(self._offsets) != len(self.columns):
+            raise PlanError(f"table {name!r} has duplicate column names")
+        for key_col in primary_key:
+            if key_col not in self._offsets:
+                raise UnknownColumnError(key_col, name)
+        if not primary_key:
+            raise PlanError(f"table {name!r} needs a primary key")
+        self.primary_key = tuple(primary_key)
+        self.indexes: tuple[IndexSpec, ...] = tuple(indexes)
+        for spec in self.indexes:
+            for col in spec.columns:
+                if col not in self._offsets:
+                    raise UnknownColumnError(col, name)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def offset(self, column: str) -> int:
+        try:
+            return self._offsets[column]
+        except KeyError:
+            raise UnknownColumnError(column, self.name) from None
+
+    def has_column(self, column: str) -> bool:
+        return column in self._offsets
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.offset(name)]
+
+    def primary_key_offsets(self) -> tuple[int, ...]:
+        return tuple(self.offset(col) for col in self.primary_key)
+
+    def validate_row(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Validate and coerce a full row (positional values)."""
+        if len(values) != len(self.columns):
+            raise IntegrityError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        return tuple(
+            col.validate(value) for col, value in zip(self.columns, values)
+        )
+
+    def key_of(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """Extract the primary-key tuple from a stored row."""
+        return tuple(row[i] for i in self.primary_key_offsets())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name}:{c.type.value}" for c in self.columns)
+        return f"TableSchema({self.name!r}, [{cols}], pk={self.primary_key})"
+
+
+class Catalog:
+    """Registry of table schemas for one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+
+    def add(self, schema: TableSchema) -> None:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise PlanError(f"table {schema.name!r} already exists")
+        self._tables[key] = schema
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[key]
+
+    def get(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(schema.name for schema in self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,257 @@
+"""Heap-table storage engine.
+
+Rows live in per-table dictionaries keyed by a monotonically increasing
+row id.  Every table has a unique primary-key index plus any declared
+secondary indexes, all maintained transparently on insert / update /
+delete.  Mutating operations return undo records so the transaction
+layer can roll back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.db.catalog import Catalog, Column, ColumnType, IndexSpec, TableSchema
+from repro.db.errors import ExecutionError, IntegrityError, UnknownTableError
+from repro.db.index import HashIndex, OrderedIndex
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """Inverse of one mutation, applied on rollback.
+
+    ``kind`` is one of ``insert`` / ``delete`` / ``update``; the stored
+    payload is whatever is needed to reverse it.
+    """
+
+    table: str
+    kind: str
+    rowid: int
+    before: Optional[tuple] = None
+
+
+class Table:
+    """One heap table plus its indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, tuple] = {}
+        self._next_rowid = itertools.count(1)
+        self.primary_index = HashIndex(f"{schema.name}.pk", unique=True)
+        self.secondary: dict[str, HashIndex | OrderedIndex] = {}
+        self._index_specs: dict[str, IndexSpec] = {}
+        for spec in schema.indexes:
+            self._add_index(spec)
+
+    def _add_index(self, spec: IndexSpec) -> None:
+        index: HashIndex | OrderedIndex
+        if spec.ordered:
+            index = OrderedIndex(spec.name, unique=spec.unique)
+        else:
+            index = HashIndex(spec.name, unique=spec.unique)
+        self.secondary[spec.name] = index
+        self._index_specs[spec.name] = spec
+        offsets = tuple(self.schema.offset(col) for col in spec.columns)
+        for rowid, row in self._rows.items():
+            index.insert(tuple(row[i] for i in offsets), rowid)
+
+    def create_index(self, spec: IndexSpec) -> None:
+        """Add a secondary index after table creation (backfills)."""
+        if spec.name in self.secondary:
+            raise ExecutionError(f"index {spec.name!r} already exists")
+        self._add_index(spec)
+
+    # -- accessors -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(self, rowid: int) -> tuple:
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise ExecutionError(
+                f"table {self.schema.name!r} has no row id {rowid}"
+            ) from None
+
+    def has_rowid(self, rowid: int) -> bool:
+        return rowid in self._rows
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (rowid, row) in insertion order (dict preserves it)."""
+        yield from self._rows.items()
+
+    def rowids(self) -> Iterator[int]:
+        yield from self._rows.keys()
+
+    def lookup_pk(self, key: tuple) -> Optional[int]:
+        found = self.primary_index.lookup(key)
+        if not found:
+            return None
+        (rowid,) = found
+        return rowid
+
+    def index_key(self, spec_name: str, row: Sequence[Any]) -> tuple:
+        spec = self._index_specs[spec_name]
+        return tuple(row[self.schema.offset(col)] for col in spec.columns)
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> tuple[int, UndoRecord]:
+        row = self.schema.validate_row(values)
+        key = self.schema.key_of(row)
+        if any(part is None for part in key):
+            raise IntegrityError(
+                f"primary key of {self.schema.name!r} cannot contain NULL"
+            )
+        if self.primary_index.contains(key):
+            raise IntegrityError(
+                f"duplicate primary key {key!r} in table {self.schema.name!r}"
+            )
+        rowid = next(self._next_rowid)
+        # Insert into all indexes first so a uniqueness failure in a
+        # secondary index leaves the table unchanged.
+        inserted: list[tuple[HashIndex | OrderedIndex, tuple]] = []
+        try:
+            self.primary_index.insert(key, rowid)
+            inserted.append((self.primary_index, key))
+            for name, index in self.secondary.items():
+                ikey = self.index_key(name, row)
+                index.insert(ikey, rowid)
+                inserted.append((index, ikey))
+        except IntegrityError:
+            for index, ikey in inserted:
+                index.delete(ikey, rowid)
+            raise
+        self._rows[rowid] = row
+        return rowid, UndoRecord(self.schema.name, "insert", rowid)
+
+    def delete(self, rowid: int) -> UndoRecord:
+        row = self.get(rowid)
+        self.primary_index.delete(self.schema.key_of(row), rowid)
+        for name, index in self.secondary.items():
+            index.delete(self.index_key(name, row), rowid)
+        del self._rows[rowid]
+        return UndoRecord(self.schema.name, "delete", rowid, before=row)
+
+    def update(self, rowid: int, changes: dict[str, Any]) -> UndoRecord:
+        before = self.get(rowid)
+        new_values = list(before)
+        for column, value in changes.items():
+            offset = self.schema.offset(column)
+            new_values[offset] = self.schema.column(column).validate(value)
+        after = tuple(new_values)
+        old_key = self.schema.key_of(before)
+        new_key = self.schema.key_of(after)
+        if old_key != new_key:
+            if self.primary_index.contains(new_key):
+                raise IntegrityError(
+                    f"update would duplicate primary key {new_key!r} "
+                    f"in table {self.schema.name!r}"
+                )
+            self.primary_index.delete(old_key, rowid)
+            self.primary_index.insert(new_key, rowid)
+        for name, index in self.secondary.items():
+            old_ikey = self.index_key(name, before)
+            new_ikey = self.index_key(name, after)
+            if old_ikey != new_ikey:
+                index.delete(old_ikey, rowid)
+                index.insert(new_ikey, rowid)
+        self._rows[rowid] = after
+        return UndoRecord(self.schema.name, "update", rowid, before=before)
+
+    def undo(self, record: UndoRecord) -> None:
+        """Reverse a prior mutation (used by transaction rollback)."""
+        if record.kind == "insert":
+            if not self.has_rowid(record.rowid):  # pragma: no cover - defensive
+                raise ExecutionError(
+                    f"cannot undo insert of missing row {record.rowid}"
+                )
+            self.delete(record.rowid)
+        elif record.kind == "delete":
+            assert record.before is not None
+            row = record.before
+            rowid = record.rowid
+            self.primary_index.insert(self.schema.key_of(row), rowid)
+            for name, index in self.secondary.items():
+                index.insert(self.index_key(name, row), rowid)
+            self._rows[rowid] = row
+        elif record.kind == "update":
+            assert record.before is not None
+            after = self._rows[record.rowid]
+            # Re-run update with the original values; ignore its undo.
+            changes = {
+                col.name: record.before[i]
+                for i, col in enumerate(self.schema.columns)
+                if record.before[i] != after[i]
+            }
+            if changes:
+                self.update(record.rowid, changes)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown undo kind {record.kind!r}")
+
+    def truncate(self) -> None:
+        self._rows.clear()
+        self.primary_index.clear()
+        for index in self.secondary.values():
+            index.clear()
+
+
+class Database:
+    """A named collection of tables sharing a catalog."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        # Observer invoked as (operation, table, rows_touched); the
+        # cluster simulator hooks this to charge CPU per DB operation.
+        self.observer: Optional[Callable[[str, str, int], None]] = None
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column | tuple],
+        primary_key: Sequence[str],
+        indexes: Sequence[IndexSpec] = (),
+    ) -> Table:
+        normalized: list[Column] = []
+        for col in columns:
+            if isinstance(col, Column):
+                normalized.append(col)
+            else:
+                col_name, type_name = col[0], col[1]
+                nullable = col[2] if len(col) > 2 else True
+                normalized.append(
+                    Column(col_name, ColumnType.from_name(type_name), nullable)
+                )
+        schema = TableSchema(name, normalized, primary_key, indexes)
+        self.catalog.add(schema)
+        table = Table(schema)
+        self._tables[name.lower()] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop(name)
+        del self._tables[name.lower()]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        return [self._tables[key] for key in sorted(self._tables)]
+
+    def notify(self, operation: str, table: str, rows: int) -> None:
+        if self.observer is not None:
+            self.observer(operation, table, rows)
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())

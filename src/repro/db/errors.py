@@ -1,0 +1,71 @@
+"""Exception hierarchy for the database substrate."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all errors raised by :mod:`repro.db`."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class PlanError(DatabaseError):
+    """The statement parsed but could not be planned (e.g. bad column)."""
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a planned statement."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint violation (duplicate primary key, null in NOT NULL)."""
+
+
+class UnknownTableError(PlanError):
+    """Referenced table does not exist."""
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+        super().__init__(f"unknown table {table!r}")
+
+
+class UnknownColumnError(PlanError):
+    """Referenced column does not exist."""
+
+    def __init__(self, column: str, table: str | None = None) -> None:
+        self.column = column
+        self.table = table
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column {column!r}{where}")
+
+
+class TransactionError(DatabaseError):
+    """Misuse of the transaction API (e.g. operating on a closed txn)."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+    def __init__(self, txn_id: int, cycle: list[int]) -> None:
+        self.txn_id = txn_id
+        self.cycle = cycle
+        super().__init__(
+            f"transaction {txn_id} aborted to break deadlock cycle {cycle}"
+        )
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+    def __init__(self, txn_id: int, resource: object) -> None:
+        self.txn_id = txn_id
+        self.resource = resource
+        super().__init__(f"transaction {txn_id} timed out waiting for {resource!r}")

@@ -1,0 +1,214 @@
+"""Secondary index structures.
+
+Two index kinds back the planner's access paths:
+
+* :class:`HashIndex` -- equality lookups, O(1) expected.
+* :class:`OrderedIndex` -- a sorted-key index supporting range scans,
+  kept sorted with binary insertion (adequate at benchmark scale and
+  fully deterministic).
+
+Both map key tuples to sets of row ids; ``unique`` indexes enforce at
+most one row per key.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.db.errors import IntegrityError
+
+Key = tuple
+
+
+class _MaxKey:
+    """Sorts above every other value; closes prefix range bounds."""
+
+    _instance: Optional["_MaxKey"] = None
+
+    def __new__(cls) -> "_MaxKey":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MAX_KEY>"
+
+
+MAX_KEY = _MaxKey()
+
+
+def _rank(value) -> tuple:
+    """Total order over heterogeneous values: None < bool < numbers <
+    strings < other, with MAX_KEY above everything."""
+    if value is MAX_KEY:
+        return (9, "", 0.0, "")
+    if value is None:
+        return (0, "", 0.0, "")
+    if isinstance(value, bool):
+        return (1, "", float(value), "")
+    if isinstance(value, (int, float)):
+        return (2, "", float(value), "")
+    if isinstance(value, str):
+        return (3, "", 0.0, value)
+    return (4, type(value).__name__, 0.0, str(value))
+
+
+def _sortable(key: Key) -> tuple:
+    return tuple(_rank(v) for v in key)
+
+
+class HashIndex:
+    """Hash index from key tuples to row-id sets."""
+
+    def __init__(self, name: str, unique: bool = False) -> None:
+        self.name = name
+        self.unique = unique
+        self._map: dict[Key, set[int]] = {}
+        self._entries = 0
+
+    def insert(self, key: Key, rowid: int) -> None:
+        bucket = self._map.setdefault(key, set())
+        if self.unique and bucket and rowid not in bucket:
+            raise IntegrityError(
+                f"unique index {self.name!r} already has key {key!r}"
+            )
+        if rowid not in bucket:
+            bucket.add(rowid)
+            self._entries += 1
+
+    def delete(self, key: Key, rowid: int) -> None:
+        bucket = self._map.get(key)
+        if bucket is None or rowid not in bucket:
+            raise KeyError(f"index {self.name!r} has no entry {key!r}->{rowid}")
+        bucket.discard(rowid)
+        self._entries -= 1
+        if not bucket:
+            del self._map[key]
+
+    def lookup(self, key: Key) -> frozenset[int]:
+        return frozenset(self._map.get(key, frozenset()))
+
+    def contains(self, key: Key) -> bool:
+        return key in self._map
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return self._entries
+
+    def clear(self) -> None:
+        self._map.clear()
+        self._entries = 0
+
+
+class OrderedIndex:
+    """Sorted index supporting equality and range scans.
+
+    Keys are kept in a list sorted by a type-ranked encoding (so NULLs
+    and mixed types order deterministically, NULL first); each key maps
+    to a set of row ids.  Range scans yield row ids in key order, which
+    the planner uses to satisfy ``ORDER BY`` on the indexed column
+    without sorting.
+    """
+
+    def __init__(self, name: str, unique: bool = False) -> None:
+        self.name = name
+        self.unique = unique
+        # Sorted list of (sortable encoding, original key).
+        self._keys: list[tuple[tuple, Key]] = []
+        self._map: dict[Key, set[int]] = {}
+        self._entries = 0
+
+    def insert(self, key: Key, rowid: int) -> None:
+        bucket = self._map.get(key)
+        if bucket is None:
+            entry = (_sortable(key), key)
+            idx = bisect.bisect_left(self._keys, entry)
+            self._keys.insert(idx, entry)
+            bucket = self._map[key] = set()
+        elif self.unique and bucket and rowid not in bucket:
+            raise IntegrityError(
+                f"unique index {self.name!r} already has key {key!r}"
+            )
+        if rowid not in bucket:
+            bucket.add(rowid)
+            self._entries += 1
+
+    def delete(self, key: Key, rowid: int) -> None:
+        bucket = self._map.get(key)
+        if bucket is None or rowid not in bucket:
+            raise KeyError(f"index {self.name!r} has no entry {key!r}->{rowid}")
+        bucket.discard(rowid)
+        self._entries -= 1
+        if not bucket:
+            del self._map[key]
+            entry = (_sortable(key), key)
+            idx = bisect.bisect_left(self._keys, entry)
+            if idx < len(self._keys) and self._keys[idx][1] == key:
+                self._keys.pop(idx)
+
+    def lookup(self, key: Key) -> frozenset[int]:
+        return frozenset(self._map.get(key, frozenset()))
+
+    def contains(self, key: Key) -> bool:
+        return key in self._map
+
+    def range_scan(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        reverse: bool = False,
+    ) -> Iterator[int]:
+        """Yield row ids with keys in [low, high], in key order.
+
+        ``None`` bounds are open.  Prefix keys compare correctly against
+        longer stored keys via tuple ordering, so a single-column bound
+        works on a multi-column index; use :data:`MAX_KEY` as the last
+        element of ``high`` to make a prefix bound inclusive of all its
+        extensions.
+        """
+        if low is None:
+            start = 0
+        else:
+            bound = _sortable(low)
+            if low_inclusive:
+                start = bisect.bisect_left(self._keys, bound, key=lambda e: e[0])
+            else:
+                start = bisect.bisect_right(self._keys, bound, key=lambda e: e[0])
+        if high is None:
+            stop = len(self._keys)
+        else:
+            bound = _sortable(high)
+            if high_inclusive:
+                stop = bisect.bisect_right(self._keys, bound, key=lambda e: e[0])
+            else:
+                stop = bisect.bisect_left(self._keys, bound, key=lambda e: e[0])
+        selected = self._keys[start:stop]
+        if reverse:
+            selected = list(reversed(selected))
+        for _, key in selected:
+            # Sort row ids for determinism within duplicate keys.
+            for rowid in sorted(self._map[key]):
+                yield rowid
+
+    def keys(self) -> Iterator[Key]:
+        return (key for _, key in self._keys)
+
+    def min_key(self) -> Optional[Key]:
+        return self._keys[0][1] if self._keys else None
+
+    def max_key(self) -> Optional[Key]:
+        return self._keys[-1][1] if self._keys else None
+
+    def __len__(self) -> int:
+        return self._entries
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._map.clear()
+        self._entries = 0

@@ -1,0 +1,304 @@
+"""JDBC-like client API.
+
+Applications in the paper talk to MySQL through JDBC: connections,
+prepared statements with ``?`` parameters, and result sets.  This
+module provides the same surface over the in-memory engine.  The Pyxis
+partitioner pins all calls made through a :class:`Connection` to one
+partition (the JDBC driver holds unserializable native state, Section
+4.3), and the runtime charges a network round trip when the calling
+code runs on the application server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.db.engine import Database
+from repro.db.errors import ExecutionError, TransactionError
+from repro.db.sql.ast import Insert as InsertStmt, Select as SelectStmt
+from repro.db.sql.executor import Executor, StatementResult
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import Plan, Planner, SelectPlan
+from repro.db.txn import LockManager, Transaction
+
+
+class Row:
+    """One result row with access by column name or position."""
+
+    __slots__ = ("_columns", "_values")
+
+    def __init__(self, columns: Sequence[str], values: tuple) -> None:
+        self._columns = columns
+        self._values = values
+
+    def __getitem__(self, key: int | str) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        lowered = key.lower()
+        for i, name in enumerate(self._columns):
+            if name.lower() == lowered:
+                return self._values[i]
+        raise KeyError(key)
+
+    def get(self, key: int | str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except (KeyError, IndexError):
+            return default
+
+    def as_tuple(self) -> tuple:
+        return self._values
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self._columns, self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(
+            f"{c}={v!r}" for c, v in zip(self._columns, self._values)
+        )
+        return f"Row({pairs})"
+
+
+class ResultSet:
+    """A materialized query result with cursor-style and list-style access."""
+
+    def __init__(self, result: StatementResult) -> None:
+        self.columns = list(result.columns)
+        self._rows = [Row(self.columns, values) for values in result.rows]
+        self.rows_touched = result.rows_touched
+        self._cursor = -1
+
+    # -- cursor API (JDBC style) ----------------------------------------------
+
+    def next(self) -> bool:
+        if self._cursor + 1 < len(self._rows):
+            self._cursor += 1
+            return True
+        return False
+
+    def get(self, key: int | str) -> Any:
+        if self._cursor < 0:
+            raise ExecutionError("call next() before reading the result set")
+        return self._rows[self._cursor][key]
+
+    def rewind(self) -> None:
+        self._cursor = -1
+
+    # -- list API ---------------------------------------------------------------
+
+    @property
+    def rows(self) -> list[Row]:
+        return list(self._rows)
+
+    def first(self) -> Optional[Row]:
+        return self._rows[0] if self._rows else None
+
+    def one(self) -> Row:
+        if len(self._rows) != 1:
+            raise ExecutionError(
+                f"expected exactly one row, got {len(self._rows)}"
+            )
+        return self._rows[0]
+
+    def scalar(self) -> Any:
+        row = self.one()
+        if len(row) != 1:
+            raise ExecutionError(
+                f"expected exactly one column, got {len(row)}"
+            )
+        return row[0]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+
+# Observer signature: (kind, sql, rows_touched, result_rows)
+CallObserver = Callable[[str, str, int, int], None]
+
+
+class PreparedStatement:
+    """A parsed and planned statement, executable with ``?`` parameters."""
+
+    def __init__(self, connection: "Connection", sql: str, plan: Plan) -> None:
+        self.connection = connection
+        self.sql = sql
+        self.plan = plan
+
+    @property
+    def is_query(self) -> bool:
+        return isinstance(self.plan, SelectPlan)
+
+    def query(self, *params: Any) -> ResultSet:
+        if not self.is_query:
+            raise ExecutionError(f"not a query: {self.sql!r}")
+        return self.connection._run(self, params)  # noqa: SLF001
+
+    def update(self, *params: Any) -> int:
+        if self.is_query:
+            raise ExecutionError(f"not an update: {self.sql!r}")
+        result = self.connection._run(self, params)  # noqa: SLF001
+        return result
+
+    def execute(self, *params: Any) -> ResultSet | int:
+        return self.query(*params) if self.is_query else self.update(*params)
+
+
+class Connection:
+    """A client connection with a plan cache and transaction management.
+
+    ``autocommit`` mirrors JDBC: when no explicit transaction is open,
+    each statement commits immediately.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        lock_manager: Optional[LockManager] = None,
+        *,
+        use_locks: bool = False,
+    ) -> None:
+        self.database = database
+        self.lock_manager = (
+            lock_manager
+            if lock_manager is not None
+            else (LockManager() if use_locks else None)
+        )
+        self.planner = Planner(database)
+        self.executor = Executor(database)
+        self._plan_cache: dict[str, PreparedStatement] = {}
+        self._txn: Optional[Transaction] = None
+        self.observer: Optional[CallObserver] = None
+        self.closed = False
+        self.calls = 0
+
+    # -- statement preparation ------------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        self._check_open()
+        cached = self._plan_cache.get(sql)
+        if cached is not None:
+            return cached
+        stmt = parse(sql)
+        plan = self.planner.plan(stmt)
+        prepared = PreparedStatement(self, sql, plan)
+        self._plan_cache[sql] = prepared
+        return prepared
+
+    # -- execution ----------------------------------------------------------------
+
+    def _run(self, prepared: PreparedStatement, params: Sequence[Any]):
+        self._check_open()
+        self.calls += 1
+        auto = False
+        txn = self._txn
+        if txn is None and self.lock_manager is not None:
+            txn = Transaction(self.database, self.lock_manager)
+            auto = True
+        result = self.executor.execute(prepared.plan, params, txn)
+        if auto and txn is not None:
+            txn.commit()
+        if self.observer is not None:
+            kind = "query" if prepared.is_query else "update"
+            self.observer(
+                kind, prepared.sql, result.rows_touched, result.rowcount
+            )
+        if prepared.is_query:
+            return ResultSet(result)
+        return result.rowcount
+
+    def query(self, sql: str, *params: Any) -> ResultSet:
+        """Parse (cached), plan and run a SELECT."""
+        return self.prepare(sql).query(*params)
+
+    def query_one(self, sql: str, *params: Any) -> Row:
+        """Run a SELECT expected to return exactly one row."""
+        return self.query(sql, *params).one()
+
+    def query_scalar(self, sql: str, *params: Any) -> Any:
+        """Run a SELECT expected to return one row with one column."""
+        return self.query(sql, *params).scalar()
+
+    def execute(self, sql: str, *params: Any) -> int:
+        """Run an INSERT / UPDATE / DELETE; returns affected row count."""
+        prepared = self.prepare(sql)
+        if prepared.is_query:
+            raise ExecutionError(
+                f"use query() for SELECT statements: {sql!r}"
+            )
+        return prepared.update(*params)
+
+    # -- transactions ---------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        self._check_open()
+        if self._txn is not None:
+            raise TransactionError("a transaction is already open")
+        self._txn = Transaction(self.database, self.lock_manager)
+        return self._txn
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def commit(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no open transaction to commit")
+        self._txn.commit()
+        self._txn = None
+
+    def rollback(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no open transaction to roll back")
+        self._txn.rollback()
+        self._txn = None
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._txn is not None:
+            self._txn.rollback()
+            self._txn = None
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ExecutionError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def connect(
+    database: Database,
+    lock_manager: Optional[LockManager] = None,
+    *,
+    use_locks: bool = False,
+) -> Connection:
+    """Open a connection to ``database`` (the module-level entry point)."""
+    return Connection(database, lock_manager, use_locks=use_locks)

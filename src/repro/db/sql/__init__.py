@@ -1,0 +1,58 @@
+"""SQL front end: lexer, AST, parser, planner, executor.
+
+Supports the dialect used by the TPC-C / TPC-W workloads:
+
+* ``SELECT`` with projections, aggregates (COUNT/SUM/MIN/MAX/AVG),
+  inner joins, ``WHERE`` conjunctions/disjunctions of comparisons,
+  ``GROUP BY``, ``ORDER BY ... [DESC]``, ``LIMIT`` and ``FOR UPDATE``.
+* ``INSERT INTO ... VALUES``.
+* ``UPDATE ... SET col = expr [, ...] WHERE ...`` with arithmetic.
+* ``DELETE FROM ... WHERE ...``.
+* ``?`` positional parameters everywhere a literal is allowed.
+"""
+
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.db.sql.ast import (
+    Statement,
+    Select,
+    Insert,
+    Update,
+    Delete,
+    SelectItem,
+    TableRef,
+    Expr,
+    ColumnRef,
+    Literal,
+    Parameter,
+    BinaryOp,
+    FuncCall,
+    OrderItem,
+)
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import Planner, Plan
+from repro.db.sql.executor import Executor, StatementResult
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Statement",
+    "Select",
+    "Insert",
+    "Update",
+    "Delete",
+    "SelectItem",
+    "TableRef",
+    "Expr",
+    "ColumnRef",
+    "Literal",
+    "Parameter",
+    "BinaryOp",
+    "FuncCall",
+    "OrderItem",
+    "parse",
+    "Planner",
+    "Plan",
+    "Executor",
+    "StatementResult",
+]

@@ -1,0 +1,128 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.db.errors import SqlSyntaxError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PARAM = "param"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "insert", "into",
+    "values", "update", "set", "delete", "order", "by", "group",
+    "limit", "asc", "desc", "join", "inner", "on", "as", "for",
+    "distinct", "null", "true", "false", "like", "in", "between", "is",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "||")
+
+PUNCT = {"(", ")", ",", ".", ";"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.lower == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenKind.PARAM, "?", i))
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenKind.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # A dot not followed by a digit terminates the number
+                    # (e.g. table.column after an alias that looks numeric
+                    # can't happen, but be strict anyway).
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            kind = (
+                TokenKind.KEYWORD if word.lower() in KEYWORDS
+                else TokenKind.IDENTIFIER
+            )
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,421 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.errors import SqlSyntaxError
+from repro.db.sql.ast import (
+    Assignment,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Delete,
+    Expr,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    JoinClause,
+    Literal,
+    OrderItem,
+    Parameter,
+    Select,
+    SelectItem,
+    Statement,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+
+COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">=", "like"}
+ADDITIVE_OPS = {"+", "-", "||"}
+MULTIPLICATIVE_OPS = {"*", "/"}
+
+
+class _Parser:
+    """One-pass recursive-descent parser over the token list."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self._param_count = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check_keyword(self, word: str) -> bool:
+        return self.current.is_keyword(word)
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.check_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.check_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()!r}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def accept_punct(self, text: str) -> bool:
+        token = self.current
+        if token.kind is TokenKind.PUNCT and token.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> Token:
+        if not (self.current.kind is TokenKind.PUNCT and self.current.text == text):
+            raise SqlSyntaxError(
+                f"expected {text!r}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def accept_operator(self, text: str) -> bool:
+        token = self.current
+        if token.kind is TokenKind.OPERATOR and token.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect_identifier(self) -> str:
+        token = self.current
+        if token.kind is not TokenKind.IDENTIFIER:
+            raise SqlSyntaxError(
+                f"expected identifier, found {token.text!r}", token.position
+            )
+        self.advance()
+        return token.text
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.check_keyword("select"):
+            stmt: Statement = self.parse_select()
+        elif self.check_keyword("insert"):
+            stmt = self.parse_insert()
+        elif self.check_keyword("update"):
+            stmt = self.parse_update()
+        elif self.check_keyword("delete"):
+            stmt = self.parse_delete()
+        else:
+            raise SqlSyntaxError(
+                f"expected a statement, found {self.current.text!r}",
+                self.current.position,
+            )
+        self.accept_punct(";")
+        if self.current.kind is not TokenKind.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.text!r}",
+                self.current.position,
+            )
+        return stmt
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("from")
+        table = self.parse_table_ref()
+        joins: list[JoinClause] = []
+        while self.check_keyword("join") or self.check_keyword("inner"):
+            self.accept_keyword("inner")
+            self.expect_keyword("join")
+            join_table = self.parse_table_ref()
+            self.expect_keyword("on")
+            condition = self.parse_expr()
+            joins.append(JoinClause(join_table, condition))
+        where = self.parse_where()
+        group_by: list[Expr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+        limit: Optional[Expr] = None
+        if self.accept_keyword("limit"):
+            limit = self.parse_expr()
+        for_update = False
+        if self.accept_keyword("for"):
+            token = self.current
+            if token.kind is TokenKind.IDENTIFIER and token.lower == "update":
+                self.advance()
+                for_update = True
+            elif self.accept_keyword("update"):  # pragma: no cover
+                for_update = True
+            else:
+                raise SqlSyntaxError("expected UPDATE after FOR", token.position)
+        return Select(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+            for_update=for_update,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        if self.current.kind is TokenKind.OPERATOR and self.current.text == "*":
+            self.advance()
+            return SelectItem(expr=None, star=True)
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier()
+        elif self.current.kind is TokenKind.IDENTIFIER:
+            alias = self.expect_identifier()
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr=expr, descending=descending)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_identifier()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier()
+        elif self.current.kind is TokenKind.IDENTIFIER:
+            alias = self.expect_identifier()
+        return TableRef(name=name, alias=alias)
+
+    def parse_where(self) -> Optional[Expr]:
+        if self.accept_keyword("where"):
+            return self.parse_expr()
+        return None
+
+    def parse_insert(self) -> Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.parse_table_ref()
+        columns: list[str] = []
+        if self.accept_punct("("):
+            columns.append(self.expect_identifier())
+            while self.accept_punct(","):
+                columns.append(self.expect_identifier())
+            self.expect_punct(")")
+        self.expect_keyword("values")
+        self.expect_punct("(")
+        values = [self.parse_expr()]
+        while self.accept_punct(","):
+            values.append(self.parse_expr())
+        self.expect_punct(")")
+        return Insert(table=table, columns=tuple(columns), values=tuple(values))
+
+    def parse_update(self) -> Update:
+        self.expect_keyword("update")
+        table = self.parse_table_ref()
+        self.expect_keyword("set")
+        assignments = [self.parse_assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.parse_assignment())
+        where = self.parse_where()
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def parse_assignment(self) -> Assignment:
+        column = self.expect_identifier()
+        if not self.accept_operator("="):
+            raise SqlSyntaxError(
+                f"expected '=' in SET clause, found {self.current.text!r}",
+                self.current.position,
+            )
+        return Assignment(column=column, value=self.parse_expr())
+
+    def parse_delete(self) -> Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.parse_table_ref()
+        where = self.parse_where()
+        return Delete(table=table, where=where)
+
+    # -- expressions ----------------------------------------------------------
+    # Precedence (low to high): OR, AND, NOT, comparison, additive,
+    # multiplicative, unary minus, primary.
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            left = BinaryOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return UnaryOp("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        token = self.current
+        if token.kind is TokenKind.OPERATOR and token.text in COMPARISON_OPS:
+            self.advance()
+            op = "<>" if token.text == "!=" else token.text
+            return BinaryOp(op, left, self.parse_additive())
+        if self.check_keyword("like"):
+            self.advance()
+            return BinaryOp("like", left, self.parse_additive())
+        if self.check_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNull(left, negated=negated)
+        if self.check_keyword("between"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            return Between(left, low, high)
+        if self.check_keyword("in") or (
+            self.check_keyword("not") and self._peek_is_keyword(1, "in")
+        ):
+            negated = self.accept_keyword("not")
+            self.expect_keyword("in")
+            self.expect_punct("(")
+            options = [self.parse_expr()]
+            while self.accept_punct(","):
+                options.append(self.parse_expr())
+            self.expect_punct(")")
+            return InList(left, tuple(options), negated=negated)
+        return left
+
+    def _peek_is_keyword(self, offset: int, word: str) -> bool:
+        idx = self.pos + offset
+        if idx >= len(self.tokens):
+            return False
+        token = self.tokens[idx]
+        return token.kind is TokenKind.KEYWORD and token.lower == word
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while (
+            self.current.kind is TokenKind.OPERATOR
+            and self.current.text in ADDITIVE_OPS
+        ):
+            op = self.advance().text
+            left = BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while (
+            self.current.kind is TokenKind.OPERATOR
+            and self.current.text in MULTIPLICATIVE_OPS
+        ):
+            op = self.advance().text
+            left = BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.current.kind is TokenKind.OPERATOR and self.current.text == "-":
+            self.advance()
+            operand = self.parse_unary()
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.kind is TokenKind.PARAM:
+            self.advance()
+            param = Parameter(self._param_count)
+            self._param_count += 1
+            return param
+        if token.is_keyword("null"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Literal(False)
+        if token.kind is TokenKind.PUNCT and token.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.kind is TokenKind.IDENTIFIER:
+            name = self.expect_identifier()
+            if self.accept_punct("("):
+                return self.parse_call(name)
+            if self.accept_punct("."):
+                column = self.expect_identifier()
+                return ColumnRef(column=column, table=name)
+            return ColumnRef(column=name)
+        raise SqlSyntaxError(
+            f"unexpected token {token.text!r} in expression", token.position
+        )
+
+    def parse_call(self, name: str) -> Expr:
+        if (
+            self.current.kind is TokenKind.OPERATOR
+            and self.current.text == "*"
+        ):
+            self.advance()
+            self.expect_punct(")")
+            return FuncCall(name=name, star=True)
+        distinct = self.accept_keyword("distinct")
+        args: list[Expr] = []
+        if not self.accept_punct(")"):
+            args.append(self.parse_expr())
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+            self.expect_punct(")")
+        return FuncCall(name=name, args=tuple(args), distinct=distinct)
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement; raises :class:`SqlSyntaxError` on failure."""
+    return _Parser(sql).parse_statement()

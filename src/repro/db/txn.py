@@ -1,0 +1,328 @@
+"""Transactions: undo logging and strict two-phase locking.
+
+The paper's motivation is latency-sensitive *transactional* workloads
+("longer-latency transactions hold locks longer, which can severely
+limit maximum system throughput").  This module provides the
+transactional substrate: a lock manager with shared/exclusive table
+and row locks, lock upgrades, a wait-for graph with cycle-based
+deadlock detection, and transactions that roll back via undo records.
+
+Execution in the reproduction is single-threaded (concurrency effects
+are modeled by the queueing simulator), so the lock manager exposes a
+cooperative interface: :meth:`LockManager.acquire` either grants
+immediately, queues the request (returning ``False``), or raises
+:class:`DeadlockError` when queuing would create a wait-for cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Optional
+
+from repro.db.engine import Database, UndoRecord
+from repro.db.errors import DeadlockError, LockTimeoutError, TransactionError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class _LockState:
+    """Holders and waiters for one resource."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: deque = field(default_factory=deque)  # (txn_id, mode)
+
+    @property
+    def max_mode(self) -> Optional[LockMode]:
+        if not self.holders:
+            return None
+        if any(m is LockMode.EXCLUSIVE for m in self.holders.values()):
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+
+Resource = Hashable
+
+
+class LockManager:
+    """Table/row lock manager with deadlock detection.
+
+    Resources are arbitrary hashable values; the convention used by the
+    engine is ``("table", name)`` and ``("row", table, rowid)``.
+    """
+
+    def __init__(self) -> None:
+        self._locks: dict[Resource, _LockState] = {}
+        # wait-for edges: waiter txn -> set of holder txns
+        self._waits_for: dict[int, set[int]] = {}
+        self._held_by_txn: dict[int, set[Resource]] = {}
+        self.grant_callback: Optional[Callable[[int, Resource], None]] = None
+
+    # -- introspection ----------------------------------------------------------
+
+    def holders(self, resource: Resource) -> dict[int, LockMode]:
+        state = self._locks.get(resource)
+        return dict(state.holders) if state else {}
+
+    def held_by(self, txn_id: int) -> frozenset[Resource]:
+        return frozenset(self._held_by_txn.get(txn_id, frozenset()))
+
+    def waiting(self, resource: Resource) -> list[tuple[int, LockMode]]:
+        state = self._locks.get(resource)
+        return list(state.waiters) if state else []
+
+    def wait_for_edges(self) -> dict[int, frozenset[int]]:
+        return {k: frozenset(v) for k, v in self._waits_for.items() if v}
+
+    # -- acquisition --------------------------------------------------------------
+
+    def _can_grant(
+        self, state: _LockState, txn_id: int, mode: LockMode
+    ) -> bool:
+        others = {t: m for t, m in state.holders.items() if t != txn_id}
+        if not others:
+            return True
+        if mode is LockMode.SHARED:
+            return all(m is LockMode.SHARED for m in others.values())
+        return False
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode = LockMode.EXCLUSIVE,
+        *,
+        wait: bool = True,
+    ) -> bool:
+        """Request a lock.
+
+        Returns ``True`` if granted now.  If the lock conflicts and
+        ``wait`` is true, the request is queued and ``False`` returned,
+        unless queuing would create a deadlock, in which case
+        :class:`DeadlockError` is raised (the requester is the victim).
+        With ``wait=False`` a conflict raises :class:`LockTimeoutError`.
+        """
+        state = self._locks.setdefault(resource, _LockState())
+        held = state.holders.get(txn_id)
+        if held is not None:
+            if held is LockMode.EXCLUSIVE or held is mode:
+                return True  # reentrant
+            # Upgrade S -> X: allowed when sole holder.
+            if self._can_grant(state, txn_id, LockMode.EXCLUSIVE):
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                return True
+            return self._enqueue(txn_id, resource, mode, state, wait)
+        if self._can_grant(state, txn_id, mode):
+            state.holders[txn_id] = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            return True
+        return self._enqueue(txn_id, resource, mode, state, wait)
+
+    def _enqueue(
+        self,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode,
+        state: _LockState,
+        wait: bool,
+    ) -> bool:
+        blockers = {t for t in state.holders if t != txn_id}
+        if not wait:
+            raise LockTimeoutError(txn_id, resource)
+        self._waits_for.setdefault(txn_id, set()).update(blockers)
+        cycle = self._find_cycle(txn_id)
+        if cycle is not None:
+            self._waits_for[txn_id].difference_update(blockers)
+            if not self._waits_for[txn_id]:
+                del self._waits_for[txn_id]
+            raise DeadlockError(txn_id, cycle)
+        state.waiters.append((txn_id, mode))
+        return False
+
+    def _find_cycle(self, start: int) -> Optional[list[int]]:
+        """DFS over the wait-for graph looking for a cycle through start."""
+        path: list[int] = []
+        visited: set[int] = set()
+
+        def dfs(node: int) -> Optional[list[int]]:
+            if node in path:
+                return path[path.index(node):] + [node]
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            for nxt in sorted(self._waits_for.get(node, ())):
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+            path.pop()
+            return None
+
+        return dfs(start)
+
+    # -- release --------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> list[tuple[int, Resource]]:
+        """Release everything ``txn_id`` holds; grant eligible waiters.
+
+        Returns the list of (txn_id, resource) grants made, so a
+        cooperative scheduler can resume the lucky waiters.
+        """
+        grants: list[tuple[int, Resource]] = []
+        resources = self._held_by_txn.pop(txn_id, set())
+        for resource in list(resources):
+            state = self._locks.get(resource)
+            if state is None:
+                continue
+            state.holders.pop(txn_id, None)
+            grants.extend(self._grant_waiters(resource, state))
+            if not state.holders and not state.waiters:
+                del self._locks[resource]
+        # Remove wait-for edges pointing at the released transaction and
+        # any queued requests it had outstanding.
+        for waiter_edges in self._waits_for.values():
+            waiter_edges.discard(txn_id)
+        self._waits_for.pop(txn_id, None)
+        self._waits_for = {k: v for k, v in self._waits_for.items() if v}
+        for resource, state in list(self._locks.items()):
+            state.waiters = deque(
+                (t, m) for t, m in state.waiters if t != txn_id
+            )
+            if not state.holders and not state.waiters:
+                del self._locks[resource]
+        return grants
+
+    def _grant_waiters(
+        self, resource: Resource, state: _LockState
+    ) -> list[tuple[int, Resource]]:
+        grants: list[tuple[int, Resource]] = []
+        while state.waiters:
+            txn_id, mode = state.waiters[0]
+            if not self._can_grant(state, txn_id, mode):
+                break
+            state.waiters.popleft()
+            held = state.holders.get(txn_id)
+            if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+            else:
+                state.holders[txn_id] = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            edges = self._waits_for.get(txn_id)
+            if edges is not None:
+                edges.clear()
+                del self._waits_for[txn_id]
+            grants.append((txn_id, resource))
+            if self.grant_callback is not None:
+                self.grant_callback(txn_id, resource)
+            if mode is LockMode.EXCLUSIVE:
+                break
+        return grants
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction: undo log + lock set.
+
+    Obtained from :meth:`repro.db.jdbc.Connection.begin` (or created
+    directly in tests).  Strict 2PL: locks are held until commit or
+    rollback.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        database: Database,
+        lock_manager: Optional[LockManager] = None,
+        *,
+        wait_for_locks: bool = False,
+    ) -> None:
+        self.id = next(Transaction._ids)
+        self.database = database
+        self.lock_manager = lock_manager
+        self.wait_for_locks = wait_for_locks
+        self.state = TxnState.ACTIVE
+        self._undo: list[UndoRecord] = []
+
+    # -- lock helpers ------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.id} is {self.state.value}, not active"
+            )
+
+    def lock_table(self, table: str, *, exclusive: bool = True) -> None:
+        self._check_active()
+        if self.lock_manager is None:
+            return
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        granted = self.lock_manager.acquire(
+            self.id, ("table", table.lower()), mode, wait=self.wait_for_locks
+        )
+        if not granted:
+            raise LockTimeoutError(self.id, ("table", table.lower()))
+
+    def lock_row(self, table: str, rowid: int, *, exclusive: bool = True) -> None:
+        self._check_active()
+        if self.lock_manager is None:
+            return
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        resource = ("row", table.lower(), rowid)
+        granted = self.lock_manager.acquire(
+            self.id, resource, mode, wait=self.wait_for_locks
+        )
+        if not granted:
+            raise LockTimeoutError(self.id, resource)
+
+    # -- undo ---------------------------------------------------------------------
+
+    def record_undo(self, record: UndoRecord) -> None:
+        self._check_active()
+        self._undo.append(record)
+
+    @property
+    def undo_depth(self) -> int:
+        return len(self._undo)
+
+    # -- outcome ---------------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._check_active()
+        self._undo.clear()
+        self.state = TxnState.COMMITTED
+        if self.lock_manager is not None:
+            self.lock_manager.release_all(self.id)
+
+    def rollback(self) -> None:
+        self._check_active()
+        for record in reversed(self._undo):
+            self.database.table(record.table).undo(record)
+        self._undo.clear()
+        self.state = TxnState.ABORTED
+        if self.lock_manager is not None:
+            self.lock_manager.release_all(self.id)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()

@@ -1,0 +1,97 @@
+"""Application-language front end.
+
+The paper partitions Java/JDBC applications.  The reproduction's
+applications are written in a Java-like subset of Python: classes whose
+methods use ``self.db`` (a :class:`repro.db.jdbc.Connection`) for
+database access.  This package parses that subset into a normalized IR
+on which all static analyses, profiling and code generation operate:
+
+* :mod:`repro.lang.ir` -- the IR node classes,
+* :mod:`repro.lang.parser` -- Python ``ast`` -> IR,
+* :mod:`repro.lang.normalizer` -- three-address normalization,
+* :mod:`repro.lang.cfg` -- per-method control-flow graphs,
+* :mod:`repro.lang.interp` -- a direct IR interpreter (profiling
+  substrate and correctness oracle),
+* :mod:`repro.lang.pretty` -- IR and PyxIL pretty printing.
+
+Dynamism note: constructs outside the subset (closures, dynamic
+attribute names, ``eval``, comprehensions over arbitrary generators,
+and so on) raise :class:`repro.lang.errors.UnsupportedConstructError`
+at parse time rather than degrading analysis soundness silently.
+"""
+
+from repro.lang.errors import FrontEndError, UnsupportedConstructError
+from repro.lang.ir import (
+    Atom,
+    Const,
+    VarRef,
+    BinExpr,
+    UnaryExpr,
+    FieldGet,
+    IndexGet,
+    CallExpr,
+    CallKind,
+    ListLiteral,
+    Assign,
+    VarLV,
+    FieldLV,
+    IndexLV,
+    ExprStmt,
+    If,
+    While,
+    ForEach,
+    Return,
+    Break,
+    Continue,
+    Block,
+    FunctionIR,
+    ClassIR,
+    ProgramIR,
+)
+from repro.lang.parser import parse_class, parse_program, parse_source
+from repro.lang.normalizer import normalize_program
+from repro.lang.cfg import CFG, CFGNode, build_cfg
+from repro.lang.interp import IRInterpreter, NativeRegistry, default_natives
+from repro.lang.pretty import format_program, format_function
+
+__all__ = [
+    "FrontEndError",
+    "UnsupportedConstructError",
+    "Atom",
+    "Const",
+    "VarRef",
+    "BinExpr",
+    "UnaryExpr",
+    "FieldGet",
+    "IndexGet",
+    "CallExpr",
+    "CallKind",
+    "ListLiteral",
+    "Assign",
+    "VarLV",
+    "FieldLV",
+    "IndexLV",
+    "ExprStmt",
+    "If",
+    "While",
+    "ForEach",
+    "Return",
+    "Break",
+    "Continue",
+    "Block",
+    "FunctionIR",
+    "ClassIR",
+    "ProgramIR",
+    "parse_class",
+    "parse_program",
+    "parse_source",
+    "normalize_program",
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "IRInterpreter",
+    "NativeRegistry",
+    "default_natives",
+    "format_program",
+    "format_function",
+]

@@ -1,0 +1,29 @@
+"""Front-end error types."""
+
+from __future__ import annotations
+
+
+class FrontEndError(Exception):
+    """Base class for language front-end errors."""
+
+
+class UnsupportedConstructError(FrontEndError):
+    """The source uses a construct outside the analyzable subset.
+
+    The paper's analysis is conservative; rather than risk unsound
+    dependence information under Python's dynamism, the front end
+    rejects anything it cannot analyze (see DESIGN.md, substitution
+    table).
+    """
+
+    def __init__(self, construct: str, line: int | None = None) -> None:
+        self.construct = construct
+        self.line = line
+        suffix = f" (line {line})" if line is not None else ""
+        super().__init__(
+            f"unsupported construct for partitioning: {construct}{suffix}"
+        )
+
+
+class IRValidationError(FrontEndError):
+    """The IR violates a structural invariant (internal error)."""

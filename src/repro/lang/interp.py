@@ -1,0 +1,448 @@
+"""Direct IR interpreter.
+
+Executes the normalized IR against a real database connection.  Three
+consumers share this interpreter:
+
+1. the **profiler** -- hooks count statement executions and measure
+   assigned-value sizes (Section 4.1 of the paper);
+2. the **correctness oracle** -- tests compare the partitioned
+   runtime's results and database state against this interpreter's;
+3. the **JDBC baseline** -- the unpartitioned implementation whose
+   trace has one round trip per DB call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.db.jdbc import Connection, ResultSet, Row
+from repro.lang.errors import FrontEndError
+from repro.lang.ir import (
+    Assign,
+    Atom,
+    BinExpr,
+    Block,
+    Break,
+    CallExpr,
+    CallKind,
+    ClassIR,
+    Const,
+    Continue,
+    Expr,
+    ExprStmt,
+    FieldGet,
+    FieldLV,
+    ForEach,
+    FunctionIR,
+    If,
+    IndexGet,
+    IndexLV,
+    ListLiteral,
+    ProgramIR,
+    Return,
+    Stmt,
+    UnaryExpr,
+    VarLV,
+    VarRef,
+    While,
+)
+
+
+class InterpError(FrontEndError):
+    """Runtime failure while interpreting IR."""
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+@dataclass
+class InterpObject:
+    """An instance of a partitioned class in the oracle interpreter."""
+
+    class_name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.class_name} {self.fields}>"
+
+
+def sha1_hex(value: Any) -> str:
+    """SHA-1 digest of ``str(value)`` -- the paper's compute-heavy native."""
+    return hashlib.sha1(str(value).encode("utf-8")).hexdigest()
+
+
+class NativeRegistry:
+    """Whitelisted native functions callable from partitioned code."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, Callable[..., Any]] = {}
+        self.console: list[str] = []
+
+    def register(self, name: str, func: Callable[..., Any]) -> None:
+        self._functions[name] = func
+
+    def call(self, name: str, args: Sequence[Any]) -> Any:
+        func = self._functions.get(name)
+        if func is None:
+            raise InterpError(f"unknown native function {name!r}")
+        return func(*args)
+
+    def has(self, name: str) -> bool:
+        return name in self._functions
+
+
+def default_natives() -> NativeRegistry:
+    """Registry with the standard native set (see parser whitelist)."""
+    registry = NativeRegistry()
+    registry.register("len", len)
+    registry.register("range", lambda *a: list(range(*map(int, a))))
+    registry.register("abs", abs)
+    registry.register("min", min)
+    registry.register("max", max)
+    registry.register("sum", sum)
+    registry.register("int", int)
+    registry.register("float", float)
+    registry.register("str", str)
+    registry.register("bool", bool)
+    registry.register("round", round)
+    registry.register("sha1_hex", sha1_hex)
+    registry.register("new_list", lambda n: [None] * int(n))
+    registry.register("sorted_list", lambda xs: sorted(xs))
+    registry.register("concat", lambda *parts: "".join(str(p) for p in parts))
+
+    def _print(*args: Any) -> None:
+        registry.console.append(" ".join(str(a) for a in args))
+
+    registry.register("print", _print)
+    return registry
+
+
+# Hook signatures.
+StmtHook = Callable[[Stmt], None]
+AssignHook = Callable[[Stmt, Any, dict], None]
+DbHook = Callable[[Stmt, str, int, Any], None]
+CallHook = Callable[[Stmt, CallExpr, list, Any], None]
+
+
+class IRInterpreter:
+    """Interprets a :class:`ProgramIR` with optional profiling hooks."""
+
+    def __init__(
+        self,
+        program: ProgramIR,
+        connection: Connection,
+        natives: Optional[NativeRegistry] = None,
+        *,
+        on_stmt: Optional[StmtHook] = None,
+        on_assign: Optional[AssignHook] = None,
+        on_db_call: Optional[DbHook] = None,
+        on_call: Optional[CallHook] = None,
+        max_steps: int = 50_000_000,
+    ) -> None:
+        self.program = program
+        self.connection = connection
+        self.natives = natives if natives is not None else default_natives()
+        self.on_stmt = on_stmt
+        self.on_assign = on_assign
+        self.on_db_call = on_db_call
+        self.on_call = on_call
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # -- entry points -----------------------------------------------------------
+
+    def new_instance(self, class_name: str, *args: Any) -> InterpObject:
+        """Instantiate a partitioned class (runs ``__init__`` if present)."""
+        cls = self._class(class_name)
+        obj = InterpObject(class_name)
+        init = cls.methods.get("__init__")
+        if init is not None:
+            self.call_method(obj, "__init__", list(args))
+        return obj
+
+    def call_method(
+        self, obj: InterpObject, method: str, args: Sequence[Any]
+    ) -> Any:
+        cls = self._class(obj.class_name)
+        func = cls.methods.get(method)
+        if func is None:
+            raise InterpError(f"{obj.class_name} has no method {method!r}")
+        if len(args) != len(func.params):
+            raise InterpError(
+                f"{func.qualified_name} expects {len(func.params)} args, "
+                f"got {len(args)}"
+            )
+        env: dict[str, Any] = {"self": obj}
+        env.update(dict(zip(func.params, args)))
+        try:
+            self._exec_block(func.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def invoke(self, class_name: str, method: str, *args: Any) -> Any:
+        """Create a fresh instance and invoke ``method`` on it."""
+        obj = self.new_instance(class_name)
+        return self.call_method(obj, method, list(args))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _class(self, name: str) -> ClassIR:
+        cls = self.program.classes.get(name)
+        if cls is None:
+            raise InterpError(f"unknown class {name!r}")
+        return cls
+
+    def _tick(self, stmt: Stmt) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise InterpError(
+                f"interpreter exceeded max_steps={self.max_steps}"
+            )
+        if self.on_stmt is not None:
+            self.on_stmt(stmt)
+
+    def _exec_block(self, block: Block, env: dict[str, Any]) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: Stmt, env: dict[str, Any]) -> None:
+        self._tick(stmt)
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.value, env, stmt)
+            self._store(stmt.target, value, env)
+            if self.on_assign is not None:
+                self.on_assign(stmt, value, env)
+            return
+        if isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr, env, stmt)
+            return
+        if isinstance(stmt, If):
+            if self._truthy(self._eval(stmt.cond, env, stmt)):
+                self._exec_block(stmt.then, env)
+            else:
+                self._exec_block(stmt.orelse, env)
+            return
+        if isinstance(stmt, While):
+            while True:
+                self._exec_block(stmt.header, env)
+                self._tick(stmt)
+                if not self._truthy(self._eval(stmt.cond, env, stmt)):
+                    break
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            return
+        if isinstance(stmt, ForEach):
+            iterable = self._eval(stmt.iterable, env, stmt)
+            if isinstance(iterable, ResultSet):
+                iterable = iterable.rows
+            if not isinstance(iterable, (list, tuple)):
+                raise InterpError(
+                    f"cannot iterate over {type(iterable).__name__} "
+                    f"(sid={stmt.sid})"
+                )
+            for element in list(iterable):
+                self._tick(stmt)
+                env[stmt.var] = element
+                if self.on_assign is not None:
+                    self.on_assign(stmt, element, env)
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            return
+        if isinstance(stmt, Return):
+            value = (
+                self._eval(stmt.value, env, stmt)
+                if stmt.value is not None
+                else None
+            )
+            raise _ReturnSignal(value)
+        if isinstance(stmt, Break):
+            raise _BreakSignal()
+        if isinstance(stmt, Continue):
+            raise _ContinueSignal()
+        raise InterpError(f"cannot execute {type(stmt).__name__}")
+
+    def _store(self, target, value: Any, env: dict[str, Any]) -> None:
+        if isinstance(target, VarLV):
+            env[target.name] = value
+            return
+        if isinstance(target, FieldLV):
+            obj = self._eval(target.obj, env, None)
+            if not isinstance(obj, InterpObject):
+                raise InterpError(
+                    f"field write on non-object {type(obj).__name__}"
+                )
+            obj.fields[target.field] = value
+            return
+        if isinstance(target, IndexLV):
+            container = self._eval(target.obj, env, None)
+            index = self._eval(target.index, env, None)
+            container[index] = value
+            return
+        raise InterpError(f"cannot store to {type(target).__name__}")
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        return bool(value)
+
+    def _eval(self, expr: Expr, env: dict[str, Any], stmt: Optional[Stmt]) -> Any:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, VarRef):
+            if expr.name not in env:
+                raise InterpError(f"unbound variable {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, BinExpr):
+            left = self._eval(expr.left, env, stmt)
+            right = self._eval(expr.right, env, stmt)
+            return _apply_binop(expr.op, left, right)
+        if isinstance(expr, UnaryExpr):
+            operand = self._eval(expr.operand, env, stmt)
+            return -operand if expr.op == "-" else not operand
+        if isinstance(expr, FieldGet):
+            obj = self._eval(expr.obj, env, stmt)
+            if isinstance(obj, InterpObject):
+                if expr.field not in obj.fields:
+                    raise InterpError(
+                        f"{obj.class_name} has no field {expr.field!r} yet"
+                    )
+                return obj.fields[expr.field]
+            raise InterpError(
+                f"field read on non-object {type(obj).__name__}"
+            )
+        if isinstance(expr, IndexGet):
+            container = self._eval(expr.obj, env, stmt)
+            index = self._eval(expr.index, env, stmt)
+            if isinstance(container, (Row, ResultSet)):
+                return container[index]
+            return container[index]
+        if isinstance(expr, ListLiteral):
+            return [self._eval(e, env, stmt) for e in expr.elements]
+        if isinstance(expr, CallExpr):
+            return self._call(expr, env, stmt)
+        raise InterpError(f"cannot evaluate {type(expr).__name__}")
+
+    def _call(self, expr: CallExpr, env: dict[str, Any], stmt: Optional[Stmt]) -> Any:
+        args = [self._eval(a, env, stmt) for a in expr.args]
+        result = self._dispatch_call(expr, args, env, stmt)
+        if self.on_call is not None and stmt is not None:
+            self.on_call(stmt, expr, args, result)
+        return result
+
+    def _dispatch_call(
+        self,
+        expr: CallExpr,
+        args: list[Any],
+        env: dict[str, Any],
+        stmt: Optional[Stmt],
+    ) -> Any:
+        if expr.kind is CallKind.DB:
+            return self._db_call(expr.name, args, stmt)
+        if expr.kind is CallKind.NATIVE:
+            return self.natives.call(expr.name, args)
+        if expr.kind is CallKind.NATIVE_METHOD:
+            assert expr.target is not None
+            receiver = self._eval(expr.target, env, stmt)
+            if isinstance(receiver, InterpObject):
+                return self.call_method(receiver, expr.name, args)
+            method = getattr(receiver, expr.name, None)
+            if method is None:
+                if expr.name == "size":
+                    return len(receiver)
+                raise InterpError(
+                    f"{type(receiver).__name__} has no method {expr.name!r}"
+                )
+            return method(*args)
+        if expr.kind is CallKind.METHOD:
+            assert expr.target is not None
+            receiver = self._eval(expr.target, env, stmt)
+            if not isinstance(receiver, InterpObject):
+                raise InterpError(
+                    f"method call on non-object {type(receiver).__name__}"
+                )
+            return self.call_method(receiver, expr.name, args)
+        if expr.kind is CallKind.ALLOC_LIST:
+            if expr.name == "repeat":
+                elem, count = args
+                return [elem] * int(count)
+            raise InterpError(f"unknown list allocation {expr.name!r}")
+        if expr.kind is CallKind.ALLOC_OBJECT:
+            return self.new_instance(expr.name, *args)
+        raise InterpError(f"unknown call kind {expr.kind}")
+
+    def _db_call(self, api: str, args: list[Any], stmt: Optional[Stmt]) -> Any:
+        if not args or not isinstance(args[0], str):
+            raise InterpError("DB API calls need a SQL string first argument")
+        sql, params = args[0], args[1:]
+        if api == "query":
+            result: Any = self.connection.query(sql, *params)
+            touched = result.rows_touched
+        elif api == "query_one":
+            rs = self.connection.query(sql, *params)
+            result = rs.one()
+            touched = rs.rows_touched
+        elif api == "query_scalar":
+            rs = self.connection.query(sql, *params)
+            result = rs.scalar()
+            touched = rs.rows_touched
+        elif api == "execute":
+            result = self.connection.execute(sql, *params)
+            touched = max(int(result), 1)
+        else:
+            raise InterpError(f"unknown DB API {api!r}")
+        if self.on_db_call is not None and stmt is not None:
+            self.on_db_call(stmt, api, touched, result)
+        return result
+
+
+def _apply_binop(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "//":
+        return left // right
+    if op == "%":
+        return left % right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "and":
+        return bool(left) and bool(right)
+    if op == "or":
+        return bool(left) or bool(right)
+    raise InterpError(f"unknown operator {op!r}")

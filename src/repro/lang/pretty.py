@@ -1,0 +1,152 @@
+"""IR pretty printing (debugging aid and PyxIL-style listings)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.lang.ir import (
+    Assign,
+    BinExpr,
+    Block,
+    Break,
+    CallExpr,
+    Const,
+    Continue,
+    Expr,
+    ExprStmt,
+    FieldGet,
+    FieldLV,
+    ForEach,
+    FunctionIR,
+    If,
+    IndexGet,
+    IndexLV,
+    ListLiteral,
+    ProgramIR,
+    Return,
+    Stmt,
+    UnaryExpr,
+    VarLV,
+    VarRef,
+    While,
+)
+
+# Optional annotation callback: sid -> prefix string (e.g. ":APP:").
+Annotator = Callable[[int], str]
+
+
+def format_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, BinExpr):
+        return f"{format_expr(expr.left)} {expr.op} {format_expr(expr.right)}"
+    if isinstance(expr, UnaryExpr):
+        spacer = " " if expr.op == "not" else ""
+        return f"{expr.op}{spacer}{format_expr(expr.operand)}"
+    if isinstance(expr, FieldGet):
+        return f"{format_expr(expr.obj)}.{expr.field}"
+    if isinstance(expr, IndexGet):
+        return f"{format_expr(expr.obj)}[{format_expr(expr.index)}]"
+    if isinstance(expr, ListLiteral):
+        inner = ", ".join(format_expr(e) for e in expr.elements)
+        return f"[{inner}]"
+    if isinstance(expr, CallExpr):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        prefix = ""
+        if expr.target is not None:
+            prefix = f"{format_expr(expr.target)}."
+        tag = {
+            "db": "db.",
+            "alloc_list": "new:",
+            "alloc_object": "new ",
+        }.get(expr.kind.value, "")
+        return f"{prefix}{tag}{expr.name}({args})"
+    return repr(expr)
+
+
+def _format_lvalue(target) -> str:
+    if isinstance(target, VarLV):
+        return target.name
+    if isinstance(target, FieldLV):
+        return f"{format_expr(target.obj)}.{target.field}"
+    if isinstance(target, IndexLV):
+        return f"{format_expr(target.obj)}[{format_expr(target.index)}]"
+    return repr(target)
+
+
+def format_stmt(
+    stmt: Stmt,
+    indent: int = 0,
+    annotate: Optional[Annotator] = None,
+) -> list[str]:
+    pad = "  " * indent
+    prefix = f"{annotate(stmt.sid)} " if annotate else ""
+    sid = f"[{stmt.sid}] "
+    lines: list[str] = []
+    if isinstance(stmt, Assign):
+        lines.append(
+            f"{pad}{prefix}{sid}{_format_lvalue(stmt.target)} = "
+            f"{format_expr(stmt.value)}"
+        )
+    elif isinstance(stmt, ExprStmt):
+        lines.append(f"{pad}{prefix}{sid}{format_expr(stmt.expr)}")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}{prefix}{sid}if {format_expr(stmt.cond)}:")
+        for inner in stmt.then.stmts:
+            lines.extend(format_stmt(inner, indent + 1, annotate))
+        if stmt.orelse.stmts:
+            lines.append(f"{pad}else:")
+            for inner in stmt.orelse.stmts:
+                lines.extend(format_stmt(inner, indent + 1, annotate))
+    elif isinstance(stmt, While):
+        if stmt.header.stmts:
+            lines.append(f"{pad}# loop header:")
+            for inner in stmt.header.stmts:
+                lines.extend(format_stmt(inner, indent + 1, annotate))
+        lines.append(f"{pad}{prefix}{sid}while {format_expr(stmt.cond)}:")
+        for inner in stmt.body.stmts:
+            lines.extend(format_stmt(inner, indent + 1, annotate))
+    elif isinstance(stmt, ForEach):
+        lines.append(
+            f"{pad}{prefix}{sid}for {stmt.var} in "
+            f"{format_expr(stmt.iterable)}:"
+        )
+        for inner in stmt.body.stmts:
+            lines.extend(format_stmt(inner, indent + 1, annotate))
+    elif isinstance(stmt, Return):
+        value = f" {format_expr(stmt.value)}" if stmt.value is not None else ""
+        lines.append(f"{pad}{prefix}{sid}return{value}")
+    elif isinstance(stmt, Break):
+        lines.append(f"{pad}{prefix}{sid}break")
+    elif isinstance(stmt, Continue):
+        lines.append(f"{pad}{prefix}{sid}continue")
+    else:  # pragma: no cover - defensive
+        lines.append(f"{pad}{prefix}{sid}{stmt!r}")
+    return lines
+
+
+def format_function(
+    func: FunctionIR, annotate: Optional[Annotator] = None
+) -> str:
+    header = f"def {func.qualified_name}({', '.join(func.params)}):"
+    lines = [header]
+    for stmt in func.body.stmts:
+        lines.extend(format_stmt(stmt, 1, annotate))
+    if not func.body.stmts:
+        lines.append("  pass")
+    return "\n".join(lines)
+
+
+def format_program(
+    program: ProgramIR, annotate: Optional[Annotator] = None
+) -> str:
+    sections: list[str] = []
+    for cls in program.classes.values():
+        fields = ", ".join(cls.fields) if cls.fields else "(none)"
+        sections.append(f"class {cls.name}:  # fields: {fields}")
+        for func in cls.methods.values():
+            body = format_function(func, annotate)
+            sections.append("\n".join("  " + ln for ln in body.splitlines()))
+    return "\n\n".join(sections)

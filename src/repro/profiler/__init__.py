@@ -1,0 +1,19 @@
+"""Dynamic profiling (Section 4.1 of the paper).
+
+Statements are instrumented to count executions; assignments are
+instrumented to measure the average size of the assigned values.  The
+collected :class:`~repro.profiler.profile_data.ProfileData` sets the
+node and edge weights of the partition graph.
+"""
+
+from repro.profiler.sizes import estimate_size
+from repro.profiler.profile_data import ProfileData, SizeStat
+from repro.profiler.instrument import Profiler, profile_program
+
+__all__ = [
+    "estimate_size",
+    "ProfileData",
+    "SizeStat",
+    "Profiler",
+    "profile_program",
+]

@@ -1,0 +1,96 @@
+"""Profiling instrumentation over the IR interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.db.jdbc import Connection
+from repro.lang.interp import InterpObject, IRInterpreter, NativeRegistry
+from repro.lang.ir import Assign, CallExpr, FieldLV, ProgramIR, Stmt
+from repro.profiler.profile_data import ProfileData
+from repro.profiler.sizes import estimate_size
+
+
+class Profiler:
+    """Runs a program under instrumentation, producing a ProfileData.
+
+    Usage::
+
+        profiler = Profiler(program, connection)
+        for params in workload:
+            profiler.invoke("Order", "place_order", *params)
+        profile = profiler.data
+    """
+
+    def __init__(
+        self,
+        program: ProgramIR,
+        connection: Connection,
+        natives: Optional[NativeRegistry] = None,
+    ) -> None:
+        self.program = program
+        self.data = ProfileData()
+        self.interpreter = IRInterpreter(
+            program,
+            connection,
+            natives=natives,
+            on_stmt=self._on_stmt,
+            on_assign=self._on_assign,
+            on_db_call=self._on_db_call,
+            on_call=self._on_call,
+        )
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _on_stmt(self, stmt: Stmt) -> None:
+        self.data.record_stmt(stmt.sid)
+
+    def _on_assign(self, stmt: Stmt, value: Any, env: dict) -> None:
+        size = estimate_size(value)
+        self.data.record_assign(stmt.sid, size)
+        if isinstance(stmt, Assign) and isinstance(stmt.target, FieldLV):
+            from repro.lang.ir import VarRef
+
+            obj_atom = stmt.target.obj
+            if isinstance(obj_atom, VarRef):
+                obj = env.get(obj_atom.name)
+                if isinstance(obj, InterpObject):
+                    self.data.record_field(
+                        obj.class_name, stmt.target.field, size
+                    )
+
+    def _on_db_call(self, stmt: Stmt, api: str, rows: int, result: Any) -> None:
+        self.data.record_db(stmt.sid, rows)
+
+    def _on_call(
+        self, stmt: Stmt, expr: CallExpr, args: list, result: Any
+    ) -> None:
+        args_size = sum(estimate_size(a) for a in args)
+        result_size = estimate_size(result)
+        self.data.record_call(stmt.sid, args_size, result_size)
+
+    # -- driving ----------------------------------------------------------------
+
+    def invoke(self, class_name: str, method: str, *args: Any) -> Any:
+        """Profile one entry-point invocation on a fresh instance."""
+        self.data.invocations += 1
+        return self.interpreter.invoke(class_name, method, *args)
+
+    def call(self, obj: InterpObject, method: str, *args: Any) -> Any:
+        self.data.invocations += 1
+        return self.interpreter.call_method(obj, method, list(args))
+
+    def new_instance(self, class_name: str, *args: Any) -> InterpObject:
+        return self.interpreter.new_instance(class_name, *args)
+
+
+def profile_program(
+    program: ProgramIR,
+    connection: Connection,
+    workload: Callable[[Profiler], None],
+    natives: Optional[NativeRegistry] = None,
+) -> ProfileData:
+    """Profile ``program`` by running ``workload`` against a Profiler."""
+    profiler = Profiler(program, connection, natives=natives)
+    workload(profiler)
+    return profiler.data

@@ -1,0 +1,54 @@
+"""Serialized-size estimation.
+
+Sizes drive the bandwidth term of data-edge weights
+(``size(src) / BW * cnt(e)``, Section 4.2) and the byte accounting of
+control-transfer messages.  The model approximates a compact binary
+wire format rather than Python's in-memory object sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Fixed overhead per heap object reference shipped across the wire.
+REF_SIZE = 8
+CONTAINER_OVERHEAD = 16
+
+
+def estimate_size(value: Any) -> int:
+    """Estimated wire size of ``value`` in bytes."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return CONTAINER_OVERHEAD + len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        return CONTAINER_OVERHEAD + sum(estimate_size(v) for v in value)
+    if isinstance(value, dict):
+        return CONTAINER_OVERHEAD + sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    # JDBC result rows / result sets.
+    from repro.db.jdbc import ResultSet, Row
+
+    if isinstance(value, Row):
+        return CONTAINER_OVERHEAD + sum(
+            estimate_size(v) for v in value.as_tuple()
+        )
+    if isinstance(value, ResultSet):
+        return CONTAINER_OVERHEAD + sum(
+            estimate_size(row) for row in value.rows
+        )
+    from repro.lang.interp import InterpObject
+
+    if isinstance(value, InterpObject):
+        return CONTAINER_OVERHEAD + sum(
+            estimate_size(v) for v in value.fields.values()
+        )
+    # Opaque objects travel as references.
+    return REF_SIZE

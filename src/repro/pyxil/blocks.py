@@ -1,0 +1,138 @@
+"""Execution blocks (Section 5.1).
+
+Each method compiles to a set of straight-line blocks; each block runs
+entirely on one server and ends with a terminator naming the next
+block -- continuation-passing style, exactly like the paper's Fig. 7.
+The runtime regains control after every block, transferring control to
+the peer runtime whenever the next block's placement differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.partition_graph import Placement
+from repro.lang.ir import Atom, Expr, LValue
+
+
+@dataclass
+class OpAssign:
+    """Evaluate ``value`` and store into ``target`` (None = discard).
+
+    ``value`` may be any normalized IR expression except METHOD and
+    ALLOC_OBJECT calls (those become :class:`TCall` terminators).
+    ``sid`` ties the op back to its source statement for CPU
+    accounting and tracing; compiler-introduced ops reuse the sid of
+    the construct they lower (e.g. loop bookkeeping uses the loop sid).
+    """
+
+    target: Optional[LValue]
+    value: Expr
+    sid: int
+
+
+@dataclass
+class TGoto:
+    target: int
+
+
+@dataclass
+class TBranch:
+    cond: Atom
+    then_target: int
+    else_target: int
+    sid: int
+
+
+@dataclass
+class TCall:
+    """Call a partitioned method: push a frame, jump to its entry block.
+
+    ``receiver`` evaluates to the target object (or None when the call
+    allocates: the runtime then creates the object first).  On return,
+    the callee's TReturn pops the frame and stores the value into
+    ``result`` in the caller frame, continuing at ``return_target``.
+    """
+
+    callee: str  # qualified method name
+    receiver: Optional[Atom]
+    args: tuple[Atom, ...]
+    result: Optional[LValue]
+    return_target: int
+    sid: int
+    alloc_class: Optional[str] = None  # set for constructor calls
+    alloc_sid: Optional[int] = None
+
+
+@dataclass
+class TReturn:
+    value: Optional[Atom]
+
+
+@dataclass
+class THalt:
+    value: Optional[Atom] = None
+
+
+Terminator = Union[TGoto, TBranch, TCall, TReturn, THalt]
+
+
+@dataclass
+class ExecutionBlock:
+    """A straight-line run of ops on one server."""
+
+    bid: int
+    placement: Placement
+    label: str = ""
+    ops: list[OpAssign] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def describe(self) -> str:
+        where = "APP" if self.placement is Placement.APP else "DB"
+        return f"block {self.bid} [{where}] {self.label} ({len(self.ops)} ops)"
+
+
+@dataclass
+class CompiledProgram:
+    """All blocks for one partitioning, plus placement metadata."""
+
+    name: str
+    blocks: dict[int, ExecutionBlock] = field(default_factory=dict)
+    entries: dict[str, int] = field(default_factory=dict)  # method -> bid
+    # Placement metadata consumed by the runtime heap.
+    field_placements: dict[tuple[str, str], Placement] = field(
+        default_factory=dict
+    )
+    array_placements: dict[int, Placement] = field(default_factory=dict)
+    # Which heap locations ship with control transfers (sync plan).
+    field_ships: dict[tuple[str, str], bool] = field(default_factory=dict)
+    array_ships: dict[int, bool] = field(default_factory=dict)
+    # Method signatures: qualified name -> parameter list.
+    params: dict[str, list[str]] = field(default_factory=dict)
+    classes: dict[str, list[str]] = field(default_factory=dict)
+
+    def entry_of(self, class_name: str, method: str) -> int:
+        return self.entries[f"{class_name}.{method}"]
+
+    def block(self, bid: int) -> ExecutionBlock:
+        return self.blocks[bid]
+
+    def field_placement(self, class_name: str, field_name: str) -> Placement:
+        return self.field_placements.get(
+            (class_name, field_name), Placement.APP
+        )
+
+    def array_placement(self, alloc_sid: int) -> Placement:
+        return self.array_placements.get(alloc_sid, Placement.APP)
+
+    def stats(self) -> dict[str, int]:
+        app = sum(
+            1 for b in self.blocks.values() if b.placement is Placement.APP
+        )
+        return {
+            "blocks": len(self.blocks),
+            "app_blocks": app,
+            "db_blocks": len(self.blocks) - app,
+            "methods": len(self.entries),
+        }

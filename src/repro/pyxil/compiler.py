@@ -1,0 +1,431 @@
+"""PyxIL -> execution blocks compiler (Section 5).
+
+Walks the (reordered) placed IR and emits straight-line execution
+blocks, starting a new block whenever the required placement changes
+or control flow joins/branches.  Loops lower to explicit test blocks;
+``for x in xs`` lowers to indexed iteration with compiler temporaries,
+so the loop's element reads happen on the loop node's placement --
+matching the paper's treatment of ``for (itemCost : costs)`` as a
+single placed node.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.interproc import CallGraph
+from repro.core.partition_graph import Placement
+from repro.lang.ir import (
+    Assign,
+    Atom,
+    BinExpr,
+    Block,
+    Break,
+    CallExpr,
+    CallKind,
+    Const,
+    Continue,
+    ExprStmt,
+    ForEach,
+    FunctionIR,
+    If,
+    IndexGet,
+    Return,
+    Stmt,
+    VarLV,
+    VarRef,
+    While,
+)
+from repro.pyxil.blocks import (
+    CompiledProgram,
+    ExecutionBlock,
+    OpAssign,
+    TBranch,
+    TCall,
+    TGoto,
+    THalt,
+    TReturn,
+)
+from repro.pyxil.program import PlacedProgram
+from repro.pyxil.reorder import reorder_blocks
+from repro.pyxil.sync_insertion import SyncPlan
+
+
+class CompileError(Exception):
+    pass
+
+
+@dataclass
+class _LoopTargets:
+    test_bid: int
+    exit_bid: int
+
+
+class _FunctionCompiler:
+    def __init__(self, parent: "_ProgramCompiler", func: FunctionIR) -> None:
+        self.parent = parent
+        self.func = func
+        self.current: Optional[ExecutionBlock] = None
+        self.loop_stack: list[_LoopTargets] = []
+        self._aux = 0
+
+    # -- block bookkeeping ---------------------------------------------------
+
+    def _fresh_aux(self, tag: str) -> str:
+        self._aux += 1
+        return f"${tag}{self._aux}"
+
+    def new_block(self, placement: Placement, label: str = "") -> ExecutionBlock:
+        return self.parent.new_block(placement, label)
+
+    def ensure_block(self, placement: Placement, label: str = "") -> ExecutionBlock:
+        """Current block if it matches placement; else chain a new one."""
+        if self.current is not None and self.current.terminator is None:
+            if self.current.placement is placement:
+                return self.current
+            nxt = self.new_block(placement, label)
+            self.current.terminator = TGoto(nxt.bid)
+            self.current = nxt
+            return nxt
+        nxt = self.new_block(placement, label)
+        if self.current is not None and self.current.terminator is None:
+            self.current.terminator = TGoto(nxt.bid)  # pragma: no cover
+        self.current = nxt
+        return nxt
+
+    def emit(self, op: OpAssign, placement: Placement) -> None:
+        block = self.ensure_block(placement)
+        block.ops.append(op)
+
+    def terminate(self, terminator) -> None:
+        assert self.current is not None
+        if self.current.terminator is not None:  # pragma: no cover
+            raise CompileError("block already terminated")
+        self.current.terminator = terminator
+        self.current = None
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile(self) -> int:
+        placed = self.parent.placed
+        entry_placement = (
+            placed.placement_of(self.func.body.stmts[0].sid)
+            if self.func.body.stmts
+            else Placement.APP
+        )
+        entry = self.new_block(
+            entry_placement, f"{self.func.qualified_name}:entry"
+        )
+        self.current = entry
+        self.compile_block(self.func.body)
+        if self.current is not None and self.current.terminator is None:
+            self.current.terminator = TReturn(None)
+        return entry.bid
+
+    def compile_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            if self.current is None:
+                # Unreachable code after return/break: skip.
+                return
+            self.compile_stmt(stmt)
+
+    def compile_stmt(self, stmt: Stmt) -> None:
+        placed = self.parent.placed
+        placement = placed.placement_of(stmt.sid)
+        if isinstance(stmt, Assign):
+            call = stmt.value if isinstance(stmt.value, CallExpr) else None
+            if call is not None and call.kind in (
+                CallKind.METHOD,
+                CallKind.ALLOC_OBJECT,
+            ):
+                self.compile_call(stmt.sid, call, stmt.target, placement)
+                return
+            self.emit(OpAssign(stmt.target, stmt.value, stmt.sid), placement)
+            return
+        if isinstance(stmt, ExprStmt):
+            call = stmt.expr
+            if call.kind in (CallKind.METHOD, CallKind.ALLOC_OBJECT):
+                self.compile_call(stmt.sid, call, None, placement)
+                return
+            self.emit(OpAssign(None, call, stmt.sid), placement)
+            return
+        if isinstance(stmt, If):
+            self.compile_if(stmt, placement)
+            return
+        if isinstance(stmt, While):
+            self.compile_while(stmt, placement)
+            return
+        if isinstance(stmt, ForEach):
+            self.compile_foreach(stmt, placement)
+            return
+        if isinstance(stmt, Return):
+            self.ensure_block(placement)
+            self.terminate(TReturn(stmt.value))
+            return
+        if isinstance(stmt, Break):
+            if not self.loop_stack:  # pragma: no cover - parser rejects
+                raise CompileError("break outside loop")
+            self.ensure_block(placement)
+            self.terminate(TGoto(self.loop_stack[-1].exit_bid))
+            return
+        if isinstance(stmt, Continue):
+            if not self.loop_stack:  # pragma: no cover - parser rejects
+                raise CompileError("continue outside loop")
+            self.ensure_block(placement)
+            self.terminate(TGoto(self.loop_stack[-1].test_bid))
+            return
+        raise CompileError(f"cannot compile {type(stmt).__name__}")
+
+    def compile_call(
+        self,
+        sid: int,
+        call: CallExpr,
+        result,
+        placement: Placement,
+    ) -> None:
+        self.ensure_block(placement)
+        ret_block = self.new_block(placement, f"ret@{sid}")
+        if call.kind is CallKind.METHOD:
+            callees = self.parent.call_graph.callees_of(sid)
+            if len(callees) != 1:
+                raise CompileError(
+                    f"call at sid={sid} resolves to {sorted(callees)}; "
+                    "the block compiler needs a unique callee"
+                )
+            callee = next(iter(callees))
+            self.terminate(
+                TCall(
+                    callee=callee,
+                    receiver=call.target,
+                    args=call.args,
+                    result=result,
+                    return_target=ret_block.bid,
+                    sid=sid,
+                )
+            )
+        else:  # ALLOC_OBJECT
+            init = f"{call.name}.__init__"
+            has_init = init in self.parent.functions
+            self.terminate(
+                TCall(
+                    callee=init if has_init else "",
+                    receiver=None,
+                    args=call.args,
+                    result=result,
+                    return_target=ret_block.bid,
+                    sid=sid,
+                    alloc_class=call.name,
+                    alloc_sid=sid,
+                )
+            )
+        self.current = ret_block
+
+    def compile_if(self, stmt: If, placement: Placement) -> None:
+        self.ensure_block(placement)
+        then_entry = self.new_block(
+            self._first_placement(stmt.then, placement), f"then@{stmt.sid}"
+        )
+        else_entry = self.new_block(
+            self._first_placement(stmt.orelse, placement), f"else@{stmt.sid}"
+        )
+        join = self.new_block(placement, f"join@{stmt.sid}")
+        self.terminate(
+            TBranch(stmt.cond, then_entry.bid, else_entry.bid, stmt.sid)
+        )
+        self.current = then_entry
+        self.compile_block(stmt.then)
+        if self.current is not None and self.current.terminator is None:
+            self.terminate(TGoto(join.bid))
+        self.current = else_entry
+        self.compile_block(stmt.orelse)
+        if self.current is not None and self.current.terminator is None:
+            self.terminate(TGoto(join.bid))
+        self.current = join
+
+    def compile_while(self, stmt: While, placement: Placement) -> None:
+        placed = self.parent.placed
+        header_placement = (
+            placed.placement_of(stmt.header.stmts[0].sid)
+            if stmt.header.stmts
+            else placement
+        )
+        test_entry = self.new_block(header_placement, f"while@{stmt.sid}")
+        exit_block = self.new_block(placement, f"endwhile@{stmt.sid}")
+        assert self.current is not None
+        self.terminate(TGoto(test_entry.bid))
+        self.current = test_entry
+        self.compile_block(stmt.header)
+        body_entry = self.new_block(
+            self._first_placement(stmt.body, placement), f"do@{stmt.sid}"
+        )
+        self.ensure_block(placement)
+        self.terminate(
+            TBranch(stmt.cond, body_entry.bid, exit_block.bid, stmt.sid)
+        )
+        self.loop_stack.append(
+            _LoopTargets(test_bid=test_entry.bid, exit_bid=exit_block.bid)
+        )
+        self.current = body_entry
+        self.compile_block(stmt.body)
+        if self.current is not None and self.current.terminator is None:
+            self.terminate(TGoto(test_entry.bid))
+        self.loop_stack.pop()
+        self.current = exit_block
+
+    def compile_foreach(self, stmt: ForEach, placement: Placement) -> None:
+        """Lower ``for var in xs`` to indexed iteration.
+
+        All loop bookkeeping (index, length, element read) runs at the
+        loop node's placement and is charged to the loop's sid.
+        """
+        it_var = self._fresh_aux("it")
+        idx_var = self._fresh_aux("idx")
+        len_var = self._fresh_aux("len")
+        cond_var = self._fresh_aux("cond")
+        sid = stmt.sid
+        self.emit(OpAssign(VarLV(it_var), stmt.iterable, sid), placement)
+        self.emit(OpAssign(VarLV(idx_var), Const(0), sid), placement)
+        test_entry = self.new_block(placement, f"for@{sid}")
+        exit_block = self.new_block(placement, f"endfor@{sid}")
+        assert self.current is not None
+        self.terminate(TGoto(test_entry.bid))
+        self.current = test_entry
+        self.emit(
+            OpAssign(
+                VarLV(len_var),
+                CallExpr(CallKind.NATIVE, "len", (VarRef(it_var),)),
+                sid,
+            ),
+            placement,
+        )
+        self.emit(
+            OpAssign(
+                VarLV(cond_var),
+                BinExpr("<", VarRef(idx_var), VarRef(len_var)),
+                sid,
+            ),
+            placement,
+        )
+        body_entry = self.new_block(placement, f"dofor@{sid}")
+        self.terminate(
+            TBranch(VarRef(cond_var), body_entry.bid, exit_block.bid, sid)
+        )
+        self.loop_stack.append(
+            _LoopTargets(test_bid=test_entry.bid, exit_bid=exit_block.bid)
+        )
+        self.current = body_entry
+        self.emit(
+            OpAssign(
+                VarLV(stmt.var),
+                IndexGet(VarRef(it_var), VarRef(idx_var)),
+                sid,
+            ),
+            placement,
+        )
+        self.emit(
+            OpAssign(
+                VarLV(idx_var),
+                BinExpr("+", VarRef(idx_var), Const(1)),
+                sid,
+            ),
+            placement,
+        )
+        self.compile_block(stmt.body)
+        if self.current is not None and self.current.terminator is None:
+            self.terminate(TGoto(test_entry.bid))
+        self.loop_stack.pop()
+        self.current = exit_block
+
+    def _first_placement(self, block: Block, default: Placement) -> Placement:
+        if block.stmts:
+            return self.parent.placed.placement_of(block.stmts[0].sid)
+        return default
+
+
+class _ProgramCompiler:
+    def __init__(
+        self,
+        placed: PlacedProgram,
+        call_graph: CallGraph,
+        sync_plan: SyncPlan,
+    ) -> None:
+        self.placed = placed
+        self.call_graph = call_graph
+        self.sync_plan = sync_plan
+        self.compiled = CompiledProgram(name=placed.name)
+        self._next_bid = 0
+        self.functions = {
+            f.qualified_name: f for f in placed.program.functions()
+        }
+
+    def new_block(self, placement: Placement, label: str = "") -> ExecutionBlock:
+        block = ExecutionBlock(self._next_bid, placement, label)
+        self._next_bid += 1
+        self.compiled.blocks[block.bid] = block
+        return block
+
+    def compile(self) -> CompiledProgram:
+        program = self.placed.program
+        for func in program.functions():
+            entry_bid = _FunctionCompiler(self, func).compile()
+            self.compiled.entries[func.qualified_name] = entry_bid
+            self.compiled.params[func.qualified_name] = list(func.params)
+        for cls in program.classes.values():
+            self.compiled.classes[cls.name] = list(cls.fields)
+            for field_name in cls.fields:
+                key = (cls.name, field_name)
+                self.compiled.field_placements[key] = (
+                    self.placed.field_placement(cls.name, field_name)
+                )
+                self.compiled.field_ships[key] = self.sync_plan.field_ships(
+                    cls.name, field_name
+                )
+        for alloc_sid in self._alloc_sids():
+            self.compiled.array_placements[alloc_sid] = (
+                self.placed.array_placement(alloc_sid)
+            )
+            self.compiled.array_ships[alloc_sid] = self.sync_plan.array_ships(
+                alloc_sid
+            )
+        self._check_blocks()
+        return self.compiled
+
+    def _alloc_sids(self) -> list[int]:
+        out = []
+        for node_id in self.placed.result.assignment:
+            if node_id.startswith("a") and node_id[1:].isdigit():
+                out.append(int(node_id[1:]))
+        return sorted(out)
+
+    def _check_blocks(self) -> None:
+        for block in self.compiled.blocks.values():
+            if block.terminator is None:
+                raise CompileError(
+                    f"unterminated block {block.describe()}"
+                )
+
+
+def compile_program(
+    placed: PlacedProgram,
+    call_graph: CallGraph,
+    sync_plan: SyncPlan,
+    graph=None,
+    reorder: bool = True,
+) -> CompiledProgram:
+    """Compile a placed program to execution blocks.
+
+    When ``reorder`` is true and the partition graph is supplied, the
+    dual-queue reordering pass (Section 4.4) runs first on a private
+    copy of the IR so other partitionings of the same program are
+    unaffected.
+    """
+    if reorder and graph is not None:
+        placed = PlacedProgram(
+            program=copy.deepcopy(placed.program),
+            result=placed.result,
+            name=placed.name,
+        )
+        reorder_blocks(placed.program, placed.placement_of, graph)
+    return _ProgramCompiler(placed, call_graph, sync_plan).compile()

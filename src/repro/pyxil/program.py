@@ -1,0 +1,77 @@
+"""Placed programs: IR + partitioning assignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ilp import PartitioningResult
+from repro.core.partition_graph import (
+    Placement,
+    array_node_id,
+    field_node_id,
+    stmt_node_id,
+)
+from repro.lang.ir import ProgramIR
+from repro.lang.pretty import format_program
+
+
+@dataclass
+class PlacedProgram:
+    """The IR together with a placement for every statement, field and
+    allocation site -- the semantic content of a PyxIL program."""
+
+    program: ProgramIR
+    result: PartitioningResult
+    name: str = "partition"
+
+    def placement_of(self, sid: int) -> Placement:
+        return self.result.assignment[stmt_node_id(sid)]
+
+    def field_placement(self, class_name: str, field_name: str) -> Placement:
+        node_id = field_node_id(class_name, field_name)
+        placement = self.result.assignment.get(node_id)
+        # Fields never mentioned in the graph (dead fields) default APP.
+        return placement if placement is not None else Placement.APP
+
+    def array_placement(self, alloc_sid: int) -> Placement:
+        node_id = array_node_id(alloc_sid)
+        placement = self.result.assignment.get(node_id)
+        if placement is not None:
+            return placement
+        # Allocation sites always co-locate with their statement.
+        return self.placement_of(alloc_sid)
+
+    def stmts_on(self, placement: Placement) -> list[int]:
+        return sorted(
+            sid
+            for sid in self.program.statement_map()
+            if self.placement_of(sid) is placement
+        )
+
+    def fraction_on_db(self) -> float:
+        sids = list(self.program.statement_map())
+        if not sids:
+            return 0.0
+        on_db = sum(
+            1 for sid in sids if self.placement_of(sid) is Placement.DB
+        )
+        return on_db / len(sids)
+
+
+def format_pyxil(placed: PlacedProgram) -> str:
+    """Annotated listing in the style of the paper's Figure 3."""
+
+    def annotate(sid: int) -> str:
+        placement = placed.placement_of(sid)
+        return ":APP:" if placement is Placement.APP else ":DB: "
+
+    header_lines = []
+    for cls in placed.program.classes.values():
+        for field_name in cls.fields:
+            placement = placed.field_placement(cls.name, field_name)
+            tag = ":APP:" if placement is Placement.APP else ":DB: "
+            header_lines.append(f"{tag} field {cls.name}.{field_name}")
+    body = format_program(placed.program, annotate)
+    prefix = "\n".join(header_lines)
+    return f"{prefix}\n\n{body}" if prefix else body

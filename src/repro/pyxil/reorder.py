@@ -1,0 +1,118 @@
+"""Statement reordering (Section 4.4).
+
+Within each straight-line block the compiler may reorder statements as
+long as all dependencies (data, control, update, output, anti) are
+respected.  The paper's algorithm is a topological sort implemented as
+a breadth-first traversal with *two* ready queues -- one per placement
+-- draining one queue completely before switching to the other.  This
+groups statements with the same placement into longer runs, reducing
+control transfers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.core.partition_graph import (
+    EdgeKind,
+    PartitionGraph,
+    Placement,
+    stmt_node_id,
+)
+from repro.lang.ir import Block, FunctionIR, ProgramIR, Stmt
+
+
+def reorder_block(
+    block: Block,
+    placement_of: Callable[[int], Placement],
+    graph: PartitionGraph,
+) -> None:
+    """Reorder ``block.stmts`` in place using the dual-queue traversal.
+
+    Dependencies are taken from the partition graph restricted to this
+    block's direct children (which contains the intra-block data edges
+    plus the output/anti ordering edges; back edges and interprocedural
+    edges never connect two children of the same block).
+    """
+    stmts = block.stmts
+    if len(stmts) <= 2:
+        return
+    sids = [stmt.sid for stmt in stmts]
+    sid_set = set(sids)
+    position = {sid: i for i, sid in enumerate(sids)}
+
+    succs: dict[int, list[int]] = {sid: [] for sid in sids}
+    indegree: dict[int, int] = {sid: 0 for sid in sids}
+    seen_pairs: set[tuple[int, int]] = set()
+    for edge in graph.edges:
+        if not edge.src.startswith("s") or not edge.dst.startswith("s"):
+            continue
+        try:
+            src_sid = int(edge.src[1:])
+            dst_sid = int(edge.dst[1:])
+        except ValueError:  # pragma: no cover - non-stmt ids
+            continue
+        if src_sid not in sid_set or dst_sid not in sid_set:
+            continue
+        # Respect only forward (program-order) dependencies; anything
+        # else is a back edge at this level and is ignored (paper 4.4).
+        if position[src_sid] >= position[dst_sid]:
+            continue
+        if (src_sid, dst_sid) in seen_pairs:
+            continue
+        seen_pairs.add((src_sid, dst_sid))
+        succs[src_sid].append(dst_sid)
+        indegree[dst_sid] += 1
+
+    queues: dict[Placement, deque[int]] = {
+        Placement.APP: deque(),
+        Placement.DB: deque(),
+    }
+    # Seed ready queues in original order for determinism.
+    for sid in sids:
+        if indegree[sid] == 0:
+            queues[placement_of(sid)].append(sid)
+
+    ordered: list[int] = []
+    current = (
+        placement_of(sids[0])
+        if queues[placement_of(sids[0])]
+        else placement_of(sids[0]).other
+    )
+    while queues[Placement.APP] or queues[Placement.DB]:
+        if not queues[current]:
+            current = current.other
+        sid = queues[current].popleft()
+        ordered.append(sid)
+        for succ in succs[sid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queues[placement_of(succ)].append(succ)
+
+    if len(ordered) != len(sids):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"reordering dropped statements: {len(ordered)} != {len(sids)}"
+        )
+    by_sid = {stmt.sid: stmt for stmt in stmts}
+    block.stmts = [by_sid[sid] for sid in ordered]
+
+
+def reorder_blocks(
+    program: ProgramIR,
+    placement_of: Callable[[int], Placement],
+    graph: PartitionGraph,
+) -> int:
+    """Reorder every block of every function; returns blocks touched."""
+    touched = 0
+    for func in program.functions():
+        pending: list[Block] = [func.body]
+        while pending:
+            block = pending.pop()
+            before = [s.sid for s in block.stmts]
+            reorder_block(block, placement_of, graph)
+            if [s.sid for s in block.stmts] != before:
+                touched += 1
+            for stmt in block.stmts:
+                pending.extend(stmt.blocks())
+    return touched

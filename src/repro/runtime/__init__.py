@@ -1,0 +1,41 @@
+"""The Pyxis runtime (Section 6).
+
+Executes compiled execution blocks across two simulated servers with a
+shared logical stack and a distributed heap:
+
+* :mod:`repro.runtime.heap` -- per-server heap stores: authoritative
+  parts plus remote caches, with dirty tracking;
+* :mod:`repro.runtime.serializer` -- wire copies and byte accounting;
+* :mod:`repro.runtime.rpc` -- control-transfer and DB-call messages;
+* :mod:`repro.runtime.interpreter` -- the block interpreter and
+  control-transfer loop (single thread of control across servers);
+* :mod:`repro.runtime.entrypoints` -- the entry-point wrappers
+  (Section 5.2);
+* :mod:`repro.runtime.switcher` -- EWMA-based dynamic selection among
+  pre-generated partitionings (Section 6.3).
+"""
+
+from repro.runtime.heap import HeapStore, ObjRef, NativeRef, HeapError
+from repro.runtime.serializer import wire_copy, wire_size
+from repro.runtime.rpc import ControlTransferMessage, DbRequestMessage, DbResponseMessage
+from repro.runtime.interpreter import PyxisExecutor, RuntimeError_, ExecutionStats
+from repro.runtime.entrypoints import PartitionedApp
+from repro.runtime.switcher import DynamicSwitcher, SwitcherConfig
+
+__all__ = [
+    "HeapStore",
+    "ObjRef",
+    "NativeRef",
+    "HeapError",
+    "wire_copy",
+    "wire_size",
+    "ControlTransferMessage",
+    "DbRequestMessage",
+    "DbResponseMessage",
+    "PyxisExecutor",
+    "RuntimeError_",
+    "ExecutionStats",
+    "PartitionedApp",
+    "DynamicSwitcher",
+    "SwitcherConfig",
+]

@@ -1,0 +1,82 @@
+"""Entry-point wrappers (Section 5.2).
+
+Non-partitioned code invokes partitioned methods through
+:class:`PartitionedApp`: the wrapper sets up the stack, runs the
+executor, tears down, and hands back both the plain result and the
+per-invocation :class:`~repro.sim.queueing.TransactionTrace` used by
+the queueing simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.db.jdbc import Connection, ResultSet
+from repro.lang.interp import NativeRegistry
+from repro.pyxil.blocks import CompiledProgram
+from repro.runtime.interpreter import PyxisExecutor
+from repro.sim.cluster import Cluster
+from repro.sim.queueing import TransactionTrace
+
+
+@dataclass
+class InvocationOutcome:
+    """Result of one partitioned entry-point invocation."""
+
+    result: Any
+    trace: TransactionTrace
+    latency: float
+    control_transfers: int
+    db_round_trips: int
+
+
+class PartitionedApp:
+    """Facade for invoking a compiled partitioning on a cluster."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        cluster: Cluster,
+        connection: Connection,
+        natives: Optional[NativeRegistry] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.cluster = cluster
+        self.connection = connection
+        self.executor = PyxisExecutor(
+            compiled, cluster, connection, natives=natives
+        )
+
+    def invoke(self, class_name: str, method: str, *args: Any) -> Any:
+        """Invoke and return just the result."""
+        return self.invoke_traced(class_name, method, *args).result
+
+    def invoke_traced(
+        self, class_name: str, method: str, *args: Any
+    ) -> InvocationOutcome:
+        """Invoke and return the result plus the recorded stage trace."""
+        stats = self.executor.stats
+        transfers_before = stats.control_transfers
+        round_trips_before = stats.db_round_trips
+        self.cluster.start_trace()
+        start = self.cluster.clock.now
+        result = self.executor.invoke(class_name, method, *args)
+        trace = self.cluster.finish_trace(
+            f"{self.compiled.name}:{class_name}.{method}"
+        )
+        latency = self.cluster.clock.now - start
+        # Result sets come back as native refs; unwrap for the caller.
+        from repro.runtime.heap import NativeRef
+
+        if isinstance(result, NativeRef):
+            result = self.executor.heaps[self.executor.side].get_native(
+                result
+            )
+        return InvocationOutcome(
+            result=result,
+            trace=trace,
+            latency=latency,
+            control_transfers=stats.control_transfers - transfers_before,
+            db_round_trips=stats.db_round_trips - round_trips_before,
+        )

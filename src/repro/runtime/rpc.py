@@ -1,0 +1,60 @@
+"""Control-transfer and DB-call messages.
+
+The two runtimes communicate with a custom RPC protocol (Section 6).
+Control-transfer messages carry the next block id, modified stack
+slots, and piggy-backed heap updates -- the paper's batched eager
+synchronization.  When the JDBC group is partitioned to the
+application server, each DB operation instead travels as an explicit
+request/response pair (the classic JDBC round trip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.serializer import wire_size
+
+# Fixed envelope overhead per message (headers, framing, block ids).
+MESSAGE_OVERHEAD = 32
+
+
+@dataclass
+class ControlTransferMessage:
+    next_bid: int
+    stack_updates: dict[str, Any] = field(default_factory=dict)
+    field_updates: dict[tuple[int, str, str], Any] = field(default_factory=dict)
+    native_updates: dict[int, Any] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        total = MESSAGE_OVERHEAD
+        for name, value in self.stack_updates.items():
+            total += len(name) + wire_size(value)
+        for (oid, cls, fname), value in self.field_updates.items():
+            total += 8 + len(cls) + len(fname) + wire_size(value)
+        for oid, value in self.native_updates.items():
+            total += 8 + wire_size(value)
+        return total
+
+
+@dataclass
+class DbRequestMessage:
+    api: str
+    sql: str
+    params: tuple
+
+    def nbytes(self) -> int:
+        return (
+            MESSAGE_OVERHEAD
+            + len(self.api)
+            + len(self.sql)
+            + sum(wire_size(p) for p in self.params)
+        )
+
+
+@dataclass
+class DbResponseMessage:
+    result: Any
+
+    def nbytes(self) -> int:
+        return MESSAGE_OVERHEAD + wire_size(self.result)

@@ -1,0 +1,51 @@
+"""Wire copies and byte accounting.
+
+Heap updates crossing the network must be *copies*: the two runtimes
+live in one Python process here, but sharing mutable objects between
+their heap stores would mask exactly the class of staleness bugs the
+synchronization analysis exists to prevent.  ``wire_copy`` produces an
+isolated copy; ``wire_size`` estimates its encoded size for the
+network model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.jdbc import ResultSet, Row
+from repro.db.sql.executor import StatementResult
+from repro.profiler.sizes import estimate_size
+from repro.runtime.heap import NativeRef, ObjRef
+
+
+def wire_copy(value: Any) -> Any:
+    """Deep copy for transfer; refs stay refs, rows stay immutable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (ObjRef, NativeRef)):
+        return value
+    if isinstance(value, list):
+        return [wire_copy(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(wire_copy(v) for v in value)
+    if isinstance(value, dict):
+        return {k: wire_copy(v) for k, v in value.items()}
+    if isinstance(value, Row):
+        # Rows are immutable records of primitives; rebuild defensively.
+        return Row(list(value.as_dict().keys()), tuple(value.as_tuple()))
+    if isinstance(value, ResultSet):
+        result = StatementResult(
+            columns=list(value.columns),
+            rows=[tuple(row.as_tuple()) for row in value.rows],
+            rowcount=len(value.rows),
+            rows_touched=value.rows_touched,
+        )
+        return ResultSet(result)
+    raise TypeError(f"cannot serialize {type(value).__name__} for transfer")
+
+
+def wire_size(value: Any) -> int:
+    """Estimated encoded size in bytes (see repro.profiler.sizes)."""
+    if isinstance(value, (ObjRef, NativeRef)):
+        return 12  # oid + tag
+    return estimate_size(value)

@@ -1,0 +1,84 @@
+"""Dynamic partition selection (Section 6.3).
+
+The database-server runtime reports CPU load every ``poll_interval``
+seconds; the application server smooths it with an EWMA
+(``L_t = alpha * L_{t-1} + (1 - alpha) * S_t``, alpha = 0.2 in the
+paper) and picks a partitioning at each entry-point call: above the
+threshold (40% in the TPC-C experiment) it uses a low-budget
+(JDBC-like) partition, otherwise a high-budget (stored-procedure-like)
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Optional, TypeVar
+
+from repro.sim.metrics import LoadMonitor
+
+T = TypeVar("T")
+
+
+@dataclass
+class SwitcherConfig:
+    """Paper values: alpha=0.2, poll every 10 s, threshold 40%."""
+
+    alpha: float = 0.2
+    poll_interval: float = 10.0
+    threshold_percent: float = 40.0
+
+
+class DynamicSwitcher(Generic[T]):
+    """Chooses between partitionings ordered by CPU budget.
+
+    ``options`` maps a budget rank to an arbitrary payload (a compiled
+    program, a transaction trace, ...): index 0 is the lowest budget
+    (safest under load), the last index the highest.
+    """
+
+    def __init__(
+        self,
+        options: list[T],
+        config: Optional[SwitcherConfig] = None,
+    ) -> None:
+        if not options:
+            raise ValueError("need at least one partitioning")
+        self.options = list(options)
+        self.config = config if config is not None else SwitcherConfig()
+        self.monitor = LoadMonitor(alpha=self.config.alpha)
+        self._last_poll: Optional[float] = None
+        self.history: list[tuple[float, float, int]] = []
+
+    @property
+    def low_budget(self) -> T:
+        return self.options[0]
+
+    @property
+    def high_budget(self) -> T:
+        return self.options[-1]
+
+    def observe_load(self, now: float, load_percent: float) -> float:
+        """Feed a load sample (percent) if the poll interval elapsed."""
+        if (
+            self._last_poll is not None
+            and now - self._last_poll < self.config.poll_interval
+        ):
+            return self.monitor.level
+        self._last_poll = now
+        level = self.monitor.observe(load_percent)
+        self.history.append((now, level, self._index()))
+        return level
+
+    def _index(self) -> int:
+        if self.monitor.observations == 0:
+            return len(self.options) - 1
+        if self.monitor.level > self.config.threshold_percent:
+            return 0
+        return len(self.options) - 1
+
+    def choose(self) -> T:
+        """The partitioning to use for the next entry-point call."""
+        return self.options[self._index()]
+
+    def current_index(self) -> int:
+        return self._index()

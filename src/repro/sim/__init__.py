@@ -1,0 +1,49 @@
+"""Simulated cluster substrate.
+
+The paper evaluates Pyxis on two physical machines (a 16-core database
+server and an 8-core application server) joined by a 2 ms round-trip
+network.  This package provides the synthetic equivalent used throughout
+the reproduction:
+
+* :mod:`repro.sim.clock` -- a virtual clock and discrete-event loop.
+* :mod:`repro.sim.network` -- a latency + bandwidth network model.
+* :mod:`repro.sim.server` -- multi-core servers with CPU accounting.
+* :mod:`repro.sim.cluster` -- the standard two-server deployment.
+* :mod:`repro.sim.queueing` -- an open-loop discrete-event simulation
+  that replays per-transaction stage traces against finite-core servers
+  to produce latency / throughput / utilization curves.
+* :mod:`repro.sim.metrics` -- load monitoring and summary statistics.
+"""
+
+from repro.sim.clock import VirtualClock, EventLoop, Event
+from repro.sim.network import NetworkModel, NetworkStats
+from repro.sim.server import Server, CpuAccount
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.queueing import (
+    Stage,
+    StageKind,
+    TransactionTrace,
+    QueueingSimulator,
+    SimResult,
+)
+from repro.sim.metrics import LoadMonitor, Summary, summarize
+
+__all__ = [
+    "VirtualClock",
+    "EventLoop",
+    "Event",
+    "NetworkModel",
+    "NetworkStats",
+    "Server",
+    "CpuAccount",
+    "Cluster",
+    "ClusterConfig",
+    "Stage",
+    "StageKind",
+    "TransactionTrace",
+    "QueueingSimulator",
+    "SimResult",
+    "LoadMonitor",
+    "Summary",
+    "summarize",
+]

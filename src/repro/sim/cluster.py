@@ -1,0 +1,142 @@
+"""The standard two-server deployment used by every experiment.
+
+A :class:`Cluster` bundles the application server, the database server
+and the network model into one object with a shared virtual clock.
+The Pyxis runtime charges CPU and network costs against the cluster
+while a partitioned program executes; the resulting per-transaction
+stage trace is later replayed by :mod:`repro.sim.queueing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.network import NetworkModel
+from repro.sim.queueing import SimNetworkParams, Stage, StageKind, TransactionTrace
+from repro.sim.server import CostModel, Server
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration mirroring the paper's testbed.
+
+    Paper defaults: 8-core application server, 16-core database server,
+    2 ms round-trip network.  The limited-CPU experiments use
+    ``db_cores=3``.
+    """
+
+    app_cores: int = 8
+    db_cores: int = 16
+    one_way_latency: float = 0.001
+    bandwidth: float = 125_000_000.0
+    per_message_overhead: int = 64
+
+    def network_params(self) -> SimNetworkParams:
+        return SimNetworkParams(
+            one_way_latency=self.one_way_latency,
+            bandwidth=self.bandwidth,
+            per_message_overhead=self.per_message_overhead,
+        )
+
+
+class Cluster:
+    """Two servers plus a network, with trace recording.
+
+    While a partitioned program runs, the runtime calls
+    :meth:`record_cpu` and :meth:`record_message`; the cluster folds
+    consecutive CPU work on the same server into a single stage so the
+    resulting :class:`TransactionTrace` stays compact.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        model = cost_model if cost_model is not None else CostModel()
+        self.clock = VirtualClock()
+        self.app = Server("app", cores=self.config.app_cores, cost_model=model)
+        self.db = Server("db", cores=self.config.db_cores, cost_model=model)
+        self.network = NetworkModel(
+            one_way_latency=self.config.one_way_latency,
+            bandwidth=self.config.bandwidth,
+            per_message_overhead=self.config.per_message_overhead,
+        )
+        self._stages: list[Stage] = []
+        # CPU accumulates lazily per server and is flushed into a Stage
+        # when a message interleaves (or the trace ends); this keeps
+        # per-operation accounting cheap on the runtime's hot path.
+        self._pending_cpu: dict[str, float] = {"app": 0.0, "db": 0.0}
+        self._last_cpu_side: str = "app"
+
+    def server(self, name: str) -> Server:
+        if name == "app":
+            return self.app
+        if name == "db":
+            return self.db
+        raise KeyError(f"unknown server {name!r}")
+
+    # -- trace recording ----------------------------------------------------
+
+    def record_cpu(self, server: str, seconds: float) -> None:
+        """Charge CPU time on ``server`` and extend the current trace."""
+        if seconds <= 0:
+            if seconds < 0:
+                raise ValueError("cannot charge negative CPU time")
+            return
+        if server != self._last_cpu_side and self._pending_cpu[
+            self._last_cpu_side
+        ]:
+            self._flush_cpu(self._last_cpu_side)
+        self._last_cpu_side = server
+        self._pending_cpu[server] += seconds
+
+    def _flush_cpu(self, server: str) -> None:
+        seconds = self._pending_cpu[server]
+        if seconds <= 0:
+            return
+        self._pending_cpu[server] = 0.0
+        kind = StageKind.APP_CPU if server == "app" else StageKind.DB_CPU
+        self.clock.advance(seconds)
+        if self._stages and self._stages[-1].kind == kind:
+            prev = self._stages[-1]
+            self._stages[-1] = Stage(kind, prev.duration + seconds, prev.nbytes)
+        else:
+            self._stages.append(Stage(kind, seconds))
+
+    def _flush_all_cpu(self) -> None:
+        # Preserve causal order: the side that ran first flushes first.
+        first = self._last_cpu_side
+        other = "db" if first == "app" else "app"
+        self._flush_cpu(other)
+        self._flush_cpu(first)
+
+    def record_message(self, nbytes: int, *, to_db: bool) -> float:
+        """Record a one-way message; returns its delivery delay."""
+        self._flush_all_cpu()
+        delay = self.network.send(nbytes, to_db=to_db)
+        self.clock.advance(delay)
+        kind = StageKind.NET_TO_DB if to_db else StageKind.NET_TO_APP
+        self._stages.append(Stage(kind, nbytes=nbytes))
+        return delay
+
+    def start_trace(self) -> None:
+        self._flush_all_cpu()
+        self._stages = []
+
+    def finish_trace(self, name: str) -> TransactionTrace:
+        self._flush_all_cpu()
+        trace = TransactionTrace(name=name, stages=tuple(self._stages))
+        self._stages = []
+        return trace
+
+    def reset(self) -> None:
+        self.clock.reset()
+        self.app.reset()
+        self.db.reset()
+        self.network.reset_stats()
+        self._stages = []
+        self._pending_cpu = {"app": 0.0, "db": 0.0}

@@ -1,0 +1,89 @@
+"""Latency + bandwidth network model.
+
+The paper's two servers sit in the same data center with a 2 ms ping
+round-trip.  Control transfers pay propagation latency per message plus
+a bandwidth term proportional to payload size; piggy-backed heap
+updates only pay the bandwidth term.  This mirrors the cost model of
+Section 4.2 of the paper (control edges charge ``LAT * cnt``, data
+edges charge ``size / BW * cnt``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkStats:
+    """Byte and message accounting for one direction of a link."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.messages += other.messages
+        self.bytes += other.bytes
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+
+
+@dataclass
+class NetworkModel:
+    """A symmetric point-to-point link between two servers.
+
+    Parameters
+    ----------
+    one_way_latency:
+        Propagation delay per message, in seconds.  The paper's 2 ms
+        ping RTT corresponds to 1 ms one-way.
+    bandwidth:
+        Link bandwidth in bytes/second (default 1 Gbit/s).
+    per_message_overhead:
+        Fixed byte overhead per message (framing / headers).
+    """
+
+    one_way_latency: float = 0.001
+    bandwidth: float = 125_000_000.0  # 1 Gbit/s in bytes/s
+    per_message_overhead: int = 64
+    app_to_db: NetworkStats = field(default_factory=NetworkStats)
+    db_to_app: NetworkStats = field(default_factory=NetworkStats)
+
+    def __post_init__(self) -> None:
+        if self.one_way_latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def round_trip_latency(self) -> float:
+        return 2.0 * self.one_way_latency
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time for a single one-way message carrying ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("cannot send a negative number of bytes")
+        wire_bytes = nbytes + self.per_message_overhead
+        return self.one_way_latency + wire_bytes / self.bandwidth
+
+    def send(self, nbytes: int, *, to_db: bool) -> float:
+        """Record a message and return its one-way delivery time."""
+        delay = self.transfer_time(nbytes)
+        stats = self.app_to_db if to_db else self.db_to_app
+        stats.record(nbytes + self.per_message_overhead)
+        return delay
+
+    def total_bytes(self) -> int:
+        return self.app_to_db.bytes + self.db_to_app.bytes
+
+    def total_messages(self) -> int:
+        return self.app_to_db.messages + self.db_to_app.messages
+
+    def reset_stats(self) -> None:
+        self.app_to_db.reset()
+        self.db_to_app.reset()

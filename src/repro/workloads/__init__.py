@@ -1,0 +1,75 @@
+"""Benchmark workloads (the paper's Section 7).
+
+* :mod:`repro.workloads.tpcc` -- a TPC-C implementation (schema,
+  loader, new-order / payment / order-status transactions, the spec's
+  NURand input generator);
+* :mod:`repro.workloads.tpcw` -- a TPC-W browsing-mix implementation
+  (schema, loader, web interactions, emulated-browser mix);
+* :mod:`repro.workloads.micro` -- the two microbenchmarks: the
+  linked-list runtime-overhead benchmark (Section 7.3) and the
+  query -> compute -> query three-phase program (Section 7.4).
+
+Workload application classes are written in the partitionable subset
+(see :mod:`repro.lang.parser`) and double as both the Pyxis input and
+the oracle programs for correctness tests.
+"""
+
+from repro.workloads.tpcc import (
+    TPCC_SOURCE,
+    TPCC_ENTRY_POINTS,
+    TpccScale,
+    TpccInputGenerator,
+    create_tpcc_schema,
+    load_tpcc,
+    make_tpcc_database,
+    customer_last_name,
+    nurand,
+)
+from repro.workloads.tpcw import (
+    TPCW_SOURCE,
+    TPCW_ENTRY_POINTS,
+    TpcwScale,
+    BrowsingMix,
+    create_tpcw_schema,
+    load_tpcw,
+    make_tpcw_database,
+)
+from repro.workloads.micro import (
+    LINKED_LIST_SOURCE,
+    LINKED_LIST_ENTRY_POINTS,
+    THREE_PHASE_SOURCE,
+    THREE_PHASE_ENTRY_POINTS,
+    MicroScale,
+    create_micro_schema,
+    load_micro,
+    make_micro_database,
+    native_linked_list,
+)
+
+__all__ = [
+    "TPCC_SOURCE",
+    "TPCC_ENTRY_POINTS",
+    "TpccScale",
+    "TpccInputGenerator",
+    "create_tpcc_schema",
+    "load_tpcc",
+    "make_tpcc_database",
+    "customer_last_name",
+    "nurand",
+    "TPCW_SOURCE",
+    "TPCW_ENTRY_POINTS",
+    "TpcwScale",
+    "BrowsingMix",
+    "create_tpcw_schema",
+    "load_tpcw",
+    "make_tpcw_database",
+    "LINKED_LIST_SOURCE",
+    "LINKED_LIST_ENTRY_POINTS",
+    "THREE_PHASE_SOURCE",
+    "THREE_PHASE_ENTRY_POINTS",
+    "MicroScale",
+    "create_micro_schema",
+    "load_micro",
+    "make_micro_database",
+    "native_linked_list",
+]

@@ -1,0 +1,159 @@
+"""Microbenchmarks (Sections 7.3 and 7.4).
+
+* **Microbenchmark 1** -- a linked-list program with all fields and
+  code placed on one server: no control transfers, so the measured
+  slowdown versus native Python is pure Pyxis runtime overhead
+  (managed stack + heap + block dispatch).  The paper reports ~6x
+  versus native Java.
+
+* **Microbenchmark 2** -- three sequential tasks: many small SELECTs,
+  a compute-intensive SHA-1 loop, and more SELECTs.  Partitioned under
+  low / medium / high CPU budgets it yields the paper's three
+  qualitatively different programs: APP (all logic on the application
+  server), APP--DB (queries on the database, compute on the
+  application server) and DB (everything on the database server).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.engine import Database
+from repro.db.jdbc import Connection
+
+
+def create_micro_schema(db: Database) -> None:
+    db.create_table(
+        "kv",
+        [("k", "int", False), ("v", "float")],
+        primary_key=["k"],
+    )
+
+
+def load_micro(db: Database, rows: int = 100, seed: int = 3) -> None:
+    rng = random.Random(seed)
+    kv = db.table("kv")
+    for key in range(rows):
+        kv.insert((key, round(rng.uniform(0.0, 10.0), 3)))
+
+
+LINKED_LIST_SOURCE = '''
+class ListNode:
+    def init_node(self, value):
+        self.value = value
+        self.next_set = 0
+
+    def set_next(self, node):
+        self.next_node = node
+        self.next_set = 1
+
+
+class LinkedList:
+    def build(self, n):
+        head = ListNode()
+        head.init_node(0)
+        current = head
+        i = 1
+        while i < n:
+            node = ListNode()
+            node.init_node(i)
+            current.set_next(node)
+            current = node
+            i = i + 1
+        self.head = head
+        self.length = n
+        return n
+
+    def total(self):
+        acc = 0
+        node = self.head
+        visiting = 1
+        while visiting == 1:
+            acc = acc + node.value
+            if node.next_set == 1:
+                node = node.next_node
+            else:
+                visiting = 0
+        return acc
+
+    def run(self, n):
+        self.build(n)
+        return self.total()
+'''
+
+LINKED_LIST_ENTRY_POINTS = [("LinkedList", "run")]
+
+
+def native_linked_list(n: int) -> int:
+    """The plain-Python equivalent of ``LinkedList.run`` (micro1 baseline)."""
+
+    class _Node:
+        __slots__ = ("value", "next_node")
+
+        def __init__(self, value: int) -> None:
+            self.value = value
+            self.next_node = None
+
+    head = _Node(0)
+    current = head
+    for i in range(1, n):
+        node = _Node(i)
+        current.next_node = node
+        current = node
+    acc = 0
+    walker = head
+    while walker is not None:
+        acc += walker.value
+        walker = walker.next_node
+    return acc
+
+
+THREE_PHASE_SOURCE = '''
+class ThreePhase:
+    def run(self, n_queries, n_hashes, n_keys):
+        total = 0.0
+        i = 0
+        while i < n_queries:
+            v = self.db.query_scalar("SELECT v FROM kv WHERE k = ?",
+                                     i % n_keys)
+            total = total + v
+            i = i + 1
+        digest = "seed"
+        j = 0
+        while j < n_hashes:
+            digest = sha1_hex(digest)
+            j = j + 1
+        k = 0
+        while k < n_queries:
+            v2 = self.db.query_scalar("SELECT v FROM kv WHERE k = ?",
+                                      k % n_keys)
+            total = total + v2
+            k = k + 1
+        return total
+'''
+
+THREE_PHASE_ENTRY_POINTS = [("ThreePhase", "run")]
+
+
+@dataclass(frozen=True)
+class MicroScale:
+    """Scaled-down Microbenchmark-2 parameters.
+
+    Paper: 100k selects per phase and 500k SHA-1 digests; we shrink by
+    ~1000x, preserving the compute-to-query ratio that creates the
+    three-way partitioning choice.
+    """
+
+    queries_per_phase: int = 100
+    hashes: int = 500
+    keys: int = 100
+
+
+def make_micro_database(rows: int = 100, seed: int = 3) -> tuple[Database, Connection]:
+    from repro.db.jdbc import connect
+
+    db = Database("micro")
+    create_micro_schema(db)
+    load_micro(db, rows=rows, seed=seed)
+    return db, connect(db)

@@ -1,0 +1,373 @@
+"""TPC-C workload (scaled down; structure faithful to the spec).
+
+The paper drives TPC-C with 20 clients issuing *new-order*
+transactions against 20 warehouses (Section 7.1).  This module
+provides the schema, a deterministic loader, the standard TPC-C
+random-input generator (NURand and friends), and the transaction
+programs written in the partitionable subset.  The scale is reduced so
+the whole database fits comfortably in memory -- absolute numbers
+shrink, the round-trip structure per transaction is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.catalog import IndexSpec
+from repro.db.engine import Database
+from repro.db.jdbc import Connection
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    """Scaled-down TPC-C cardinalities (spec values in comments)."""
+
+    warehouses: int = 2          # paper: 20
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 120   # spec: 3000
+    items: int = 1000                   # spec: 100000
+
+
+def create_tpcc_schema(db: Database) -> None:
+    """Create the nine TPC-C tables used by our transactions."""
+    db.create_table(
+        "warehouse",
+        [("w_id", "int", False), ("w_name", "text"), ("w_tax", "float"),
+         ("w_ytd", "float")],
+        primary_key=["w_id"],
+    )
+    db.create_table(
+        "district",
+        [("d_id", "int", False), ("d_w_id", "int", False),
+         ("d_name", "text"), ("d_tax", "float"),
+         ("d_ytd", "float"), ("d_next_o_id", "int")],
+        primary_key=["d_w_id", "d_id"],
+    )
+    db.create_table(
+        "customer",
+        [("c_id", "int", False), ("c_d_id", "int", False),
+         ("c_w_id", "int", False), ("c_first", "text"), ("c_last", "text"),
+         ("c_credit", "text"), ("c_discount", "float"),
+         ("c_balance", "float"), ("c_ytd_payment", "float"),
+         ("c_payment_cnt", "int")],
+        primary_key=["c_w_id", "c_d_id", "c_id"],
+        indexes=[
+            IndexSpec(
+                "customer_by_last", ("c_w_id", "c_d_id", "c_last"),
+                ordered=True,
+            )
+        ],
+    )
+    db.create_table(
+        "item",
+        [("i_id", "int", False), ("i_name", "text"), ("i_price", "float"),
+         ("i_data", "text")],
+        primary_key=["i_id"],
+    )
+    db.create_table(
+        "stock",
+        [("s_i_id", "int", False), ("s_w_id", "int", False),
+         ("s_quantity", "int"), ("s_ytd", "float"), ("s_order_cnt", "int"),
+         ("s_remote_cnt", "int"), ("s_dist_info", "text")],
+        primary_key=["s_w_id", "s_i_id"],
+    )
+    db.create_table(
+        "orders",
+        [("o_id", "int", False), ("o_d_id", "int", False),
+         ("o_w_id", "int", False), ("o_c_id", "int"),
+         ("o_entry_d", "int"), ("o_ol_cnt", "int"), ("o_all_local", "int")],
+        primary_key=["o_w_id", "o_d_id", "o_id"],
+        indexes=[
+            IndexSpec(
+                "orders_by_customer", ("o_w_id", "o_d_id", "o_c_id", "o_id"),
+                ordered=True,
+            )
+        ],
+    )
+    db.create_table(
+        "new_order",
+        [("no_o_id", "int", False), ("no_d_id", "int", False),
+         ("no_w_id", "int", False)],
+        primary_key=["no_w_id", "no_d_id", "no_o_id"],
+    )
+    db.create_table(
+        "order_line",
+        [("ol_o_id", "int", False), ("ol_d_id", "int", False),
+         ("ol_w_id", "int", False), ("ol_number", "int", False),
+         ("ol_i_id", "int"), ("ol_supply_w_id", "int"),
+         ("ol_quantity", "int"), ("ol_amount", "float"),
+         ("ol_dist_info", "text")],
+        primary_key=["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+    )
+    db.create_table(
+        "history",
+        [("h_id", "int", False), ("h_c_id", "int"), ("h_c_d_id", "int"),
+         ("h_c_w_id", "int"), ("h_d_id", "int"), ("h_w_id", "int"),
+         ("h_amount", "float"), ("h_data", "text")],
+        primary_key=["h_id"],
+    )
+
+
+_LAST_NAME_PARTS = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+def customer_last_name(number: int) -> str:
+    """Standard TPC-C last-name synthesis from a three-digit number."""
+    return (
+        _LAST_NAME_PARTS[(number // 100) % 10]
+        + _LAST_NAME_PARTS[(number // 10) % 10]
+        + _LAST_NAME_PARTS[number % 10]
+    )
+
+
+def load_tpcc(db: Database, scale: TpccScale, seed: int = 42) -> None:
+    """Populate the database (direct engine inserts for speed)."""
+    rng = random.Random(seed)
+    warehouse = db.table("warehouse")
+    district = db.table("district")
+    customer = db.table("customer")
+    item = db.table("item")
+    stock = db.table("stock")
+
+    for i_id in range(1, scale.items + 1):
+        item.insert(
+            (i_id, f"item-{i_id}", round(rng.uniform(1.0, 100.0), 2),
+             f"data-{i_id}")
+        )
+    for w_id in range(1, scale.warehouses + 1):
+        warehouse.insert(
+            (w_id, f"wh-{w_id}", round(rng.uniform(0.0, 0.2), 4), 0.0)
+        )
+        for i_id in range(1, scale.items + 1):
+            stock.insert(
+                (i_id, w_id, rng.randint(10, 100), 0.0, 0, 0,
+                 f"dist-{w_id}-{i_id % 10}")
+            )
+        for d_id in range(1, scale.districts_per_warehouse + 1):
+            district.insert(
+                (d_id, w_id, f"dist-{d_id}",
+                 round(rng.uniform(0.0, 0.2), 4), 0.0, 1)
+            )
+            for c_id in range(1, scale.customers_per_district + 1):
+                credit = "BC" if rng.random() < 0.1 else "GC"
+                customer.insert(
+                    (c_id, d_id, w_id, f"first-{c_id}",
+                     customer_last_name(
+                         nurand(rng, 255, 0, 999)
+                         if c_id > 1000 else c_id % 1000
+                     ),
+                     credit, round(rng.uniform(0.0, 0.5), 4),
+                     -10.0, 10.0, 1)
+                )
+
+
+def nurand(rng: random.Random, a: int, x: int, y: int, c: int = 7) -> int:
+    """The spec's non-uniform random function NURand(A, x, y)."""
+    return (
+        ((rng.randint(0, a) | rng.randint(x, y)) + c) % (y - x + 1)
+    ) + x
+
+
+@dataclass
+class NewOrderInput:
+    w_id: int
+    d_id: int
+    c_id: int
+    item_ids: list[int]
+    supply_w_ids: list[int]
+    quantities: list[int]
+    rollback: bool
+
+
+@dataclass
+class PaymentInput:
+    w_id: int
+    d_id: int
+    c_w_id: int
+    c_d_id: int
+    c_id: int
+    amount: float
+
+
+class TpccInputGenerator:
+    """Deterministic TPC-C input generator (spec clause 2.4 shapes)."""
+
+    def __init__(self, scale: TpccScale, seed: int = 7) -> None:
+        self.scale = scale
+        self.rng = random.Random(seed)
+
+    def new_order(self, rollback_fraction: float = 0.1) -> NewOrderInput:
+        """Paper setup: 10% of transactions are rolled back."""
+        rng = self.rng
+        w_id = rng.randint(1, self.scale.warehouses)
+        d_id = rng.randint(1, self.scale.districts_per_warehouse)
+        c_id = 1 + nurand(rng, 1023, 0, self.scale.customers_per_district - 1)
+        ol_cnt = rng.randint(5, 15)
+        item_ids = []
+        supply_w_ids = []
+        quantities = []
+        for _ in range(ol_cnt):
+            item_ids.append(1 + nurand(rng, 8191, 0, self.scale.items - 1))
+            if self.scale.warehouses > 1 and rng.random() < 0.01:
+                remote = rng.randint(1, self.scale.warehouses - 1)
+                supply_w_ids.append(
+                    remote if remote < w_id else remote + 1
+                )
+            else:
+                supply_w_ids.append(w_id)
+            quantities.append(rng.randint(1, 10))
+        return NewOrderInput(
+            w_id=w_id,
+            d_id=d_id,
+            c_id=c_id,
+            item_ids=item_ids,
+            supply_w_ids=supply_w_ids,
+            quantities=quantities,
+            rollback=rng.random() < rollback_fraction,
+        )
+
+    def payment(self) -> PaymentInput:
+        rng = self.rng
+        w_id = rng.randint(1, self.scale.warehouses)
+        d_id = rng.randint(1, self.scale.districts_per_warehouse)
+        return PaymentInput(
+            w_id=w_id,
+            d_id=d_id,
+            c_w_id=w_id,
+            c_d_id=d_id,
+            c_id=1 + nurand(
+                rng, 1023, 0, self.scale.customers_per_district - 1
+            ),
+            amount=round(rng.uniform(1.0, 5000.0), 2),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The transaction programs, written in the partitionable subset.  These
+# strings are the Pyxis *input*; the oracle interpreter runs the same
+# IR directly for correctness comparisons.
+# ---------------------------------------------------------------------------
+
+TPCC_SOURCE = '''
+class TpccTransactions:
+    def new_order(self, w_id, d_id, c_id, item_ids, supply_w_ids, quantities):
+        w_tax = self.db.query_scalar(
+            "SELECT w_tax FROM warehouse WHERE w_id = ?", w_id)
+        district = self.db.query_one(
+            "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+            w_id, d_id)
+        d_tax = district.get("d_tax")
+        o_id = district.get("d_next_o_id")
+        self.db.execute(
+            "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?",
+            w_id, d_id)
+        customer = self.db.query_one(
+            "SELECT c_discount, c_last, c_credit FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            w_id, d_id, c_id)
+        c_discount = customer.get("c_discount")
+        ol_cnt = len(item_ids)
+        all_local = 1
+        for supply_id in supply_w_ids:
+            if supply_id != w_id:
+                all_local = 0
+        self.db.execute(
+            "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_ol_cnt, o_all_local) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            o_id, d_id, w_id, c_id, 0, ol_cnt, all_local)
+        self.db.execute(
+            "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES (?, ?, ?)",
+            o_id, d_id, w_id)
+        total = 0.0
+        i = 0
+        for item_id in item_ids:
+            qty = quantities[i]
+            supply_w = supply_w_ids[i]
+            price = self.db.query_scalar(
+                "SELECT i_price FROM item WHERE i_id = ?", item_id)
+            stock = self.db.query_one(
+                "SELECT s_quantity, s_dist_info FROM stock WHERE s_w_id = ? AND s_i_id = ?",
+                supply_w, item_id)
+            s_qty = stock.get("s_quantity")
+            if s_qty > qty + 10:
+                s_qty = s_qty - qty
+            else:
+                s_qty = s_qty - qty + 91
+            remote_inc = 0
+            if supply_w != w_id:
+                remote_inc = 1
+            self.db.execute(
+                "UPDATE stock SET s_quantity = ?, s_ytd = s_ytd + ?, s_order_cnt = s_order_cnt + 1, s_remote_cnt = s_remote_cnt + ? WHERE s_w_id = ? AND s_i_id = ?",
+                s_qty, qty, remote_inc, supply_w, item_id)
+            amount = qty * price
+            total = total + amount
+            ol_number = i + 1
+            self.db.execute(
+                "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_dist_info) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                o_id, d_id, w_id, ol_number, item_id, supply_w, qty,
+                amount, stock.get("s_dist_info"))
+            i = i + 1
+        total = total * (1.0 - c_discount) * (1.0 + w_tax + d_tax)
+        return total
+
+    def payment(self, w_id, d_id, c_w_id, c_d_id, c_id, amount):
+        self.db.execute(
+            "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+            amount, w_id)
+        self.db.execute(
+            "UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_id = ?",
+            amount, w_id, d_id)
+        customer = self.db.query_one(
+            "SELECT c_balance, c_ytd_payment, c_payment_cnt, c_credit FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            c_w_id, c_d_id, c_id)
+        balance = customer.get("c_balance") - amount
+        ytd = customer.get("c_ytd_payment") + amount
+        cnt = customer.get("c_payment_cnt") + 1
+        self.db.execute(
+            "UPDATE customer SET c_balance = ?, c_ytd_payment = ?, c_payment_cnt = ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            balance, ytd, cnt, c_w_id, c_d_id, c_id)
+        h_id = w_id * 1000000 + d_id * 100000 + cnt * 100 + c_id
+        self.db.execute(
+            "INSERT INTO history (h_id, h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_amount, h_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            h_id, c_id, c_d_id, c_w_id, d_id, w_id, amount, "payment")
+        return balance
+
+    def order_status(self, w_id, d_id, c_id):
+        customer = self.db.query_one(
+            "SELECT c_balance, c_first, c_last FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            w_id, d_id, c_id)
+        orders = self.db.query(
+            "SELECT o_id, o_entry_d, o_ol_cnt FROM orders WHERE o_w_id = ? AND o_d_id = ? AND o_c_id = ? ORDER BY o_id DESC LIMIT 1",
+            w_id, d_id, c_id)
+        total_lines = 0
+        if len(orders) > 0:
+            order = orders.first()
+            o_id = order.get("o_id")
+            lines = self.db.query(
+                "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                w_id, d_id, o_id)
+            for line in lines:
+                total_lines = total_lines + 1
+        return total_lines
+'''
+
+TPCC_ENTRY_POINTS = [
+    ("TpccTransactions", "new_order"),
+    ("TpccTransactions", "payment"),
+    ("TpccTransactions", "order_status"),
+]
+
+
+def make_tpcc_database(
+    scale: TpccScale | None = None, seed: int = 42
+) -> tuple[Database, Connection]:
+    """Create, load and connect to a TPC-C database."""
+    from repro.db.jdbc import connect
+
+    scale = scale if scale is not None else TpccScale()
+    db = Database("tpcc")
+    create_tpcc_schema(db)
+    load_tpcc(db, scale, seed=seed)
+    return db, connect(db)

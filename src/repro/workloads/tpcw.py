@@ -1,0 +1,316 @@
+"""TPC-W browsing-mix workload (scaled down).
+
+The paper drives TPC-W with 20 emulated browsers under the browsing
+mix against 10,000 items (Section 7.2).  We implement the web
+interactions that dominate that mix.  Each interaction mixes queries
+with HTML-building application logic, which is why the paper observes
+a larger gap between Pyxis and Manual here than on TPC-C -- and one
+interaction (order inquiry) touches no data at all, which Pyxis
+correctly leaves on the application server even with a high budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.catalog import IndexSpec
+from repro.db.engine import Database
+from repro.db.jdbc import Connection
+
+SUBJECTS = (
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS",
+    "COOKING", "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE",
+    "MYSTERY", "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
+    "RELIGION", "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION",
+    "SPORTS", "YOUTH", "TRAVEL",
+)
+
+
+@dataclass(frozen=True)
+class TpcwScale:
+    """Scaled-down cardinalities (paper: 10,000 items; minimum 97
+    items -- home-page promotions and related-item links address ids
+    in 1..97)."""
+
+    items: int = 1000
+    authors: int = 250
+    customers: int = 500
+    orders: int = 600
+    max_lines_per_order: int = 5
+
+
+def create_tpcw_schema(db: Database) -> None:
+    db.create_table(
+        "author",
+        [("a_id", "int", False), ("a_fname", "text"), ("a_lname", "text")],
+        primary_key=["a_id"],
+    )
+    db.create_table(
+        "tw_item",
+        [("i_id", "int", False), ("i_title", "text"), ("i_a_id", "int"),
+         ("i_subject", "text"), ("i_cost", "float"), ("i_pub_date", "int"),
+         ("i_stock", "int"), ("i_total_sold", "int")],
+        primary_key=["i_id"],
+        indexes=[
+            IndexSpec("item_by_subject", ("i_subject", "i_pub_date"),
+                      ordered=True),
+            IndexSpec("item_by_author", ("i_a_id",)),
+        ],
+    )
+    db.create_table(
+        "tw_customer",
+        [("c_id", "int", False), ("c_uname", "text"), ("c_fname", "text"),
+         ("c_lname", "text"), ("c_discount", "float")],
+        primary_key=["c_id"],
+    )
+    db.create_table(
+        "tw_orders",
+        [("o_id", "int", False), ("o_c_id", "int"), ("o_date", "int"),
+         ("o_total", "float")],
+        primary_key=["o_id"],
+        indexes=[IndexSpec("orders_by_customer2", ("o_c_id",))],
+    )
+    db.create_table(
+        "tw_order_line",
+        [("ol_id", "int", False), ("ol_o_id", "int", False),
+         ("ol_i_id", "int"), ("ol_qty", "int"), ("ol_discount", "float")],
+        primary_key=["ol_o_id", "ol_id"],
+        indexes=[
+            IndexSpec("ol_by_item", ("ol_i_id",)),
+            IndexSpec("ol_by_order", ("ol_o_id",)),
+        ],
+    )
+
+
+def load_tpcw(db: Database, scale: TpcwScale, seed: int = 11) -> None:
+    rng = random.Random(seed)
+    author = db.table("author")
+    item = db.table("tw_item")
+    customer = db.table("tw_customer")
+    orders = db.table("tw_orders")
+    order_line = db.table("tw_order_line")
+
+    for a_id in range(1, scale.authors + 1):
+        author.insert((a_id, f"first{a_id}", f"last{a_id % 97}"))
+    for i_id in range(1, scale.items + 1):
+        item.insert(
+            (i_id, f"Title {i_id}", rng.randint(1, scale.authors),
+             SUBJECTS[i_id % len(SUBJECTS)],
+             round(rng.uniform(5.0, 100.0), 2),
+             rng.randint(1990, 2011), rng.randint(0, 500), 0)
+        )
+    for c_id in range(1, scale.customers + 1):
+        customer.insert(
+            (c_id, f"user{c_id}", f"fn{c_id}", f"ln{c_id % 83}",
+             round(rng.uniform(0.0, 0.3), 3))
+        )
+    for o_id in range(1, scale.orders + 1):
+        c_id = rng.randint(1, scale.customers)
+        orders.insert((o_id, c_id, rng.randint(2005, 2011), 0.0))
+        total = 0.0
+        for ol_id in range(1, rng.randint(1, scale.max_lines_per_order) + 1):
+            i_id = rng.randint(1, scale.items)
+            qty = rng.randint(1, 5)
+            order_line.insert(
+                (ol_id, o_id, i_id, qty, round(rng.uniform(0.0, 0.2), 3))
+            )
+            total += qty
+        db.table("tw_orders").update(
+            db.table("tw_orders").lookup_pk((o_id,)), {"o_total": total}
+        )
+
+
+TPCW_SOURCE = '''
+class TpcwBrowsing:
+    def home(self, c_id):
+        customer = self.db.query_one(
+            "SELECT c_fname, c_lname, c_discount FROM tw_customer WHERE c_id = ?",
+            c_id)
+        discount = customer.get("c_discount")
+        html = concat("<html><body>Welcome ", customer.get("c_fname"),
+                      " ", customer.get("c_lname"))
+        offsets = [1, 2, 3, 4, 5]
+        for k in offsets:
+            pid = (c_id * 13 + k * 17) % 97 + 1
+            promo = self.db.query_one(
+                "SELECT i_title, i_cost FROM tw_item WHERE i_id = ?", pid)
+            price = promo.get("i_cost") * (1.0 - discount)
+            html = concat(html, "<li>", promo.get("i_title"), " $",
+                          round(price, 2))
+        html = concat(html, "</body></html>")
+        return html
+
+    def new_products(self, subject):
+        rows = self.db.query(
+            "SELECT i.i_id, i.i_title, i.i_pub_date, i.i_cost, a.a_fname, a.a_lname FROM tw_item i JOIN author a ON i.i_a_id = a.a_id WHERE i.i_subject = ? ORDER BY i.i_pub_date DESC, i.i_title LIMIT 10",
+            subject)
+        html = concat("<h1>New in ", subject, "</h1>")
+        count = 0
+        for row in rows:
+            html = concat(html, "<li>", row.get("i_title"), " by ",
+                          row.get("a_fname"), " ", row.get("a_lname"))
+            count = count + 1
+        return count
+
+    def best_sellers(self, subject):
+        rows = self.db.query(
+            "SELECT i.i_id, i.i_title, SUM(ol.ol_qty) AS sold FROM tw_order_line ol JOIN tw_item i ON ol.ol_i_id = i.i_id WHERE i.i_subject = ? GROUP BY i.i_id, i.i_title ORDER BY sold DESC LIMIT 10",
+            subject)
+        best_id = 0
+        best_sold = 0
+        for row in rows:
+            sold = row.get("sold")
+            if sold > best_sold:
+                best_sold = sold
+                best_id = row.get("i_id")
+        return best_id
+
+    def product_detail(self, i_id):
+        item = self.db.query_one(
+            "SELECT i_title, i_a_id, i_subject, i_cost, i_stock FROM tw_item WHERE i_id = ?",
+            i_id)
+        author = self.db.query_one(
+            "SELECT a_fname, a_lname FROM author WHERE a_id = ?",
+            item.get("i_a_id"))
+        in_stock = 0
+        if item.get("i_stock") > 0:
+            in_stock = 1
+        cost = item.get("i_cost")
+        srp = round(cost * 1.25, 2)
+        html = concat("<h1>", item.get("i_title"), "</h1> by ",
+                      author.get("a_fname"), " ", author.get("a_lname"),
+                      " $", cost, " (srp $", srp, ") stock:", in_stock)
+        related = [1, 2, 3]
+        for offset in related:
+            rid = (i_id + offset * 31) % 97 + 1
+            rel = self.db.query_one(
+                "SELECT i_title, i_cost FROM tw_item WHERE i_id = ?", rid)
+            html = concat(html, "<li>also: ", rel.get("i_title"))
+        return html
+
+    def search_by_author(self, last_name):
+        rows = self.db.query(
+            "SELECT i.i_id, i.i_title FROM tw_item i JOIN author a ON i.i_a_id = a.a_id WHERE a.a_lname = ? ORDER BY i.i_title LIMIT 20",
+            last_name)
+        count = 0
+        for row in rows:
+            count = count + 1
+        return count
+
+    def order_inquiry(self, c_uname):
+        html = concat("<html><body><form action='order_display'>",
+                      "<input name='uname' value='", c_uname, "'>",
+                      "<input type='password' name='passwd'>",
+                      "</form></body></html>")
+        parts = 0
+        i = 0
+        while i < 5:
+            html = concat(html, "<!-- pad -->")
+            parts = parts + 1
+            i = i + 1
+        return html
+
+    def order_display(self, c_id):
+        orders = self.db.query(
+            "SELECT o_id, o_date, o_total FROM tw_orders WHERE o_c_id = ? ORDER BY o_id DESC LIMIT 1",
+            c_id)
+        total_qty = 0
+        if len(orders) > 0:
+            order = orders.first()
+            lines = self.db.query(
+                "SELECT ol_i_id, ol_qty FROM tw_order_line WHERE ol_o_id = ?",
+                order.get("o_id"))
+            for line in lines:
+                title = self.db.query_one(
+                    "SELECT i_title FROM tw_item WHERE i_id = ?",
+                    line.get("ol_i_id"))
+                if title.get("i_title") != "":
+                    total_qty = total_qty + line.get("ol_qty")
+        return total_qty
+'''
+
+TPCW_ENTRY_POINTS = [
+    ("TpcwBrowsing", "home"),
+    ("TpcwBrowsing", "new_products"),
+    ("TpcwBrowsing", "best_sellers"),
+    ("TpcwBrowsing", "product_detail"),
+    ("TpcwBrowsing", "search_by_author"),
+    ("TpcwBrowsing", "order_inquiry"),
+    ("TpcwBrowsing", "order_display"),
+]
+
+
+@dataclass
+class Interaction:
+    """One generated web interaction: method name + arguments."""
+
+    method: str
+    args: tuple
+
+
+class BrowsingMix:
+    """The TPC-W browsing-mix interaction generator.
+
+    Weights approximate the spec's browsing mix: browse-heavy, with a
+    small fraction of order inquiries (the no-database interaction the
+    paper calls out in Section 7.2).
+    """
+
+    WEIGHTS = (
+        ("home", 29),
+        ("new_products", 12),
+        ("best_sellers", 12),
+        ("product_detail", 22),
+        ("search_by_author", 13),
+        ("order_inquiry", 6),
+        ("order_display", 6),
+    )
+
+    def __init__(self, scale: TpcwScale, seed: int = 23) -> None:
+        self.scale = scale
+        self.rng = random.Random(seed)
+        self._population = [name for name, w in self.WEIGHTS for _ in range(w)]
+
+    def next_interaction(self) -> Interaction:
+        method = self.rng.choice(self._population)
+        if method == "home":
+            return Interaction(
+                "home", (self.rng.randint(1, self.scale.customers),)
+            )
+        if method == "new_products":
+            return Interaction(
+                "new_products", (self.rng.choice(SUBJECTS),)
+            )
+        if method == "best_sellers":
+            return Interaction(
+                "best_sellers", (self.rng.choice(SUBJECTS),)
+            )
+        if method == "product_detail":
+            return Interaction(
+                "product_detail", (self.rng.randint(1, self.scale.items),)
+            )
+        if method == "search_by_author":
+            return Interaction(
+                "search_by_author", (f"last{self.rng.randint(0, 96)}",)
+            )
+        if method == "order_inquiry":
+            return Interaction(
+                "order_inquiry",
+                (f"user{self.rng.randint(1, self.scale.customers)}",),
+            )
+        return Interaction(
+            "order_display", (self.rng.randint(1, self.scale.customers),)
+        )
+
+
+def make_tpcw_database(
+    scale: TpcwScale | None = None, seed: int = 11
+) -> tuple[Database, Connection]:
+    from repro.db.jdbc import connect
+
+    scale = scale if scale is not None else TpcwScale()
+    db = Database("tpcw")
+    create_tpcw_schema(db)
+    load_tpcw(db, scale, seed=seed)
+    return db, connect(db)

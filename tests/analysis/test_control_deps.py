@@ -1,0 +1,95 @@
+"""Control dependence (FOW)."""
+
+import pytest
+
+from repro.analysis import control_dependencies
+from repro.lang import build_cfg, parse_source
+from repro.lang.cfg import ENTRY
+from repro.lang.ir import ForEach, If, While
+
+
+def deps_for(body: str):
+    source = f"class T:\n    def m(self, x):\n{body}"
+    program = parse_source(source, entry_points=[("T", "m")])
+    func = program.function("T", "m")
+    return func, control_dependencies(build_cfg(func))
+
+
+class TestControlDependence:
+    def test_top_level_depends_on_entry(self):
+        func, deps = deps_for("        a = x\n        b = a\n        return b")
+        sids = {s.sid for s in func.body.stmts}
+        assert deps[ENTRY] == sids
+
+    def test_branch_controls_its_arms_only(self):
+        func, deps = deps_for(
+            "        if x > 0:\n            a = 1\n"
+            "        else:\n            a = 2\n"
+            "        return a"
+        )
+        branch = next(s for s in func.walk() if isinstance(s, If))
+        then_sid = branch.then.stmts[0].sid
+        else_sid = branch.orelse.stmts[0].sid
+        assert deps[branch.sid] == {then_sid, else_sid}
+
+    def test_join_not_dependent_on_branch(self):
+        func, deps = deps_for(
+            "        if x > 0:\n            a = 1\n"
+            "        else:\n            a = 2\n"
+            "        return a"
+        )
+        branch = next(s for s in func.walk() if isinstance(s, If))
+        from repro.lang.ir import Return
+
+        ret = next(s for s in func.walk() if isinstance(s, Return))
+        assert ret.sid not in deps.get(branch.sid, set())
+
+    def test_loop_controls_body_and_itself(self):
+        func, deps = deps_for(
+            "        t = [1, 2]\n        for v in t:\n            a = v\n"
+            "        return x"
+        )
+        loop = next(s for s in func.walk() if isinstance(s, ForEach))
+        body_sid = loop.body.stmts[0].sid
+        assert body_sid in deps[loop.sid]
+        assert loop.sid in deps[loop.sid]  # back edge self-dependence
+
+    def test_while_header_dependent_on_loop(self):
+        func, deps = deps_for(
+            "        while x > 0:\n            x = x - 1\n        return x"
+        )
+        loop = next(s for s in func.walk() if isinstance(s, While))
+        header_sid = loop.header.stmts[0].sid
+        # The header re-executes per iteration: dependent on the loop test.
+        assert header_sid in deps[loop.sid]
+
+    def test_nested_branches(self):
+        func, deps = deps_for(
+            "        if x > 0:\n"
+            "            if x > 10:\n"
+            "                a = 1\n"
+            "        return x"
+        )
+        outer, inner = [s for s in func.walk() if isinstance(s, If)]
+        assert inner.sid in deps[outer.sid]
+        inner_body = inner.then.stmts[0].sid
+        assert inner_body in deps[inner.sid]
+        assert inner_body not in deps[outer.sid]
+
+    def test_if_with_return_makes_following_code_dependent(self):
+        func, deps = deps_for(
+            "        if x > 0:\n            return 1\n        return 2"
+        )
+        branch = next(s for s in func.walk() if isinstance(s, If))
+        from repro.lang.ir import Return
+
+        second_return = [s for s in func.walk() if isinstance(s, Return)][1]
+        # Whether the second return runs is decided by the branch.
+        assert second_return.sid in deps[branch.sid]
+
+    def test_values_contain_only_real_statements(self):
+        func, deps = deps_for(
+            "        while x > 0:\n            x = x - 1\n        return x"
+        )
+        for dependents in deps.values():
+            assert all(sid >= 0 for sid in dependents)

@@ -1,0 +1,135 @@
+"""Def/use chains and statement access footprints."""
+
+import pytest
+
+from repro.analysis.defuse import accesses_of, def_use_chains
+from repro.lang import build_cfg, parse_source
+from repro.lang.cfg import ENTRY
+from repro.lang.ir import Assign, ForEach, VarLV, While
+
+
+def analyze(body: str, extra: str = ""):
+    source = f"class T:\n    def m(self, x):\n{body}\n{extra}"
+    program = parse_source(source, entry_points=[("T", "m")])
+    func = program.function("T", "m")
+    return func, def_use_chains(func, build_cfg(func))
+
+
+def sid_of_assign(func, name):
+    for stmt in func.walk():
+        if isinstance(stmt, Assign) and isinstance(stmt.target, VarLV):
+            if stmt.target.name == name:
+                return stmt.sid
+    raise AssertionError(f"no assignment to {name}")
+
+
+class TestDefUse:
+    def test_straight_line_chain(self):
+        func, du = analyze("        a = x\n        b = a\n        return b")
+        a_def = sid_of_assign(func, "a")
+        b_def = sid_of_assign(func, "b")
+        edges = set(du.edges())
+        assert (a_def, b_def, "a") in edges
+
+    def test_param_uses(self):
+        func, du = analyze("        a = x + 1\n        return a")
+        assert du.param_uses("x") == [sid_of_assign(func, "a")]
+
+    def test_both_branch_defs_reach_join(self):
+        func, du = analyze(
+            "        if x > 0:\n            a = 1\n"
+            "        else:\n            a = 2\n"
+            "        return a"
+        )
+        from repro.lang.ir import Return
+
+        ret = next(s for s in func.walk() if isinstance(s, Return))
+        defs = du.defs_reaching(ret.sid, "a")
+        assert len(defs) == 2
+
+    def test_loop_carried_def(self):
+        func, du = analyze(
+            "        i = 0\n"
+            "        while i < x:\n"
+            "            i = i + 1\n"
+            "        return i"
+        )
+        # The increment's read of i must see both the init and itself.
+        loop = next(s for s in func.walk() if isinstance(s, While))
+        incr = loop.body.stmts[-1]
+        init_sid = func.body.stmts[0].sid
+        defs = du.defs_reaching(incr.sid, "i")
+        assert init_sid in defs
+        assert incr.sid in defs
+
+    def test_kill_hides_earlier_def(self):
+        func, du = analyze(
+            "        a = 1\n        a = 2\n        return a"
+        )
+        from repro.lang.ir import Return
+
+        ret = next(s for s in func.walk() if isinstance(s, Return))
+        second_def = func.body.stmts[1].sid
+        assert du.defs_reaching(ret.sid, "a") == {second_def}
+
+    def test_foreach_defines_loop_var(self):
+        func, du = analyze(
+            "        t = [1, 2]\n"
+            "        for v in t:\n            a = v\n"
+            "        return x"
+        )
+        loop = next(s for s in func.walk() if isinstance(s, ForEach))
+        body = loop.body.stmts[0]
+        assert du.defs_reaching(body.sid, "v") == {loop.sid}
+
+
+class TestAccesses:
+    def test_assign_footprint(self):
+        func, _ = analyze("        a = x + 1")
+        stmt = func.body.stmts[0]
+        acc = accesses_of(stmt)
+        assert acc.var_reads == {"x"}
+        assert acc.var_writes == {"a"}
+
+    def test_field_footprint(self):
+        func, _ = analyze("        self.total = x\n        y = self.total")
+        write_acc = accesses_of(func.body.stmts[0])
+        assert write_acc.field_writes[0][1] == "total"
+        read_acc = accesses_of(func.body.stmts[1])
+        assert read_acc.field_reads[0][1] == "total"
+
+    def test_index_footprint(self):
+        func, _ = analyze(
+            "        t = [0] * x\n        t[0] = 1\n        y = t[0]"
+        )
+        write_acc = accesses_of(func.body.stmts[1])
+        assert write_acc.index_writes
+        read_acc = accesses_of(func.body.stmts[2])
+        assert read_acc.index_reads
+
+    def test_append_counts_as_container_write(self):
+        func, _ = analyze("        t = [1]\n        t.append(x)")
+        acc = accesses_of(func.body.stmts[1])
+        assert acc.index_writes
+
+    def test_db_call_flag(self):
+        func, _ = analyze(
+            '        self.db.execute("DELETE FROM t WHERE a = ?", x)'
+        )
+        acc = accesses_of(func.body.stmts[0])
+        assert acc.has_db_call
+
+    def test_print_flag(self):
+        func, _ = analyze('        print("hello", x)')
+        acc = accesses_of(func.body.stmts[0])
+        assert acc.is_print
+
+    def test_foreach_footprint(self):
+        func, _ = analyze(
+            "        t = [1]\n        for v in t:\n            a = v"
+        )
+        loop = next(s for s in func.walk() if isinstance(s, ForEach))
+        acc = accesses_of(loop)
+        assert "t" in acc.var_reads
+        assert "v" in acc.var_writes
+        assert acc.index_reads

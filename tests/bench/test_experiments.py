@@ -1,0 +1,64 @@
+"""Experiment shape assertions (fast mode).
+
+These are the paper's headline claims, checked end to end: who wins,
+where the crossovers are, and that the dynamic switcher adapts.  The
+full sweeps live in benchmarks/.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig14, micro1
+from repro.bench.report import format_fig14, format_micro1
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14()
+
+    def test_three_partitions_distinct(self, result):
+        fractions = [result.fractions_on_db[p] for p in result.partitions]
+        assert fractions[0] == 0.0
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_paper_diagonal(self, result):
+        # Figure 14's highlighted diagonal: each load level is won by
+        # the partition generated for it.
+        assert result.best_for("no_load") == "DB"
+        assert result.best_for("partial_load") == "APP-DB"
+        assert result.best_for("full_load") == "APP"
+
+    def test_all_times_positive(self, result):
+        assert all(t > 0 for t in result.times.values())
+
+    def test_load_slows_everyone(self, result):
+        for partition in result.partitions:
+            assert (
+                result.times[(partition, "full_load")]
+                > result.times[(partition, "no_load")]
+            )
+
+    def test_report_renders(self, result):
+        text = format_fig14(result)
+        assert "APP-DB" in text and "*" in text
+
+
+class TestMicro1:
+    def test_overhead_is_constant_factor(self):
+        # The runtime is slower by a constant factor (the paper's claim;
+        # their Java runtime measured ~6x, our Python block interpreter
+        # is a larger constant -- see EXPERIMENTS.md).
+        small = micro1(n=100, repeats=2)
+        large = micro1(n=400, repeats=2)
+        assert small.overhead > 1.0
+        assert large.overhead > 1.0
+        # Constant factor: overhead should not explode with n.
+        assert large.overhead < small.overhead * 8
+
+    def test_results_equal(self):
+        result = micro1(n=50, repeats=1)
+        assert result.pyxis_seconds > result.native_seconds
+
+    def test_report_renders(self):
+        text = format_micro1(micro1(n=50, repeats=1))
+        assert "overhead" in text

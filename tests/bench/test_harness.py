@@ -1,0 +1,121 @@
+"""Baseline runners and trace collection."""
+
+import pytest
+
+from repro.bench.harness import (
+    BaselineMode,
+    TraceSet,
+    run_baseline_traced,
+    sweep,
+    tag_lock_groups,
+)
+from repro.core.pipeline import Pyxis
+from repro.sim.cluster import Cluster
+from repro.sim.queueing import StageKind
+from tests.conftest import (
+    ORDER_ENTRY_POINTS,
+    ORDER_SOURCE,
+    make_order_database,
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    from repro.lang import parse_source
+
+    return parse_source(ORDER_SOURCE, entry_points=ORDER_ENTRY_POINTS)
+
+
+class TestBaselines:
+    def test_jdbc_charges_round_trip_per_db_call(self, program):
+        _, conn = make_order_database()
+        cluster = Cluster()
+        result, trace = run_baseline_traced(
+            program, conn, cluster, "Order", "place_order", (7, 0.9),
+            BaselineMode.JDBC,
+        )
+        assert result == pytest.approx(54.0)
+        assert trace.round_trips == 5  # one per DB call
+        assert trace.app_cpu > 0
+        assert trace.db_cpu > 0
+
+    def test_manual_single_round_trip(self, program):
+        _, conn = make_order_database()
+        cluster = Cluster()
+        result, trace = run_baseline_traced(
+            program, conn, cluster, "Order", "place_order", (7, 0.9),
+            BaselineMode.MANUAL,
+        )
+        assert result == pytest.approx(54.0)
+        assert trace.round_trips == 1
+        # Manual runs all program logic on the DB server.
+        assert trace.app_cpu == 0.0
+
+    def test_jdbc_latency_exceeds_manual(self, program):
+        from repro.sim.queueing import SimNetworkParams
+
+        network = SimNetworkParams()
+        latencies = {}
+        for mode in BaselineMode:
+            _, conn = make_order_database()
+            cluster = Cluster()
+            _, trace = run_baseline_traced(
+                program, conn, cluster, "Order", "place_order", (7, 0.9),
+                mode,
+            )
+            latencies[mode] = trace.unloaded_latency(network)
+        assert latencies[BaselineMode.JDBC] > 2 * latencies[BaselineMode.MANUAL]
+
+    def test_jdbc_sends_more_bytes(self, program):
+        byte_totals = {}
+        for mode in BaselineMode:
+            _, conn = make_order_database()
+            cluster = Cluster()
+            _, trace = run_baseline_traced(
+                program, conn, cluster, "Order", "place_order", (7, 0.9),
+                mode,
+            )
+            byte_totals[mode] = trace.bytes_to_db + trace.bytes_to_app
+        assert byte_totals[BaselineMode.JDBC] > byte_totals[BaselineMode.MANUAL]
+
+
+class TestTraceSet:
+    def test_add_and_names(self, program):
+        ts = TraceSet()
+        _, conn = make_order_database()
+        cluster = Cluster()
+        _, trace = run_baseline_traced(
+            program, conn, cluster, "Order", "place_order", (7, 0.9),
+            BaselineMode.JDBC,
+        )
+        ts.add("jdbc", trace)
+        assert ts.names() == ["jdbc"]
+        assert ts.mean_trace("jdbc") is trace
+
+    def test_tag_lock_groups(self, program):
+        _, conn = make_order_database()
+        cluster = Cluster()
+        _, trace = run_baseline_traced(
+            program, conn, cluster, "Order", "place_order", (7, 0.9),
+            BaselineMode.MANUAL,
+        )
+        tagged = tag_lock_groups(trace, 20)
+        assert tagged.lock_groups == 20
+        assert tagged.stages == trace.stages
+
+    def test_sweep_runs_each_rate(self, program):
+        ts = TraceSet()
+        for mode in BaselineMode:
+            _, conn = make_order_database()
+            cluster = Cluster()
+            _, trace = run_baseline_traced(
+                program, conn, cluster, "Order", "place_order", (7, 0.9),
+                mode,
+            )
+            ts.add(mode.value, trace)
+        curves = sweep(
+            ts, rates=[20, 40], duration=5.0, app_cores=8, db_cores=16
+        )
+        assert set(curves) == {"jdbc", "manual"}
+        for results in curves.values():
+            assert len(results) == 2

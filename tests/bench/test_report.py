@@ -1,0 +1,95 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.bench.experiments import (
+    CurvePoint,
+    ExperimentResult,
+    Fig11Result,
+    Fig14Result,
+    Micro1Result,
+)
+from repro.bench.report import (
+    format_curves,
+    format_fig11,
+    format_fig14,
+    format_micro1,
+)
+
+
+def point(rate, latency_ms):
+    return CurvePoint(
+        offered_rate=rate, throughput=rate, latency_ms=latency_ms,
+        p95_latency_ms=latency_ms * 2, app_util=0.1, db_util=0.5,
+        net_kb_per_sec=100.0,
+    )
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult(name="test", notes={"db_cores": 16})
+        result.curves["jdbc"] = [point(100, 30.0), point(200, 40.0)]
+        result.curves["manual"] = [point(100, 10.0), point(200, 12.0)]
+        return result
+
+    def test_best_latency(self):
+        result = self.make()
+        assert result.best_latency("jdbc") == 30.0
+        assert result.best_latency("manual") == 10.0
+
+    def test_max_throughput_with_cap(self):
+        result = self.make()
+        assert result.max_throughput("jdbc", latency_cap_ms=35.0) == 100
+        assert result.max_throughput("jdbc") == 200
+        assert result.max_throughput("jdbc", latency_cap_ms=1.0) == 0.0
+
+    def test_format_curves_contains_all_impls(self):
+        text = format_curves(self.make())
+        assert "jdbc" in text and "manual" in text
+        assert "30.00" in text
+
+
+class TestFig11Formatting:
+    def test_renders_series_and_mix(self):
+        result = Fig11Result(load_time=30.0, rate=100.0)
+        result.buckets = {
+            "jdbc": [(15.0, 0.05), (45.0, 0.05)],
+            "manual": [(15.0, 0.01), (45.0, 0.09)],
+            "pyxis": [(15.0, 0.012), (45.0, 0.055)],
+        }
+        result.pyxis_mix = [(15.0, {"jdbc_like": 0.0}), (45.0, {"jdbc_like": 1.0})]
+        text = format_fig11(result)
+        assert "dynamic switching" in text
+        assert "jdbc" in text and "pyxis" in text
+
+
+class TestFig14Formatting:
+    def test_marks_winner_per_load(self):
+        result = Fig14Result(
+            partitions=["APP", "DB"], loads=["no_load", "full_load"]
+        )
+        result.times = {
+            ("APP", "no_load"): 2.0,
+            ("APP", "full_load"): 1.0,
+            ("DB", "no_load"): 1.0,
+            ("DB", "full_load"): 5.0,
+        }
+        assert result.best_for("no_load") == "DB"
+        assert result.best_for("full_load") == "APP"
+        text = format_fig14(result)
+        assert text.count("*") >= 2
+
+
+class TestMicro1Formatting:
+    def test_overhead_reported(self):
+        result = Micro1Result(
+            native_seconds=0.001, pyxis_seconds=0.1, n=100, repeats=3
+        )
+        assert result.overhead == pytest.approx(100.0)
+        assert "100.0x" in format_micro1(result)
+
+    def test_zero_native_time_guarded(self):
+        result = Micro1Result(
+            native_seconds=0.0, pyxis_seconds=0.1, n=10, repeats=1
+        )
+        assert result.overhead == float("inf")

@@ -1,0 +1,179 @@
+"""Catalog: column types, schemas, validation."""
+
+import pytest
+
+from repro.db.catalog import Catalog, Column, ColumnType, IndexSpec, TableSchema
+from repro.db.errors import (
+    IntegrityError,
+    PlanError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+class TestColumnType:
+    def test_integer_accepts_int(self):
+        assert ColumnType.INTEGER.validate(42) == 42
+
+    def test_integer_accepts_integral_float(self):
+        assert ColumnType.INTEGER.validate(3.0) == 3
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.INTEGER.validate(3.5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.INTEGER.validate(True)
+
+    def test_float_coerces_int(self):
+        value = ColumnType.FLOAT.validate(2)
+        assert value == 2.0
+        assert isinstance(value, float)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.TEXT.validate(5)
+
+    def test_boolean_strict(self):
+        assert ColumnType.BOOLEAN.validate(True) is True
+        with pytest.raises(IntegrityError):
+            ColumnType.BOOLEAN.validate(1)
+
+    def test_none_passes_all_types(self):
+        for column_type in ColumnType:
+            assert column_type.validate(None) is None
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("int", ColumnType.INTEGER),
+            ("BIGINT", ColumnType.INTEGER),
+            ("varchar", ColumnType.TEXT),
+            ("double", ColumnType.FLOAT),
+            ("decimal", ColumnType.FLOAT),
+            ("bool", ColumnType.BOOLEAN),
+        ],
+    )
+    def test_from_name_aliases(self, alias, expected):
+        assert ColumnType.from_name(alias) is expected
+
+    def test_from_name_unknown(self):
+        with pytest.raises(PlanError):
+            ColumnType.from_name("blob")
+
+
+class TestColumn:
+    def test_not_null_enforced(self):
+        column = Column("id", ColumnType.INTEGER, nullable=False)
+        with pytest.raises(IntegrityError):
+            column.validate(None)
+
+    def test_nullable_allows_none(self):
+        column = Column("age", ColumnType.INTEGER)
+        assert column.validate(None) is None
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        "t",
+        [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT),
+            Column("score", ColumnType.FLOAT),
+        ],
+        primary_key=["id"],
+        indexes=[IndexSpec("t_by_name", ("name",))],
+    )
+
+
+class TestTableSchema:
+    def test_offsets(self):
+        schema = make_schema()
+        assert schema.offset("id") == 0
+        assert schema.offset("score") == 2
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema().offset("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(PlanError):
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.INTEGER), Column("a", ColumnType.TEXT)],
+                primary_key=["a"],
+            )
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema(
+                "t", [Column("a", ColumnType.INTEGER)], primary_key=["b"]
+            )
+
+    def test_primary_key_required(self):
+        with pytest.raises(PlanError):
+            TableSchema("t", [Column("a", ColumnType.INTEGER)], primary_key=[])
+
+    def test_validate_row_coerces(self):
+        schema = make_schema()
+        row = schema.validate_row((1, "x", 2))
+        assert row == (1, "x", 2.0)
+        assert isinstance(row[2], float)
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(IntegrityError):
+            make_schema().validate_row((1, "x"))
+
+    def test_key_of(self):
+        schema = make_schema()
+        assert schema.key_of((5, "a", 1.0)) == (5,)
+
+    def test_index_columns_validated(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.INTEGER)],
+                primary_key=["a"],
+                indexes=[IndexSpec("bad", ("zzz",))],
+            )
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(PlanError):
+            IndexSpec("bad", ())
+
+
+class TestCatalog:
+    def test_add_and_get_case_insensitive(self):
+        catalog = Catalog()
+        catalog.add(make_schema())
+        assert catalog.get("T").name == "t"
+        assert catalog.has("t")
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add(make_schema())
+        with pytest.raises(PlanError):
+            catalog.add(make_schema())
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Catalog().get("nope")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.add(make_schema())
+        catalog.drop("t")
+        assert not catalog.has("t")
+        with pytest.raises(UnknownTableError):
+            catalog.drop("t")
+
+    def test_names_sorted(self):
+        catalog = Catalog()
+        for name in ("zeta", "alpha"):
+            catalog.add(
+                TableSchema(
+                    name, [Column("id", ColumnType.INTEGER)], primary_key=["id"]
+                )
+            )
+        assert catalog.names() == ["alpha", "zeta"]

@@ -1,0 +1,184 @@
+"""Storage engine: tables, index maintenance, undo."""
+
+import pytest
+
+from repro.db.catalog import IndexSpec
+from repro.db.engine import Database
+from repro.db.errors import ExecutionError, IntegrityError, UnknownTableError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        "emp",
+        [("id", "int", False), ("dept", "text"), ("salary", "float")],
+        primary_key=["id"],
+        indexes=[
+            IndexSpec("emp_by_dept", ("dept",)),
+            IndexSpec("emp_by_salary", ("salary",), ordered=True),
+        ],
+    )
+    return database
+
+
+class TestTableBasics:
+    def test_insert_and_get(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        assert table.get(rowid) == (1, "eng", 100.0)
+        assert len(table) == 1
+
+    def test_duplicate_pk_rejected(self, db):
+        table = db.table("emp")
+        table.insert((1, "eng", 100.0))
+        with pytest.raises(IntegrityError):
+            table.insert((1, "sales", 90.0))
+
+    def test_null_pk_rejected(self, db):
+        table = db.table("emp")
+        with pytest.raises(IntegrityError):
+            table.insert((None, "eng", 1.0))
+
+    def test_pk_lookup(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((7, "eng", 100.0))
+        assert table.lookup_pk((7,)) == rowid
+        assert table.lookup_pk((8,)) is None
+
+    def test_get_missing_row(self, db):
+        with pytest.raises(ExecutionError):
+            db.table("emp").get(999)
+
+    def test_scan_in_insertion_order(self, db):
+        table = db.table("emp")
+        for i in (3, 1, 2):
+            table.insert((i, "x", float(i)))
+        assert [row[0] for _, row in table.scan()] == [3, 1, 2]
+
+
+class TestIndexMaintenance:
+    def test_secondary_index_updated_on_insert(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        assert table.secondary["emp_by_dept"].lookup(("eng",)) == {rowid}
+
+    def test_secondary_index_updated_on_update(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        table.update(rowid, {"dept": "sales"})
+        assert table.secondary["emp_by_dept"].lookup(("eng",)) == frozenset()
+        assert table.secondary["emp_by_dept"].lookup(("sales",)) == {rowid}
+
+    def test_secondary_index_updated_on_delete(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        table.delete(rowid)
+        assert table.secondary["emp_by_dept"].lookup(("eng",)) == frozenset()
+
+    def test_pk_change_via_update(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        table.update(rowid, {"id": 2})
+        assert table.lookup_pk((1,)) is None
+        assert table.lookup_pk((2,)) == rowid
+
+    def test_pk_update_conflict_rejected(self, db):
+        table = db.table("emp")
+        table.insert((1, "eng", 100.0))
+        rowid, _ = table.insert((2, "eng", 100.0))
+        with pytest.raises(IntegrityError):
+            table.update(rowid, {"id": 1})
+
+    def test_create_index_backfills(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        table.create_index(IndexSpec("emp_by_id2", ("id",)))
+        assert table.secondary["emp_by_id2"].lookup((1,)) == {rowid}
+
+    def test_duplicate_index_name_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.table("emp").create_index(IndexSpec("emp_by_dept", ("dept",)))
+
+    def test_failed_insert_leaves_indexes_clean(self, db):
+        # Unique secondary index: second insert with same dept must fail
+        # atomically, leaving no trace of the attempted row.
+        database = Database()
+        database.create_table(
+            "u",
+            [("id", "int", False), ("email", "text")],
+            primary_key=["id"],
+            indexes=[IndexSpec("u_email", ("email",), unique=True)],
+        )
+        table = database.table("u")
+        table.insert((1, "a@x"))
+        with pytest.raises(IntegrityError):
+            table.insert((2, "a@x"))
+        assert len(table) == 1
+        assert table.lookup_pk((2,)) is None
+
+
+class TestUndo:
+    def test_undo_insert(self, db):
+        table = db.table("emp")
+        rowid, undo = table.insert((1, "eng", 100.0))
+        table.undo(undo)
+        assert len(table) == 0
+        assert table.lookup_pk((1,)) is None
+
+    def test_undo_delete(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        undo = table.delete(rowid)
+        table.undo(undo)
+        assert table.get(rowid) == (1, "eng", 100.0)
+        assert table.secondary["emp_by_dept"].lookup(("eng",)) == {rowid}
+
+    def test_undo_update(self, db):
+        table = db.table("emp")
+        rowid, _ = table.insert((1, "eng", 100.0))
+        undo = table.update(rowid, {"salary": 200.0, "dept": "sales"})
+        table.undo(undo)
+        assert table.get(rowid) == (1, "eng", 100.0)
+        assert table.secondary["emp_by_dept"].lookup(("eng",)) == {rowid}
+
+    def test_undo_sequence_restores_original(self, db):
+        table = db.table("emp")
+        undos = []
+        rowid, undo = table.insert((1, "eng", 100.0))
+        undos.append(undo)
+        undos.append(table.update(rowid, {"salary": 150.0}))
+        rowid2, undo2 = table.insert((2, "sales", 90.0))
+        undos.append(undo2)
+        undos.append(table.delete(rowid))
+        for undo in reversed(undos):
+            table.undo(undo)
+        assert len(table) == 0
+
+
+class TestDatabase:
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.table("nope")
+
+    def test_drop_table(self, db):
+        db.drop_table("emp")
+        assert not db.has_table("emp")
+
+    def test_total_rows(self, db):
+        db.table("emp").insert((1, "a", 1.0))
+        db.table("emp").insert((2, "b", 2.0))
+        assert db.total_rows() == 2
+
+    def test_observer_notified(self, db):
+        events = []
+        db.observer = lambda op, table, rows: events.append((op, table, rows))
+        db.notify("select", "emp", 3)
+        assert events == [("select", "emp", 3)]
+
+    def test_truncate(self, db):
+        table = db.table("emp")
+        table.insert((1, "a", 1.0))
+        table.truncate()
+        assert len(table) == 0
+        assert table.lookup_pk((1,)) is None

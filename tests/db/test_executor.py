@@ -1,0 +1,233 @@
+"""Query execution semantics."""
+
+import pytest
+
+from repro.db import Database, connect
+
+
+@pytest.fixture()
+def conn(people_db):
+    return people_db[1]
+
+
+class TestSelect:
+    def test_point_lookup(self, conn):
+        row = conn.query_one("SELECT name, age FROM person WHERE id = ?", 3)
+        assert row.as_dict() == {"name": "cal", "age": 45}
+
+    def test_index_equality(self, conn):
+        names = [
+            r["name"]
+            for r in conn.query(
+                "SELECT name FROM person WHERE city = ? ORDER BY name", "nyc"
+            )
+        ]
+        assert names == ["bob", "eli"]
+
+    def test_range_scan(self, conn):
+        ids = [
+            r["id"]
+            for r in conn.query(
+                "SELECT id FROM person WHERE age >= ? AND age < ? ORDER BY id",
+                28, 46,
+            )
+        ]
+        assert ids == [1, 2, 3, 4]
+
+    def test_projection_expressions(self, conn):
+        row = conn.query_one(
+            "SELECT score * 2 AS double_score FROM person WHERE id = 1"
+        )
+        assert row["double_score"] == pytest.approx(19.0)
+
+    def test_order_by_desc(self, conn):
+        ages = [
+            r["age"]
+            for r in conn.query(
+                "SELECT age FROM person WHERE age IS NOT NULL ORDER BY age DESC"
+            )
+        ]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_multi_key_sort_stable(self, conn):
+        rows = conn.query(
+            "SELECT age, name FROM person WHERE age IS NOT NULL "
+            "ORDER BY age, name DESC"
+        ).rows
+        assert [r["name"] for r in rows if r["age"] == 28] == ["dee", "bob"]
+
+    def test_limit(self, conn):
+        rows = conn.query("SELECT id FROM person ORDER BY id LIMIT 2").rows
+        assert [r["id"] for r in rows] == [1, 2]
+
+    def test_distinct(self, conn):
+        cities = conn.query("SELECT DISTINCT city FROM person").rows
+        assert len(cities) == 3
+
+    def test_like(self, conn):
+        names = [
+            r["name"]
+            for r in conn.query("SELECT name FROM person WHERE name LIKE ?", "%a%")
+        ]
+        assert set(names) == {"ann", "cal", "fay"}
+
+    def test_in_list(self, conn):
+        count = conn.query_scalar(
+            "SELECT COUNT(*) FROM person WHERE city IN ('sf', 'nyc')"
+        )
+        assert count == 4
+
+    def test_between(self, conn):
+        count = conn.query_scalar(
+            "SELECT COUNT(*) FROM person WHERE age BETWEEN 28 AND 45"
+        )
+        assert count == 4
+
+
+class TestNullSemantics:
+    def test_comparison_with_null_filters_row(self, conn):
+        # fay has NULL age; NULL > 30 is unknown, so she never matches.
+        ids = [
+            r["id"] for r in conn.query("SELECT id FROM person WHERE age > 0")
+        ]
+        assert 6 not in ids
+
+    def test_is_null(self, conn):
+        row = conn.query_one("SELECT name FROM person WHERE age IS NULL")
+        assert row["name"] == "fay"
+
+    def test_aggregates_skip_nulls(self, conn):
+        total = conn.query_scalar("SELECT SUM(score) FROM person")
+        assert total == pytest.approx(9.5 + 7.25 + 5.0 + 8.0 + 6.5)
+        count = conn.query_scalar("SELECT COUNT(*) FROM person")
+        assert count == 6
+
+    def test_avg_over_nulls(self, conn):
+        avg = conn.query_scalar("SELECT AVG(age) FROM person")
+        assert avg == pytest.approx((34 + 28 + 45 + 28 + 61) / 5)
+
+    def test_null_sorts_first(self, conn):
+        rows = conn.query("SELECT name, age FROM person ORDER BY age").rows
+        assert rows[0]["name"] == "fay"
+
+
+class TestAggregates:
+    def test_count_star(self, conn):
+        assert conn.query_scalar("SELECT COUNT(*) FROM person") == 6
+
+    def test_group_by_with_multiple_aggregates(self, conn):
+        rows = conn.query(
+            "SELECT city, COUNT(*) AS n, MAX(age) AS oldest FROM person "
+            "GROUP BY city ORDER BY city"
+        ).rows
+        as_dicts = [r.as_dict() for r in rows]
+        assert as_dicts == [
+            {"city": "boston", "n": 2, "oldest": 45},
+            {"city": "nyc", "n": 2, "oldest": 61},
+            {"city": "sf", "n": 2, "oldest": 28},
+        ]
+
+    def test_aggregate_over_empty_input_yields_row(self, conn):
+        row = conn.query_one(
+            "SELECT COUNT(*) AS n, SUM(age) AS total FROM person WHERE id > 100"
+        )
+        assert row["n"] == 0
+        assert row["total"] is None
+
+    def test_min_max(self, conn):
+        row = conn.query_one("SELECT MIN(age) AS lo, MAX(age) AS hi FROM person")
+        assert (row["lo"], row["hi"]) == (28, 61)
+
+    def test_count_distinct(self, conn):
+        n = conn.query_scalar("SELECT COUNT(DISTINCT city) FROM person")
+        assert n == 3
+
+    def test_order_by_aggregate_alias(self, conn):
+        rows = conn.query(
+            "SELECT city, COUNT(*) AS n FROM person GROUP BY city "
+            "ORDER BY n DESC, city"
+        ).rows
+        assert [r["city"] for r in rows] == ["boston", "nyc", "sf"]
+
+
+class TestJoins:
+    @pytest.fixture()
+    def pets(self, people_db):
+        db, conn = people_db
+        db.create_table(
+            "pet",
+            [("pid", "int", False), ("owner", "int"), ("kind", "text")],
+            primary_key=["pid"],
+        )
+        for pid, owner, kind in [
+            (1, 1, "cat"), (2, 1, "dog"), (3, 2, "cat"), (4, 99, "fish"),
+        ]:
+            conn.execute(
+                "INSERT INTO pet (pid, owner, kind) VALUES (?, ?, ?)",
+                pid, owner, kind,
+            )
+        return conn
+
+    def test_inner_join(self, pets):
+        rows = pets.query(
+            "SELECT p.name, pet.kind FROM pet JOIN person p "
+            "ON pet.owner = p.id ORDER BY pet.pid"
+        ).rows
+        assert [tuple(r) for r in rows] == [
+            ("ann", "cat"), ("ann", "dog"), ("bob", "cat"),
+        ]
+
+    def test_join_drops_unmatched(self, pets):
+        count = pets.query_scalar(
+            "SELECT COUNT(*) FROM pet JOIN person p ON pet.owner = p.id"
+        )
+        assert count == 3  # the fish's owner 99 does not exist
+
+    def test_join_with_filter_on_both_sides(self, pets):
+        rows = pets.query(
+            "SELECT p.name FROM pet JOIN person p ON pet.owner = p.id "
+            "WHERE pet.kind = 'cat' AND p.city = 'boston'"
+        ).rows
+        assert [r["name"] for r in rows] == ["ann"]
+
+    def test_join_aggregate(self, pets):
+        rows = pets.query(
+            "SELECT p.name, COUNT(*) AS pets FROM pet JOIN person p "
+            "ON pet.owner = p.id GROUP BY p.name ORDER BY pets DESC"
+        ).rows
+        assert rows[0].as_dict() == {"name": "ann", "pets": 2}
+
+
+class TestMutations:
+    def test_update_with_arithmetic(self, conn):
+        conn.execute("UPDATE person SET score = score + 1 WHERE city = 'sf'")
+        assert conn.query_scalar(
+            "SELECT score FROM person WHERE id = 4"
+        ) == pytest.approx(9.0)
+        # NULL score stays NULL.
+        assert conn.query_scalar(
+            "SELECT score FROM person WHERE id = 6"
+        ) is None
+
+    def test_update_rowcount(self, conn):
+        assert conn.execute("UPDATE person SET age = 30 WHERE city = 'nyc'") == 2
+
+    def test_delete(self, conn):
+        assert conn.execute("DELETE FROM person WHERE city = 'boston'") == 2
+        assert conn.query_scalar("SELECT COUNT(*) FROM person") == 4
+
+    def test_delete_everything(self, conn):
+        assert conn.execute("DELETE FROM person") == 6
+        assert conn.query_scalar("SELECT COUNT(*) FROM person") == 0
+
+    def test_insert_partial_columns_defaults_null(self, conn):
+        conn.execute("INSERT INTO person (id, name) VALUES (10, 'gus')")
+        row = conn.query_one("SELECT age, city FROM person WHERE id = 10")
+        assert row["age"] is None
+        assert row["city"] is None
+
+    def test_rows_touched_reported(self, conn):
+        rs = conn.query("SELECT name FROM person WHERE id = 1")
+        assert rs.rows_touched == 1
+        rs = conn.query("SELECT name FROM person WHERE score > 0")
+        assert rs.rows_touched == 6  # full scan

@@ -1,0 +1,171 @@
+"""Index structures, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.errors import IntegrityError
+from repro.db.index import HashIndex, OrderedIndex
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        index = HashIndex("i")
+        index.insert(("a",), 1)
+        index.insert(("a",), 2)
+        assert index.lookup(("a",)) == {1, 2}
+        assert len(index) == 2
+
+    def test_lookup_missing_empty(self):
+        assert HashIndex("i").lookup(("x",)) == frozenset()
+
+    def test_unique_enforced(self):
+        index = HashIndex("i", unique=True)
+        index.insert(("a",), 1)
+        with pytest.raises(IntegrityError):
+            index.insert(("a",), 2)
+
+    def test_duplicate_rowid_idempotent(self):
+        index = HashIndex("i")
+        index.insert(("a",), 1)
+        index.insert(("a",), 1)
+        assert len(index) == 1
+
+    def test_delete(self):
+        index = HashIndex("i")
+        index.insert(("a",), 1)
+        index.delete(("a",), 1)
+        assert not index.contains(("a",))
+        assert len(index) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            HashIndex("i").delete(("a",), 1)
+
+    def test_clear(self):
+        index = HashIndex("i")
+        index.insert(("a",), 1)
+        index.clear()
+        assert len(index) == 0
+
+
+class TestOrderedIndex:
+    def test_range_scan_inclusive(self):
+        index = OrderedIndex("i")
+        for key in [5, 1, 3, 9, 7]:
+            index.insert((key,), key * 10)
+        assert list(index.range_scan((3,), (7,))) == [30, 50, 70]
+
+    def test_range_scan_exclusive_bounds(self):
+        index = OrderedIndex("i")
+        for key in range(1, 6):
+            index.insert((key,), key)
+        result = list(
+            index.range_scan(
+                (1,), (5,), low_inclusive=False, high_inclusive=False
+            )
+        )
+        assert result == [2, 3, 4]
+
+    def test_open_bounds(self):
+        index = OrderedIndex("i")
+        for key in [2, 4, 6]:
+            index.insert((key,), key)
+        assert list(index.range_scan(None, (4,))) == [2, 4]
+        assert list(index.range_scan((4,), None)) == [4, 6]
+        assert list(index.range_scan()) == [2, 4, 6]
+
+    def test_reverse_scan(self):
+        index = OrderedIndex("i")
+        for key in [1, 2, 3]:
+            index.insert((key,), key)
+        assert list(index.range_scan(reverse=True)) == [3, 2, 1]
+
+    def test_duplicate_keys_yield_sorted_rowids(self):
+        index = OrderedIndex("i")
+        index.insert(("x",), 9)
+        index.insert(("x",), 3)
+        assert list(index.range_scan()) == [3, 9]
+
+    def test_prefix_bounds_on_composite_keys(self):
+        index = OrderedIndex("i")
+        index.insert((1, "a"), 10)
+        index.insert((1, "b"), 11)
+        index.insert((2, "a"), 20)
+        # Prefix low bound (1,) selects all keys starting at (1, ...).
+        assert list(index.range_scan(low=(1,), high=(1, "zzz"))) == [10, 11]
+
+    def test_min_max_keys(self):
+        index = OrderedIndex("i")
+        assert index.min_key() is None
+        index.insert((5,), 1)
+        index.insert((2,), 2)
+        assert index.min_key() == (2,)
+        assert index.max_key() == (5,)
+
+    def test_delete_removes_key_when_empty(self):
+        index = OrderedIndex("i")
+        index.insert((1,), 1)
+        index.insert((1,), 2)
+        index.delete((1,), 1)
+        assert index.contains((1,))
+        index.delete((1,), 2)
+        assert not index.contains((1,))
+        assert list(index.keys()) == []
+
+    def test_unique_enforced(self):
+        index = OrderedIndex("i", unique=True)
+        index.insert((1,), 1)
+        with pytest.raises(IntegrityError):
+            index.insert((1,), 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 10_000))))
+def test_ordered_index_matches_sorted_model(entries):
+    """Property: range_scan over the full range yields row ids sorted by
+    (key, rowid), matching a plain sorted list model."""
+    index = OrderedIndex("prop")
+    model = []
+    seen = set()
+    for key, rowid in entries:
+        if (key, rowid) in seen:
+            continue
+        seen.add((key, rowid))
+        index.insert((key,), rowid)
+        model.append((key, rowid))
+    model.sort()
+    assert list(index.range_scan()) == [rowid for _, rowid in model]
+    assert len(index) == len(model)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(-30, 30), unique=True),
+    st.integers(-35, 35),
+    st.integers(-35, 35),
+)
+def test_ordered_index_range_matches_filter(keys, low, high):
+    """Property: a bounded range scan equals filtering the key list."""
+    index = OrderedIndex("prop")
+    for key in keys:
+        index.insert((key,), key)
+    lo, hi = min(low, high), max(low, high)
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert list(index.range_scan((lo,), (hi,))) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1))
+def test_hash_index_delete_inverse_of_insert(keys):
+    """Property: inserting then deleting all entries empties the index."""
+    index = HashIndex("prop")
+    inserted = []
+    for i, key in enumerate(keys):
+        index.insert((key,), i)
+        inserted.append((key, i))
+    for key, rowid in inserted:
+        index.delete((key,), rowid)
+    assert len(index) == 0
+    for key, _ in inserted:
+        assert not index.contains((key,))

@@ -1,0 +1,162 @@
+"""JDBC-like connection API."""
+
+import pytest
+
+from repro.db import Database, connect
+from repro.db.errors import ExecutionError, TransactionError
+
+
+@pytest.fixture()
+def conn(people_db):
+    return people_db[1]
+
+
+class TestResultSet:
+    def test_cursor_api(self, conn):
+        rs = conn.query("SELECT id, name FROM person ORDER BY id LIMIT 2")
+        assert rs.next()
+        assert rs.get("id") == 1
+        assert rs.get(1) == "ann"
+        assert rs.next()
+        assert rs.get("id") == 2
+        assert not rs.next()
+
+    def test_get_before_next_rejected(self, conn):
+        rs = conn.query("SELECT id FROM person")
+        with pytest.raises(ExecutionError):
+            rs.get("id")
+
+    def test_rewind(self, conn):
+        rs = conn.query("SELECT id FROM person ORDER BY id LIMIT 1")
+        rs.next()
+        rs.rewind()
+        assert rs.next()
+        assert rs.get("id") == 1
+
+    def test_one_requires_single_row(self, conn):
+        with pytest.raises(ExecutionError):
+            conn.query("SELECT id FROM person").one()
+
+    def test_scalar_requires_single_column(self, conn):
+        with pytest.raises(ExecutionError):
+            conn.query("SELECT id, name FROM person WHERE id = 1").scalar()
+
+    def test_first_and_bool(self, conn):
+        empty = conn.query("SELECT id FROM person WHERE id = -1")
+        assert not empty
+        assert empty.first() is None
+        nonempty = conn.query("SELECT id FROM person WHERE id = 1")
+        assert nonempty
+        assert nonempty.first()["id"] == 1
+
+    def test_iteration(self, conn):
+        rows = list(conn.query("SELECT id FROM person ORDER BY id"))
+        assert [r["id"] for r in rows] == [1, 2, 3, 4, 5, 6]
+
+
+class TestRow:
+    def test_access_by_name_case_insensitive(self, conn):
+        row = conn.query_one("SELECT name FROM person WHERE id = 1")
+        assert row["NAME"] == "ann"
+
+    def test_access_by_index(self, conn):
+        row = conn.query_one("SELECT id, name FROM person WHERE id = 1")
+        assert row[0] == 1
+
+    def test_missing_key(self, conn):
+        row = conn.query_one("SELECT id FROM person WHERE id = 1")
+        with pytest.raises(KeyError):
+            row["nope"]
+        assert row.get("nope", "dflt") == "dflt"
+
+    def test_equality_with_tuple(self, conn):
+        row = conn.query_one("SELECT id, name FROM person WHERE id = 1")
+        assert row == (1, "ann")
+
+
+class TestConnection:
+    def test_plan_cache_reuses_prepared(self, conn):
+        first = conn.prepare("SELECT id FROM person WHERE id = ?")
+        second = conn.prepare("SELECT id FROM person WHERE id = ?")
+        assert first is second
+
+    def test_execute_rejects_select(self, conn):
+        with pytest.raises(ExecutionError):
+            conn.execute("SELECT id FROM person")
+
+    def test_query_rejects_update_via_prepared(self, conn):
+        stmt = conn.prepare("DELETE FROM person WHERE id = ?")
+        with pytest.raises(ExecutionError):
+            stmt.query(1)
+
+    def test_observer_sees_calls(self, conn):
+        events = []
+        conn.observer = lambda kind, sql, touched, rows: events.append(kind)
+        conn.query("SELECT id FROM person WHERE id = 1")
+        conn.execute("UPDATE person SET age = 1 WHERE id = 1")
+        assert events == ["query", "update"]
+
+    def test_call_counter(self, conn):
+        before = conn.calls
+        conn.query("SELECT id FROM person WHERE id = 1")
+        assert conn.calls == before + 1
+
+    def test_closed_connection_rejects_use(self, people_db):
+        _, conn = people_db
+        conn.close()
+        with pytest.raises(ExecutionError):
+            conn.query("SELECT id FROM person")
+
+    def test_context_manager_closes(self, people_db):
+        db, _ = people_db
+        with connect(db) as conn:
+            conn.query("SELECT id FROM person WHERE id = 1")
+        assert conn.closed
+
+
+class TestTransactions:
+    def test_explicit_commit(self, people_db):
+        db, _ = people_db
+        conn = connect(db, use_locks=True)
+        conn.begin()
+        conn.execute("DELETE FROM person WHERE id = 1")
+        conn.commit()
+        assert conn.query_scalar("SELECT COUNT(*) FROM person") == 5
+
+    def test_explicit_rollback(self, people_db):
+        db, _ = people_db
+        conn = connect(db, use_locks=True)
+        conn.begin()
+        conn.execute("DELETE FROM person")
+        assert conn.query_scalar("SELECT COUNT(*) FROM person") == 0
+        conn.rollback()
+        assert conn.query_scalar("SELECT COUNT(*) FROM person") == 6
+
+    def test_nested_begin_rejected(self, people_db):
+        db, _ = people_db
+        conn = connect(db, use_locks=True)
+        conn.begin()
+        with pytest.raises(TransactionError):
+            conn.begin()
+
+    def test_commit_without_begin_rejected(self, conn):
+        with pytest.raises(TransactionError):
+            conn.commit()
+
+    def test_close_rolls_back_open_transaction(self, people_db):
+        db, _ = people_db
+        conn = connect(db, use_locks=True)
+        conn.begin()
+        conn.execute("DELETE FROM person WHERE id = 1")
+        conn.close()
+        verify = connect(db)
+        assert verify.query_scalar("SELECT COUNT(*) FROM person") == 6
+
+    def test_in_transaction_flag(self, people_db):
+        db, _ = people_db
+        conn = connect(db, use_locks=True)
+        assert not conn.in_transaction
+        conn.begin()
+        assert conn.in_transaction
+        conn.commit()
+        assert not conn.in_transaction

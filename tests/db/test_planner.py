@@ -1,0 +1,153 @@
+"""Access-path selection."""
+
+import pytest
+
+from repro.db.errors import PlanError, UnknownColumnError, UnknownTableError
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import Planner, SelectPlan
+
+
+@pytest.fixture()
+def planner(people_db):
+    db, _ = people_db
+    return Planner(db)
+
+
+def plan_select(planner, sql) -> SelectPlan:
+    return planner.plan(parse(sql))
+
+
+class TestAccessPaths:
+    def test_pk_equality_uses_point_lookup(self, planner):
+        plan = plan_select(planner, "SELECT name FROM person WHERE id = ?")
+        assert plan.tables[0].access.kind == "pk"
+        assert plan.tables[0].residual is None
+
+    def test_hash_index_equality(self, planner):
+        plan = plan_select(
+            planner, "SELECT name FROM person WHERE city = 'boston'"
+        )
+        access = plan.tables[0].access
+        assert access.kind == "index_eq"
+        assert access.index_name == "person_by_city"
+
+    def test_ordered_index_range(self, planner):
+        plan = plan_select(
+            planner, "SELECT name FROM person WHERE age > 30"
+        )
+        access = plan.tables[0].access
+        assert access.kind == "index_range"
+        assert access.index_name == "person_by_age"
+        assert not access.low_inclusive
+
+    def test_range_with_both_bounds(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT name FROM person WHERE age >= 20 AND age <= 40",
+        )
+        access = plan.tables[0].access
+        assert access.kind == "index_range"
+        assert access.low_exprs and access.high_exprs
+
+    def test_unindexed_predicate_scans(self, planner):
+        plan = plan_select(planner, "SELECT id FROM person WHERE score > 5.0")
+        assert plan.tables[0].access.kind == "scan"
+        assert plan.tables[0].residual is not None
+
+    def test_residual_kept_for_extra_predicates(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT id FROM person WHERE city = 'sf' AND score > 5.0",
+        )
+        access = plan.tables[0].access
+        assert access.kind == "index_eq"
+        assert plan.tables[0].residual is not None
+
+    def test_flipped_operands_still_sargable(self, planner):
+        plan = plan_select(planner, "SELECT name FROM person WHERE ? = id")
+        assert plan.tables[0].access.kind == "pk"
+
+    def test_no_predicates_scans(self, planner):
+        plan = plan_select(planner, "SELECT id FROM person")
+        assert plan.tables[0].access.kind == "scan"
+
+
+class TestJoinPlanning:
+    def test_inner_table_probed_by_pk(self, people_db):
+        db, conn = people_db
+        db.create_table(
+            "pet",
+            [("pid", "int", False), ("owner", "int"), ("kind", "text")],
+            primary_key=["pid"],
+        )
+        planner = Planner(db)
+        plan = plan_select(
+            planner,
+            "SELECT p.name FROM pet JOIN person p ON pet.owner = p.id",
+        )
+        # The join key probes person's primary key.
+        assert plan.tables[1].access.kind == "pk"
+
+    def test_join_order_follows_from_clause(self, people_db):
+        db, _ = people_db
+        db.create_table(
+            "pet",
+            [("pid", "int", False), ("owner", "int")],
+            primary_key=["pid"],
+        )
+        planner = Planner(db)
+        plan = plan_select(
+            planner,
+            "SELECT person.name FROM person JOIN pet ON pet.owner = person.id",
+        )
+        assert [t.table_name for t in plan.tables] == ["person", "pet"]
+
+
+class TestProjection:
+    def test_star_expands_columns(self, planner):
+        plan = plan_select(planner, "SELECT * FROM person")
+        assert plan.column_names == ["id", "name", "age", "city", "score"]
+
+    def test_aliases_in_output(self, planner):
+        plan = plan_select(planner, "SELECT name AS who FROM person")
+        assert plan.column_names == ["who"]
+
+    def test_aggregate_columns(self, planner):
+        plan = plan_select(
+            planner, "SELECT city, COUNT(*) AS n FROM person GROUP BY city"
+        )
+        assert plan.column_names == ["city", "n"]
+        assert len(plan.aggregates) == 1
+
+    def test_order_by_output_alias(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT city, COUNT(*) AS n FROM person GROUP BY city ORDER BY n DESC",
+        )
+        assert plan.sort_keys[0].output_index == 1
+
+
+class TestPlanErrors:
+    def test_unknown_table(self, planner):
+        with pytest.raises(UnknownTableError):
+            planner.plan(parse("SELECT a FROM missing"))
+
+    def test_unknown_column(self, planner):
+        with pytest.raises(UnknownColumnError):
+            planner.plan(parse("SELECT nope FROM person"))
+
+    def test_insert_arity_mismatch(self, planner):
+        with pytest.raises(PlanError):
+            planner.plan(parse("INSERT INTO person (id, name) VALUES (1)"))
+
+    def test_update_unknown_column(self, planner):
+        with pytest.raises(UnknownColumnError):
+            planner.plan(parse("UPDATE person SET nope = 1"))
+
+    def test_duplicate_binding(self, people_db):
+        db, _ = people_db
+        planner = Planner(db)
+        with pytest.raises(PlanError):
+            planner.plan(
+                parse("SELECT a.id FROM person a JOIN person a ON a.id = a.id")
+            )

@@ -1,0 +1,70 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.db.errors import SqlSyntaxError
+from repro.db.sql.lexer import TokenKind, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("foo _bar baz_9")
+        assert all(t.kind is TokenKind.IDENTIFIER for t in tokens[:-1])
+
+    def test_integer_and_float(self):
+        tokens = tokenize("42 3.25")
+        assert texts("42 3.25") == ["42", "3.25"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_parameters(self):
+        tokens = tokenize("? ?")
+        assert all(t.kind is TokenKind.PARAM for t in tokens[:-1])
+
+    def test_operators_longest_match(self):
+        assert texts("a <= b <> c != d") == ["a", "<=", "b", "<>", "c", "!=", "d"]
+
+    def test_punctuation(self):
+        assert texts("(a, b.c);") == ["(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("SELECT @")
+        assert excinfo.value.position == 7
+
+    def test_qualified_name_tokens(self):
+        assert texts("t.col") == ["t", ".", "col"]
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\nc") == ["a", "b", "c"]

@@ -1,0 +1,134 @@
+"""Property-based tests: the SQL engine versus a plain-Python model."""
+
+from dataclasses import dataclass, field
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule, invariant
+
+from repro.db import Database, connect
+from repro.db.errors import IntegrityError
+
+
+def fresh_conn():
+    db = Database()
+    db.create_table(
+        "kv",
+        [("k", "int", False), ("v", "int"), ("tag", "text")],
+        primary_key=["k"],
+    )
+    return connect(db)
+
+
+keys = st.integers(0, 30)
+values = st.integers(-100, 100)
+tags = st.sampled_from(["a", "b", "c"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(keys, values, tags), max_size=40),
+    st.integers(-100, 100),
+)
+def test_inserts_then_filtered_sum_matches_model(rows, threshold):
+    """SUM with a WHERE filter agrees with a dict-based model."""
+    conn = fresh_conn()
+    model: dict[int, tuple[int, str]] = {}
+    for k, v, tag in rows:
+        if k in model:
+            continue
+        model[k] = (v, tag)
+        conn.execute("INSERT INTO kv (k, v, tag) VALUES (?, ?, ?)", k, v, tag)
+    matching = [v for v, _ in model.values() if v > threshold]
+    expected = sum(matching) if matching else None
+    got = conn.query_scalar("SELECT SUM(v) FROM kv WHERE v > ?", threshold)
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(keys, values, tags), max_size=40))
+def test_group_by_counts_match_model(rows):
+    conn = fresh_conn()
+    model: dict[str, int] = {}
+    seen: set[int] = set()
+    for k, v, tag in rows:
+        if k in seen:
+            continue
+        seen.add(k)
+        model[tag] = model.get(tag, 0) + 1
+        conn.execute("INSERT INTO kv (k, v, tag) VALUES (?, ?, ?)", k, v, tag)
+    got = {
+        r["tag"]: r["n"]
+        for r in conn.query("SELECT tag, COUNT(*) AS n FROM kv GROUP BY tag")
+    }
+    assert got == model
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(keys, values), max_size=30),
+    st.lists(st.tuples(keys, values), max_size=15),
+    st.lists(keys, max_size=15),
+)
+def test_insert_update_delete_matches_model(inserts, updates, deletes):
+    """Interleaved mutations agree with a dict model."""
+    conn = fresh_conn()
+    model: dict[int, int] = {}
+    for k, v in inserts:
+        if k in model:
+            with pytest.raises(IntegrityError):
+                conn.execute(
+                    "INSERT INTO kv (k, v, tag) VALUES (?, ?, 'x')", k, v
+                )
+        else:
+            model[k] = v
+            conn.execute("INSERT INTO kv (k, v, tag) VALUES (?, ?, 'x')", k, v)
+    for k, v in updates:
+        changed = conn.execute("UPDATE kv SET v = ? WHERE k = ?", v, k)
+        if k in model:
+            assert changed == 1
+            model[k] = v
+        else:
+            assert changed == 0
+    for k in deletes:
+        removed = conn.execute("DELETE FROM kv WHERE k = ?", k)
+        assert removed == (1 if k in model else 0)
+        model.pop(k, None)
+    rows = conn.query("SELECT k, v FROM kv ORDER BY k").rows
+    assert [(r["k"], r["v"]) for r in rows] == sorted(model.items())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(keys, values), max_size=25, unique_by=lambda t: t[0]),
+)
+def test_transaction_rollback_is_identity(rows):
+    """Property: any transaction that rolls back leaves no trace."""
+    conn = fresh_conn()
+    for k, v in rows[: len(rows) // 2]:
+        conn.execute("INSERT INTO kv (k, v, tag) VALUES (?, ?, 'x')", k, v)
+    before = [tuple(r) for r in conn.query("SELECT k, v FROM kv ORDER BY k")]
+    txn = conn.begin()
+    for k, v in rows[len(rows) // 2:]:
+        conn.execute("INSERT INTO kv (k, v, tag) VALUES (?, ?, 'y')", k, v)
+    conn.execute("UPDATE kv SET v = v + 1")
+    conn.execute("DELETE FROM kv WHERE v > 0")
+    conn.rollback()
+    after = [tuple(r) for r in conn.query("SELECT k, v FROM kv ORDER BY k")]
+    assert before == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(keys, values), max_size=30, unique_by=lambda t: t[0]))
+def test_order_by_matches_sorted_model(rows):
+    conn = fresh_conn()
+    for k, v in rows:
+        conn.execute("INSERT INTO kv (k, v, tag) VALUES (?, ?, 'x')", k, v)
+    got = [(r["v"], r["k"]) for r in conn.query(
+        "SELECT v, k FROM kv ORDER BY v DESC, k"
+    )]
+    expected = sorted(
+        [(v, k) for k, v in rows], key=lambda t: (-t[0], t[1])
+    )
+    assert got == expected

@@ -1,0 +1,195 @@
+"""Transactions and the lock manager."""
+
+import pytest
+
+from repro.db import Database, connect
+from repro.db.errors import DeadlockError, LockTimeoutError, TransactionError
+from repro.db.txn import LockManager, LockMode, Transaction
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        "acct", [("id", "int", False), ("bal", "float")], primary_key=["id"]
+    )
+    conn = connect(database)
+    conn.execute("INSERT INTO acct (id, bal) VALUES (1, 100.0)")
+    conn.execute("INSERT INTO acct (id, bal) VALUES (2, 50.0)")
+    return database
+
+
+class TestLockModes:
+    def test_shared_compatible_with_shared(self):
+        assert LockMode.SHARED.compatible(LockMode.SHARED)
+
+    def test_exclusive_incompatible(self):
+        assert not LockMode.EXCLUSIVE.compatible(LockMode.SHARED)
+        assert not LockMode.SHARED.compatible(LockMode.EXCLUSIVE)
+
+
+class TestLockManager:
+    def test_grant_and_introspect(self):
+        lm = LockManager()
+        assert lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert lm.holders("r") == {1: LockMode.EXCLUSIVE}
+        assert "r" in lm.held_by(1)
+
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        assert lm.acquire(1, "r", LockMode.SHARED)
+        assert lm.acquire(2, "r", LockMode.SHARED)
+        assert set(lm.holders("r")) == {1, 2}
+
+    def test_exclusive_conflicts_queue(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert lm.acquire(2, "r", LockMode.EXCLUSIVE) is False
+        assert lm.waiting("r") == [(2, LockMode.EXCLUSIVE)]
+
+    def test_reentrant(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "r", LockMode.SHARED)  # X covers S
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        assert lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert lm.holders("r") == {1: LockMode.EXCLUSIVE}
+
+    def test_upgrade_blocked_by_other_shared_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(2, "r", LockMode.SHARED)
+        assert lm.acquire(1, "r", LockMode.EXCLUSIVE) is False
+
+    def test_nowait_raises(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "r", LockMode.EXCLUSIVE, wait=False)
+
+    def test_release_grants_fifo_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        lm.acquire(2, "r", LockMode.EXCLUSIVE)
+        lm.acquire(3, "r", LockMode.EXCLUSIVE)
+        grants = lm.release_all(1)
+        assert grants == [(2, "r")]
+        assert lm.holders("r") == {2: LockMode.EXCLUSIVE}
+        assert lm.waiting("r") == [(3, LockMode.EXCLUSIVE)]
+
+    def test_release_grants_shared_batch(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        lm.acquire(2, "r", LockMode.SHARED)
+        lm.acquire(3, "r", LockMode.SHARED)
+        grants = lm.release_all(1)
+        assert {g[0] for g in grants} == {2, 3}
+
+    def test_deadlock_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "b", LockMode.EXCLUSIVE) is False  # 1 waits on 2
+        with pytest.raises(DeadlockError) as excinfo:
+            lm.acquire(2, "a", LockMode.EXCLUSIVE)  # 2 waits on 1: cycle
+        assert set(excinfo.value.cycle) >= {1, 2}
+
+    def test_three_way_deadlock(self):
+        lm = LockManager()
+        for txn, resource in [(1, "a"), (2, "b"), (3, "c")]:
+            lm.acquire(txn, resource, LockMode.EXCLUSIVE)
+        assert lm.acquire(1, "b", LockMode.EXCLUSIVE) is False
+        assert lm.acquire(2, "c", LockMode.EXCLUSIVE) is False
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", LockMode.EXCLUSIVE)
+
+    def test_victim_can_retry_after_release(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        lm.acquire(1, "b")
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a")
+        # Victim 2 releases; 1 gets b and can finish.
+        grants = lm.release_all(2)
+        assert (1, "b") in grants
+
+    def test_wait_for_edges_cleaned_on_release(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        lm.acquire(2, "r", LockMode.EXCLUSIVE)
+        lm.release_all(2)  # waiter gives up
+        assert lm.wait_for_edges() == {}
+        lm.release_all(1)
+        assert lm.holders("r") == {}
+
+
+class TestTransaction:
+    def test_commit_clears_undo(self, db):
+        txn = Transaction(db)
+        _, undo = db.table("acct").insert((3, 1.0))
+        txn.record_undo(undo)
+        txn.commit()
+        assert db.table("acct").lookup_pk((3,)) is not None
+
+    def test_rollback_reverses_mutations(self, db):
+        txn = Transaction(db)
+        table = db.table("acct")
+        _, undo = table.insert((3, 1.0))
+        txn.record_undo(undo)
+        rowid = table.lookup_pk((1,))
+        txn.record_undo(table.update(rowid, {"bal": 0.0}))
+        txn.rollback()
+        assert table.lookup_pk((3,)) is None
+        assert table.get(rowid) == (1, 100.0)
+
+    def test_operations_after_commit_rejected(self, db):
+        txn = Transaction(db)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()
+
+    def test_context_manager_commits(self, db):
+        with Transaction(db) as txn:
+            _, undo = db.table("acct").insert((3, 1.0))
+            txn.record_undo(undo)
+        assert db.table("acct").lookup_pk((3,)) is not None
+
+    def test_context_manager_rolls_back_on_error(self, db):
+        with pytest.raises(RuntimeError):
+            with Transaction(db) as txn:
+                _, undo = db.table("acct").insert((3, 1.0))
+                txn.record_undo(undo)
+                raise RuntimeError("boom")
+        assert db.table("acct").lookup_pk((3,)) is None
+
+    def test_locks_released_on_commit(self, db):
+        lm = LockManager()
+        txn = Transaction(db, lm)
+        txn.lock_row("acct", 1)
+        assert lm.held_by(txn.id)
+        txn.commit()
+        assert not lm.held_by(txn.id)
+
+    def test_lock_conflict_without_wait_raises(self, db):
+        lm = LockManager()
+        txn1 = Transaction(db, lm)
+        txn2 = Transaction(db, lm)
+        txn1.lock_row("acct", 1)
+        with pytest.raises(LockTimeoutError):
+            txn2.lock_row("acct", 1)
+
+    def test_shared_table_locks_coexist(self, db):
+        lm = LockManager()
+        txn1 = Transaction(db, lm)
+        txn2 = Transaction(db, lm)
+        txn1.lock_table("acct", exclusive=False)
+        txn2.lock_table("acct", exclusive=False)
+        txn1.commit()
+        txn2.commit()

@@ -1,0 +1,183 @@
+"""Whole-pipeline integration tests, including hypothesis-driven
+oracle equivalence across random inputs and budgets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import Pyxis
+from repro.lang import IRInterpreter
+from repro.runtime.entrypoints import PartitionedApp
+from repro.sim.cluster import Cluster
+from repro.db import Database, connect
+
+CALC_SOURCE = '''
+class Calc:
+    def run(self, a, b, flag):
+        acc = 0
+        i = 0
+        limit = a % 13 + 1
+        while i < limit:
+            if flag == 1:
+                acc = acc + i * b
+            else:
+                acc = acc - i
+            i = i + 1
+        values = [0] * limit
+        j = 0
+        while j < limit:
+            values[j] = acc % (j + 2)
+            j = j + 1
+        self.result = sum(values) + acc
+        return self.result
+'''
+
+
+@pytest.fixture(scope="module")
+def calc_partitions():
+    pyx = Pyxis.from_source(CALC_SOURCE, [("Calc", "run")])
+    conn = connect(Database())
+    profile = pyx.profile_with(
+        conn, lambda p: p.invoke("Calc", "run", 17, 3, 1)
+    )
+    pset = pyx.partition(profile, budgets=[0.0, 40.0, 1e9])
+    oracle = IRInterpreter(pyx.program, connect(Database()))
+    apps = [
+        PartitionedApp(part.compiled, Cluster(), connect(Database()))
+        for part in pset.by_budget()
+    ]
+    return oracle, apps
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(0, 100),
+    b=st.integers(-10, 10),
+    flag=st.integers(0, 1),
+)
+def test_all_budgets_match_oracle(calc_partitions, a, b, flag):
+    """Property: for random inputs, every budget's partitioned program
+    computes exactly what the oracle interpreter computes."""
+    oracle, apps = calc_partitions
+    expected = oracle.invoke("Calc", "run", a, b, flag)
+    for app in apps:
+        assert app.invoke("Calc", "run", a, b, flag) == expected
+
+
+class TestCrossServerState:
+    def test_heap_state_consistent_after_many_invocations(self):
+        """Fields written on one server and read on the other must stay
+        in sync across repeated entry-point invocations."""
+        source = '''
+class Counter:
+    def bump(self, amount):
+        self.total = amount
+        v = self.db.query_scalar("SELECT v FROM kv WHERE k = ?", 0)
+        self.total = self.total + v
+        return self.total
+'''
+        db = Database()
+        db.create_table("kv", [("k", "int", False), ("v", "int")],
+                        primary_key=["k"])
+        conn = connect(db)
+        conn.execute("INSERT INTO kv (k, v) VALUES (0, 100)")
+        pyx = Pyxis.from_source(source, [("Counter", "bump")])
+        profile = pyx.profile_with(
+            conn, lambda p: p.invoke("Counter", "bump", 1)
+        )
+        for part in pyx.partition(profile, budgets=[0.0, 1e9]).partitions:
+            app = PartitionedApp(part.compiled, Cluster(), conn)
+            for amount in (1, 2, 3):
+                assert app.invoke("Counter", "bump", amount) == amount + 100
+
+    def test_stale_read_impossible_with_sync_plan(self):
+        """A field written on DB then read on APP (forced by a print,
+        which is pinned to APP) must arrive via heap synchronization."""
+        source = '''
+class Mixed:
+    def run(self, x):
+        v = self.db.query_scalar("SELECT v FROM kv WHERE k = ?", x)
+        self.saved = v * 2
+        print("saved", self.saved)
+        return self.saved
+'''
+        db = Database()
+        db.create_table("kv", [("k", "int", False), ("v", "int")],
+                        primary_key=["k"])
+        conn = connect(db)
+        conn.execute("INSERT INTO kv (k, v) VALUES (1, 21)")
+        pyx = Pyxis.from_source(source, [("Mixed", "run")])
+        profile = pyx.profile_with(conn, lambda p: p.invoke("Mixed", "run", 1))
+        part = pyx.partition(profile, budgets=[1e9]).partitions[0]
+        from repro.lang.interp import default_natives
+
+        natives = default_natives()
+        app = PartitionedApp(part.compiled, Cluster(), conn, natives=natives)
+        assert app.invoke("Mixed", "run", 1) == 42
+        assert natives.console == ["saved 42"]
+
+
+class TestDynamicSwitchingIntegration:
+    def test_switcher_selects_partitions_by_load(self, order_partitions):
+        from repro.runtime.switcher import DynamicSwitcher, SwitcherConfig
+
+        switcher = DynamicSwitcher(
+            [p.compiled for p in order_partitions.by_budget()],
+            SwitcherConfig(poll_interval=0.0),
+        )
+        # Idle: high budget (stored-procedure-like).
+        switcher.observe_load(0.0, 5.0)
+        assert switcher.choose() is order_partitions.highest().compiled
+        # Loaded: low budget (JDBC-like).
+        for t in range(1, 12):
+            switcher.observe_load(float(t), 95.0)
+        assert switcher.choose() is order_partitions.lowest().compiled
+
+
+class TestFailureInjection:
+    def test_infeasible_budget_with_db_pins(self, order_pyxis):
+        """A budget below the pinned DB load must raise loudly."""
+        from repro.core.ilp import InfeasibleError, build_ilp
+        from repro.core.partition_graph import (
+            Node, NodeKind, PartitionGraph, Placement,
+        )
+
+        g = PartitionGraph()
+        g.add_node(Node("s1", NodeKind.STMT, weight=100.0, pin=Placement.DB))
+        with pytest.raises(InfeasibleError):
+            build_ilp(g, budget=10.0)
+
+    def test_heap_error_is_loud_not_silent(self):
+        """Disabling shipping for a remotely-read field must raise a
+        HeapError rather than silently return stale data."""
+        source = '''
+class Leak:
+    def run(self, n):
+        self.field = 0
+        i = 0
+        while i < n:
+            v = self.db.query_scalar("SELECT v FROM kv WHERE k = ?", i)
+            self.field = self.field + v
+            i = i + 1
+        print("read", self.field)
+        return self.field
+'''
+        db = Database()
+        db.create_table("kv", [("k", "int", False), ("v", "int")],
+                        primary_key=["k"])
+        conn = connect(db)
+        for k in range(8):
+            conn.execute("INSERT INTO kv (k, v) VALUES (?, ?)", k, k)
+        pyx = Pyxis.from_source(source, [("Leak", "run")])
+        profile = pyx.profile_with(conn, lambda p: p.invoke("Leak", "run", 8))
+        part = pyx.partition(profile, budgets=[1e9]).partitions[0]
+        # The query loop moves to the DB; the (pinned) print stays on
+        # the app server, so self.field must cross servers.
+        assert 0.0 < part.fraction_on_db < 1.0
+        # Sabotage the sync plan: pretend the field never ships.
+        part.compiled.field_ships[("Leak", "field")] = False
+        from repro.runtime.heap import HeapError
+
+        app = PartitionedApp(part.compiled, Cluster(), conn)
+        with pytest.raises(HeapError):
+            app.invoke("Leak", "run", 8)

@@ -1,0 +1,143 @@
+"""Control-flow graph construction."""
+
+import pytest
+
+from repro.lang import build_cfg, parse_source
+from repro.lang.cfg import ENTRY, EXIT
+from repro.lang.ir import ForEach, If, Return, While
+
+
+def cfg_for(body: str):
+    source = f"class T:\n    def m(self, x):\n{body}"
+    program = parse_source(source, entry_points=[("T", "m")])
+    func = program.function("T", "m")
+    return func, build_cfg(func)
+
+
+class TestStraightLine:
+    def test_sequential_edges(self):
+        func, cfg = cfg_for("        a = x\n        b = a\n        return b")
+        sids = [s.sid for s in func.body.stmts]
+        assert cfg.succs(ENTRY) == [sids[0]]
+        assert cfg.succs(sids[0]) == [sids[1]]
+        assert cfg.succs(sids[-1]) == [EXIT]
+
+    def test_empty_body_links_entry_to_exit(self):
+        func, cfg = cfg_for("        pass")
+        assert EXIT in cfg.succs(ENTRY)
+
+
+class TestIf:
+    def test_both_branches_and_join(self):
+        func, cfg = cfg_for(
+            "        if x > 0:\n            a = 1\n"
+            "        else:\n            a = 2\n"
+            "        return a"
+        )
+        branch = next(s for s in func.walk() if isinstance(s, If))
+        then_sid = branch.then.stmts[0].sid
+        else_sid = branch.orelse.stmts[0].sid
+        ret_sid = next(s for s in func.walk() if isinstance(s, Return)).sid
+        assert set(cfg.succs(branch.sid)) == {then_sid, else_sid}
+        assert cfg.succs(then_sid) == [ret_sid]
+        assert cfg.succs(else_sid) == [ret_sid]
+
+    def test_if_without_else_falls_through(self):
+        func, cfg = cfg_for(
+            "        if x > 0:\n            a = 1\n        return x"
+        )
+        branch = next(s for s in func.walk() if isinstance(s, If))
+        ret_sid = next(s for s in func.walk() if isinstance(s, Return)).sid
+        assert ret_sid in cfg.succs(branch.sid)
+
+    def test_return_in_branch_goes_to_exit(self):
+        func, cfg = cfg_for(
+            "        if x > 0:\n            return 1\n        return 2"
+        )
+        returns = [s for s in func.walk() if isinstance(s, Return)]
+        for ret in returns:
+            assert cfg.succs(ret.sid) == [EXIT]
+
+
+class TestLoops:
+    def test_while_back_edge(self):
+        func, cfg = cfg_for(
+            "        while x > 0:\n            x = x - 1\n        return x"
+        )
+        loop = next(s for s in func.walk() if isinstance(s, While))
+        body_sid = loop.body.stmts[-1].sid
+        header_sid = loop.header.stmts[0].sid
+        assert header_sid in cfg.succs(body_sid)
+
+    def test_while_false_edge_exits_loop(self):
+        func, cfg = cfg_for(
+            "        while x > 0:\n            x = x - 1\n        return x"
+        )
+        loop = next(s for s in func.walk() if isinstance(s, While))
+        ret_sid = next(s for s in func.walk() if isinstance(s, Return)).sid
+        assert ret_sid in cfg.succs(loop.sid)
+
+    def test_foreach_self_loop_via_body(self):
+        func, cfg = cfg_for(
+            "        t = [1, 2]\n        for v in t:\n            x = v\n"
+            "        return x"
+        )
+        loop = next(s for s in func.walk() if isinstance(s, ForEach))
+        body_sid = loop.body.stmts[-1].sid
+        assert loop.sid in cfg.succs(body_sid)
+
+    def test_break_jumps_past_loop(self):
+        func, cfg = cfg_for(
+            "        while x > 0:\n"
+            "            if x == 1:\n                break\n"
+            "            x = x - 1\n"
+            "        return x"
+        )
+        from repro.lang.ir import Break
+
+        brk = next(s for s in func.walk() if isinstance(s, Break))
+        ret_sid = next(s for s in func.walk() if isinstance(s, Return)).sid
+        assert cfg.succs(brk.sid) == [ret_sid]
+
+    def test_continue_jumps_to_header(self):
+        func, cfg = cfg_for(
+            "        while x > 0:\n"
+            "            if x == 2:\n                continue\n"
+            "            x = x - 1\n"
+            "        return x"
+        )
+        from repro.lang.ir import Continue
+
+        cont = next(s for s in func.walk() if isinstance(s, Continue))
+        loop = next(s for s in func.walk() if isinstance(s, While))
+        header_sid = loop.header.stmts[0].sid
+        assert cfg.succs(cont.sid) == [header_sid]
+
+    def test_nested_loops(self):
+        func, cfg = cfg_for(
+            "        t = [1, 2]\n"
+            "        for a in t:\n"
+            "            for b in t:\n"
+            "                x = a + b\n"
+            "        return x"
+        )
+        loops = [s for s in func.walk() if isinstance(s, ForEach)]
+        assert len(loops) == 2
+        inner = loops[1]
+        # Inner loop exit returns control to the outer loop node.
+        outer = loops[0]
+        assert outer.sid in cfg.succs(inner.sid)
+
+
+class TestUnreachable:
+    def test_code_after_return_disconnected(self):
+        func, cfg = cfg_for("        return x\n        y = 1")
+        dead = func.body.stmts[1]
+        assert cfg.preds(dead.sid) == []
+
+    def test_all_statements_present_in_cfg(self):
+        func, cfg = cfg_for(
+            "        if x > 0:\n            return 1\n        return 2"
+        )
+        for stmt in func.walk():
+            assert stmt.sid in cfg

@@ -1,0 +1,279 @@
+"""IR interpreter semantics (the correctness oracle)."""
+
+import pytest
+
+from repro.db import Database, connect
+from repro.lang import IRInterpreter, parse_source
+from repro.lang.interp import InterpError, default_natives, sha1_hex
+
+
+def run(source: str, method: str, *args, conn=None):
+    program = parse_source(source)
+    if conn is None:
+        conn = connect(Database())
+    interp = IRInterpreter(program, conn)
+    class_name = next(
+        name for name, cls in program.classes.items() if method in cls.methods
+    )
+    return interp.invoke(class_name, method, *args)
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        src = """
+class T:
+    def m(self, x):
+        return (x + 3) * 2 - 1
+"""
+        assert run(src, "m", 5) == 15
+
+    def test_division_kinds(self):
+        src = """
+class T:
+    def m(self, x):
+        a = x / 4
+        b = x // 4
+        c = x % 4
+        return [a, b, c]
+"""
+        assert run(src, "m", 10) == [2.5, 2, 2]
+
+    def test_if_branches(self):
+        src = """
+class T:
+    def m(self, x):
+        if x > 10:
+            return "big"
+        else:
+            return "small"
+"""
+        assert run(src, "m", 11) == "big"
+        assert run(src, "m", 9) == "small"
+
+    def test_while_loop(self):
+        src = """
+class T:
+    def m(self, n):
+        total = 0
+        i = 0
+        while i < n:
+            total = total + i
+            i = i + 1
+        return total
+"""
+        assert run(src, "m", 5) == 10
+
+    def test_for_over_list(self):
+        src = """
+class T:
+    def m(self, n):
+        items = range(0, n)
+        total = 0
+        for item in items:
+            total = total + item
+        return total
+"""
+        assert run(src, "m", 4) == 6
+
+    def test_break_and_continue(self):
+        src = """
+class T:
+    def m(self, n):
+        total = 0
+        i = 0
+        while i < n:
+            i = i + 1
+            if i % 2 == 0:
+                continue
+            if i > 7:
+                break
+            total = total + i
+        return total
+"""
+        assert run(src, "m", 100) == 1 + 3 + 5 + 7
+
+    def test_fields_and_methods(self):
+        src = """
+class T:
+    def m(self, x):
+        self.acc = 0
+        self.add(x)
+        self.add(x * 2)
+        return self.acc
+
+    def add(self, v):
+        self.acc = self.acc + v
+"""
+        assert run(src, "m", 5) == 15
+
+    def test_list_mutation(self):
+        src = """
+class T:
+    def m(self, n):
+        items = [0] * n
+        i = 0
+        while i < n:
+            items[i] = i * i
+            i = i + 1
+        return sum(items)
+"""
+        assert run(src, "m", 4) == 0 + 1 + 4 + 9
+
+    def test_object_graph(self):
+        src = """
+class Node:
+    def fill(self, v):
+        self.value = v
+
+class T:
+    def m(self, x):
+        a = Node()
+        a.fill(x)
+        b = Node()
+        b.fill(a.value * 2)
+        return b.value
+"""
+        assert run(src, "m", 21) == 42
+
+    def test_strict_boolean_ops(self):
+        src = """
+class T:
+    def m(self, x):
+        return x > 0 and x < 10
+"""
+        assert run(src, "m", 5) is True
+        assert run(src, "m", 50) is False
+
+    def test_unbound_variable_raises(self):
+        src = """
+class T:
+    def m(self, x):
+        return y
+"""
+        with pytest.raises(InterpError, match="unbound"):
+            run(src, "m", 1)
+
+    def test_missing_field_raises(self):
+        src = """
+class T:
+    def m(self, x):
+        return self.never_set
+"""
+        with pytest.raises(InterpError, match="no field"):
+            run(src, "m", 1)
+
+    def test_wrong_arity_raises(self):
+        src = """
+class T:
+    def m(self, x):
+        return x
+"""
+        program = parse_source(src)
+        interp = IRInterpreter(program, connect(Database()))
+        with pytest.raises(InterpError, match="expects"):
+            interp.invoke("T", "m", 1, 2)
+
+
+class TestNatives:
+    def test_default_registry_contents(self):
+        natives = default_natives()
+        for name in ("len", "range", "sha1_hex", "concat", "print"):
+            assert natives.has(name)
+
+    def test_sha1_deterministic(self):
+        assert sha1_hex("x") == sha1_hex("x")
+        assert sha1_hex("x") != sha1_hex("y")
+
+    def test_print_captured_to_console(self):
+        src = """
+class T:
+    def m(self, x):
+        print("value", x)
+        return x
+"""
+        program = parse_source(src)
+        natives = default_natives()
+        interp = IRInterpreter(program, connect(Database()), natives=natives)
+        interp.invoke("T", "m", 9)
+        assert natives.console == ["value 9"]
+
+    def test_concat(self):
+        src = """
+class T:
+    def m(self, x):
+        return concat("a=", x, "!")
+"""
+        assert run(src, "m", 3) == "a=3!"
+
+    def test_unknown_native_raises(self):
+        natives = default_natives()
+        with pytest.raises(InterpError):
+            natives.call("missing", [])
+
+
+class TestDatabaseCalls:
+    @pytest.fixture()
+    def conn(self):
+        db = Database()
+        db.create_table(
+            "t", [("k", "int", False), ("v", "int")], primary_key=["k"]
+        )
+        conn = connect(db)
+        for k in range(5):
+            conn.execute("INSERT INTO t (k, v) VALUES (?, ?)", k, k * 10)
+        return conn
+
+    def test_query_scalar(self, conn):
+        src = """
+class T:
+    def m(self, k):
+        return self.db.query_scalar("SELECT v FROM t WHERE k = ?", k)
+"""
+        assert run(src, "m", 3, conn=conn) == 30
+
+    def test_query_iteration(self, conn):
+        src = """
+class T:
+    def m(self, x):
+        rs = self.db.query("SELECT v FROM t ORDER BY k")
+        total = 0
+        for row in rs:
+            total = total + row[0]
+        return total
+"""
+        assert run(src, "m", 0, conn=conn) == 100
+
+    def test_query_one_row_access(self, conn):
+        src = """
+class T:
+    def m(self, k):
+        row = self.db.query_one("SELECT k, v FROM t WHERE k = ?", k)
+        return row.get("v") + row.get("k")
+"""
+        assert run(src, "m", 2, conn=conn) == 22
+
+    def test_execute_returns_rowcount(self, conn):
+        src = """
+class T:
+    def m(self, x):
+        return self.db.execute("UPDATE t SET v = v + 1 WHERE k < ?", x)
+"""
+        assert run(src, "m", 3, conn=conn) == 3
+
+    def test_hooks_fire(self, conn):
+        src = """
+class T:
+    def m(self, k):
+        v = self.db.query_scalar("SELECT v FROM t WHERE k = ?", k)
+        return v + 1
+"""
+        program = parse_source(src)
+        stmts, db_calls = [], []
+        interp = IRInterpreter(
+            program, conn,
+            on_stmt=lambda s: stmts.append(s.sid),
+            on_db_call=lambda s, api, rows, r: db_calls.append((api, rows)),
+        )
+        interp.invoke("T", "m", 1)
+        assert db_calls == [("query_scalar", 1)]
+        assert len(stmts) >= 2

@@ -1,0 +1,118 @@
+"""Normalization invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_source
+from repro.lang.ir import Assign, Const, VarRef, is_atom
+from repro.lang.normalizer import TempAllocator, is_temp
+
+
+class TestTempAllocator:
+    def test_fresh_names_unique(self):
+        temps = TempAllocator()
+        names = {temps.fresh() for _ in range(10)}
+        assert len(names) == 10
+        assert all(is_temp(n) for n in names)
+
+    def test_is_temp(self):
+        assert is_temp("$t0")
+        assert not is_temp("x")
+
+
+class TestThreeAddressProperty:
+    def _assert_normalized(self, program):
+        """Every operand of every operation must be an atom."""
+        for func in program.functions():
+            for stmt in func.walk():
+                for expr in stmt.exprs():
+                    if is_atom(expr):
+                        continue
+                    for atom in expr.atoms():
+                        assert is_atom(atom), (func.qualified_name, stmt.sid)
+
+    def test_deeply_nested_expression(self):
+        src = """
+class T:
+    def m(self, a, b, c):
+        return ((a + b) * (b - c)) / (a * a + 1)
+"""
+        self._assert_normalized(parse_source(src))
+
+    def test_nested_calls(self):
+        src = """
+class T:
+    def m(self, a):
+        return len(range(0, abs(a) + 1))
+"""
+        self._assert_normalized(parse_source(src))
+
+    def test_field_chains(self):
+        src = """
+class Inner:
+    def set(self, v):
+        self.v = v
+
+class T:
+    def m(self, a):
+        i = Inner()
+        i.set(a)
+        self.child = i
+        return self.child.v
+"""
+        self._assert_normalized(parse_source(src))
+
+    def test_index_of_index(self):
+        src = """
+class T:
+    def m(self, a):
+        t = [[1, 2], [3, 4]]
+        return t[0][1] + t[1][0]
+"""
+        program = parse_source(src)
+        self._assert_normalized(program)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.recursive(
+            st.sampled_from(["a", "b", "1", "2.5"]),
+            lambda inner: st.tuples(
+                inner, st.sampled_from(["+", "-", "*"]), inner
+            ).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+            max_leaves=12,
+        )
+    )
+    def test_random_expressions_normalize(self, expr_text):
+        src = f"""
+class T:
+    def m(self, a, b):
+        return {expr_text}
+"""
+        self._assert_normalized(parse_source(src))
+
+
+class TestFieldCollection:
+    def test_read_only_fields_declared(self):
+        src = """
+class T:
+    def w(self, x):
+        self.a = x
+    def r(self, x):
+        return self.b
+"""
+        program = parse_source(src)
+        assert program.cls("T").fields == ["a", "b"]
+
+    def test_fields_per_class(self):
+        src = """
+class A:
+    def m(self, x):
+        self.only_a = x
+class B:
+    def m(self, x):
+        self.only_b = x
+"""
+        program = parse_source(src)
+        assert program.cls("A").fields == ["only_a"]
+        assert program.cls("B").fields == ["only_b"]

@@ -1,0 +1,85 @@
+"""Pretty printer."""
+
+import pytest
+
+from repro.lang import format_function, format_program, parse_source
+from repro.lang.pretty import format_expr, format_stmt
+
+SOURCE = '''
+class Demo:
+    def run(self, x):
+        total = 0
+        items = [1, 2, 3]
+        for item in items:
+            if item > x:
+                total = total + item
+            else:
+                total = total - 1
+        while total > 10:
+            total = total - x
+        self.saved = total
+        print("total", total)
+        return total
+'''
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_source(SOURCE, entry_points=[("Demo", "run")])
+
+
+class TestFormatting:
+    def test_function_header(self, program):
+        text = format_function(program.function("Demo", "run"))
+        assert text.startswith("def Demo.run(x):")
+
+    def test_all_statements_listed_with_sids(self, program):
+        func = program.function("Demo", "run")
+        text = format_function(func)
+        for stmt in func.walk():
+            assert f"[{stmt.sid}]" in text
+
+    def test_structure_rendered(self, program):
+        text = format_function(program.function("Demo", "run"))
+        assert "for item in items:" in text
+        assert "else:" in text
+        assert "while " in text
+        assert "return" in text
+
+    def test_program_lists_fields(self, program):
+        text = format_program(program)
+        assert "class Demo:" in text
+        assert "fields: saved" in text
+
+    def test_annotations_applied(self, program):
+        text = format_program(program, annotate=lambda sid: ":APP:")
+        assert text.count(":APP:") >= len(
+            list(program.function("Demo", "run").walk())
+        )
+
+    def test_expr_forms(self, program):
+        from repro.lang.ir import (
+            BinExpr, Const, FieldGet, IndexGet, ListLiteral, UnaryExpr, VarRef,
+        )
+
+        assert format_expr(Const(5)) == "5"
+        assert format_expr(VarRef("x")) == "x"
+        assert format_expr(BinExpr("+", VarRef("a"), Const(1))) == "a + 1"
+        assert format_expr(UnaryExpr("not", VarRef("f"))) == "not f"
+        assert format_expr(FieldGet(VarRef("self"), "total")) == "self.total"
+        assert format_expr(IndexGet(VarRef("t"), Const(0))) == "t[0]"
+        assert format_expr(ListLiteral((Const(1), Const(2)))) == "[1, 2]"
+
+    def test_call_forms(self, program):
+        from repro.lang.ir import CallExpr, CallKind, Const, VarRef
+
+        db = CallExpr(CallKind.DB, "query", (Const("SELECT 1"),))
+        assert "db.query" in format_expr(db)
+        alloc = CallExpr(CallKind.ALLOC_OBJECT, "Node", ())
+        assert "new Node" in format_expr(alloc)
+
+    def test_empty_function_shows_pass(self):
+        program = parse_source(
+            "class E:\n    def noop(self, x):\n        pass"
+        )
+        assert "pass" in format_function(program.function("E", "noop"))

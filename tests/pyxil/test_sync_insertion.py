@@ -1,0 +1,103 @@
+"""Heap-synchronization planning."""
+
+import pytest
+
+from repro.analysis.interproc import build_call_graph
+from repro.analysis.points_to import analyze_points_to
+from repro.core.ilp import PartitioningResult
+from repro.core.partition_graph import (
+    Placement,
+    array_node_id,
+    field_node_id,
+    stmt_node_id,
+)
+from repro.lang import parse_source
+from repro.pyxil.program import PlacedProgram
+from repro.pyxil.sync_insertion import compute_sync_plan
+
+SOURCE = '''
+class Sync:
+    def run(self, x):
+        self.shared = x * 2
+        self.local_only = x + 1
+        arr = [0] * x
+        arr[0] = self.shared
+        return self.read()
+
+    def read(self):
+        return self.shared
+'''
+
+
+def place_all(program, placement_map):
+    """Build a PlacedProgram from an explicit sid -> Placement map."""
+    assignment = {}
+    for stmt in program.all_statements():
+        assignment[stmt_node_id(stmt.sid)] = placement_map(stmt.sid)
+    for cls in program.classes.values():
+        for fname in cls.fields:
+            assignment[field_node_id(cls.name, fname)] = Placement.APP
+    result = PartitioningResult(
+        assignment=assignment, objective=0.0, db_load=0.0,
+        budget=1e9, solver="manual",
+    )
+    return PlacedProgram(program=program, result=result, name="test")
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    program = parse_source(SOURCE, entry_points=[("Sync", "run")])
+    pts = analyze_points_to(program)
+    cg = build_call_graph(program, pts)
+    return program, pts, cg
+
+
+class TestSyncPlan:
+    def test_single_server_nothing_ships(self, analyzed):
+        program, pts, cg = analyzed
+        placed = place_all(program, lambda sid: Placement.APP)
+        plan = compute_sync_plan(placed, cg, pts)
+        assert not plan.field_ships("Sync", "shared")
+        assert not plan.field_ships("Sync", "local_only")
+
+    def test_cross_server_field_ships(self, analyzed):
+        program, pts, cg = analyzed
+        # Put Sync.read on the DB, everything else on APP: `shared` is
+        # written on APP and read on DB, so it must ship.
+        read_sids = {
+            s.sid for s in program.function("Sync", "read").walk()
+        }
+        placed = place_all(
+            program,
+            lambda sid: Placement.DB if sid in read_sids else Placement.APP,
+        )
+        plan = compute_sync_plan(placed, cg, pts)
+        assert plan.field_ships("Sync", "shared")
+        # local_only never crosses: stays local.
+        assert not plan.field_ships("Sync", "local_only")
+
+    def test_sync_ops_emitted_for_writers(self, analyzed):
+        program, pts, cg = analyzed
+        read_sids = {
+            s.sid for s in program.function("Sync", "read").walk()
+        }
+        placed = place_all(
+            program,
+            lambda sid: Placement.DB if sid in read_sids else Placement.APP,
+        )
+        plan = compute_sync_plan(placed, cg, pts)
+        ops = [
+            op for ops in plan.sync_ops_after.values() for op in ops
+            if op.target == "Sync.shared"
+        ]
+        assert ops
+        # shared's authoritative part is APP (our placement map): sendAPP.
+        assert all(op.kind == "sendAPP" for op in ops)
+
+    def test_unknown_locations_default_to_shipping(self, analyzed):
+        program, pts, cg = analyzed
+        placed = place_all(program, lambda sid: Placement.APP)
+        plan = compute_sync_plan(placed, cg, pts)
+        # Conservative default for anything the plan has not seen.
+        assert plan.field_ships("Sync", "never_mentioned")
+        assert plan.array_ships(99999)

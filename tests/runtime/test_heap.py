@@ -1,0 +1,129 @@
+"""Distributed heap stores."""
+
+import pytest
+
+from repro.core.partition_graph import Placement
+from repro.runtime.heap import HeapError, HeapStore, NativeRef, ObjRef
+
+
+@pytest.fixture()
+def heap():
+    return HeapStore(Placement.APP)
+
+
+class TestObjects:
+    def test_write_then_read(self, heap):
+        ref = ObjRef(1, "Order")
+        heap.register_object(ref)
+        heap.write_field(ref, "total", 42.0)
+        assert heap.read_field(ref, "total") == 42.0
+
+    def test_read_missing_field_raises(self, heap):
+        ref = ObjRef(1, "Order")
+        heap.register_object(ref)
+        with pytest.raises(HeapError, match="total"):
+            heap.read_field(ref, "total")
+
+    def test_read_unregistered_object_raises(self, heap):
+        with pytest.raises(HeapError):
+            heap.read_field(ObjRef(99, "Order"), "x")
+
+    def test_writes_marked_dirty(self, heap):
+        ref = ObjRef(1, "Order")
+        heap.register_object(ref)
+        heap.write_field(ref, "total", 1.0)
+        assert (1, "Order", "total") in heap.dirty_fields
+
+    def test_unmarked_write(self, heap):
+        ref = ObjRef(1, "Order")
+        heap.register_object(ref)
+        heap.write_field(ref, "total", 1.0, mark_dirty=False)
+        assert not heap.dirty_fields
+
+
+class TestNatives:
+    def test_register_and_get(self, heap):
+        ref = NativeRef(2, alloc_sid=10)
+        heap.register_native(ref, [1, 2, 3])
+        assert heap.get_native(ref) == [1, 2, 3]
+        assert 2 in heap.dirty_natives
+
+    def test_get_missing_raises(self, heap):
+        with pytest.raises(HeapError):
+            heap.get_native(NativeRef(5, alloc_sid=1))
+
+    def test_mark_dirty(self, heap):
+        ref = NativeRef(2, alloc_sid=10)
+        heap.register_native(ref, [], mark_dirty=False)
+        assert 2 not in heap.dirty_natives
+        heap.mark_native_dirty(ref)
+        assert 2 in heap.dirty_natives
+
+
+class TestSynchronization:
+    def test_collect_respects_ship_flags(self, heap):
+        obj = ObjRef(1, "Order")
+        heap.register_object(obj)
+        heap.write_field(obj, "shipped", 1.0)
+        heap.write_field(obj, "local_only", 2.0)
+        ships = {("Order", "shipped"): True, ("Order", "local_only"): False}
+        fields, natives = heap.collect_updates(ships, {}, {})
+        assert (1, "Order", "shipped") in fields
+        assert (1, "Order", "local_only") not in fields
+
+    def test_collect_clears_dirty_sets(self, heap):
+        obj = ObjRef(1, "Order")
+        heap.register_object(obj)
+        heap.write_field(obj, "a", 1.0)
+        heap.collect_updates({}, {}, {})
+        assert not heap.dirty_fields
+
+    def test_native_ship_flag_by_alloc_site(self, heap):
+        keep = NativeRef(1, alloc_sid=100)
+        ship = NativeRef(2, alloc_sid=200)
+        heap.register_native(keep, [1])
+        heap.register_native(ship, [2])
+        fields, natives = heap.collect_updates(
+            {}, {100: False, 200: True}, {1: 100, 2: 200}
+        )
+        assert set(natives) == {2}
+
+    def test_unknown_location_defaults_to_shipping(self, heap):
+        # Conservative default: unknown locations always ship.
+        obj = ObjRef(1, "Order")
+        heap.register_object(obj)
+        heap.write_field(obj, "mystery", 5)
+        fields, _ = heap.collect_updates({}, {}, {})
+        assert (1, "Order", "mystery") in fields
+
+    def test_apply_updates_does_not_mark_dirty(self):
+        app = HeapStore(Placement.APP)
+        db = HeapStore(Placement.DB)
+        obj = ObjRef(1, "Order")
+        app.register_object(obj)
+        db.register_object(obj)
+        app.write_field(obj, "x", 10)
+        updates, _ = app.collect_updates({}, {}, {})
+        db.apply_updates(updates, {})
+        assert db.read_field(obj, "x") == 10
+        assert not db.dirty_fields
+
+    def test_round_trip_between_stores(self):
+        app = HeapStore(Placement.APP)
+        db = HeapStore(Placement.DB)
+        obj = ObjRef(1, "Order")
+        for store in (app, db):
+            store.register_object(obj)
+        app.write_field(obj, "total", 1.0)
+        db.apply_updates(*app.collect_updates({}, {}, {}))
+        db.write_field(obj, "total", 2.0)
+        app.apply_updates(*db.collect_updates({}, {}, {}))
+        assert app.read_field(obj, "total") == 2.0
+
+    def test_stats(self, heap):
+        obj = ObjRef(1, "Order")
+        heap.register_object(obj)
+        heap.write_field(obj, "a", 1)
+        stats = heap.stats()
+        assert stats["objects"] == 1
+        assert stats["dirty_fields"] == 1

@@ -1,0 +1,58 @@
+"""RPC message byte accounting."""
+
+import pytest
+
+from repro.runtime.rpc import (
+    MESSAGE_OVERHEAD,
+    ControlTransferMessage,
+    DbRequestMessage,
+    DbResponseMessage,
+)
+
+
+class TestControlTransferMessage:
+    def test_empty_message_costs_overhead(self):
+        msg = ControlTransferMessage(next_bid=7)
+        assert msg.nbytes() == MESSAGE_OVERHEAD
+
+    def test_stack_updates_add_bytes(self):
+        empty = ControlTransferMessage(next_bid=1).nbytes()
+        msg = ControlTransferMessage(
+            next_bid=1, stack_updates={"0:x": 5, "0:name": "hello"}
+        )
+        assert msg.nbytes() > empty
+
+    def test_heap_updates_add_bytes(self):
+        empty = ControlTransferMessage(next_bid=1).nbytes()
+        msg = ControlTransferMessage(
+            next_bid=1,
+            field_updates={(1, "Order", "total"): 12.5},
+            native_updates={2: [1.0, 2.0, 3.0]},
+        )
+        assert msg.nbytes() > empty + 20
+
+    def test_larger_payloads_cost_more(self):
+        small = ControlTransferMessage(
+            next_bid=1, native_updates={1: [0.0] * 2}
+        )
+        large = ControlTransferMessage(
+            next_bid=1, native_updates={1: [0.0] * 200}
+        )
+        assert large.nbytes() > small.nbytes()
+
+
+class TestDbMessages:
+    def test_request_scales_with_sql_and_params(self):
+        short = DbRequestMessage("query", "SELECT 1", ())
+        long = DbRequestMessage(
+            "query", "SELECT " + "x, " * 50 + "y FROM t", (1, 2, 3)
+        )
+        assert long.nbytes() > short.nbytes()
+
+    def test_response_scales_with_result(self):
+        small = DbResponseMessage(1)
+        big = DbResponseMessage([(i, "row") for i in range(100)])
+        assert big.nbytes() > small.nbytes()
+
+    def test_overhead_floor(self):
+        assert DbResponseMessage(None).nbytes() >= MESSAGE_OVERHEAD

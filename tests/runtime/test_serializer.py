@@ -1,0 +1,61 @@
+"""Wire copies and sizes."""
+
+import pytest
+
+from repro.db.jdbc import ResultSet, Row
+from repro.db.sql.executor import StatementResult
+from repro.runtime.heap import NativeRef, ObjRef
+from repro.runtime.serializer import wire_copy, wire_size
+
+
+class TestWireCopy:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert wire_copy(value) == value
+
+    def test_list_is_deep_copied(self):
+        original = [1, [2, 3]]
+        copy = wire_copy(original)
+        copy[1].append(4)
+        assert original == [1, [2, 3]]
+
+    def test_refs_stay_refs(self):
+        obj = ObjRef(1, "T")
+        nat = NativeRef(2, 5)
+        assert wire_copy(obj) is obj
+        assert wire_copy(nat) is nat
+
+    def test_list_of_refs(self):
+        obj = ObjRef(1, "T")
+        copied = wire_copy([obj, 2])
+        assert copied[0] is obj
+
+    def test_row_copy_equal_but_rebuilt(self):
+        row = Row(["a", "b"], (1, "x"))
+        copy = wire_copy(row)
+        assert copy == row
+        assert copy is not row
+
+    def test_result_set_copy_isolated(self):
+        rs = ResultSet(
+            StatementResult(columns=["a"], rows=[(1,), (2,)], rowcount=2)
+        )
+        copy = wire_copy(rs)
+        assert [r["a"] for r in copy] == [1, 2]
+        assert copy is not rs
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            wire_copy(object())
+
+
+class TestWireSize:
+    def test_refs_are_small(self):
+        assert wire_size(ObjRef(1, "LongClassName")) == 12
+
+    def test_larger_payloads_cost_more(self):
+        assert wire_size([1.0] * 100) > wire_size([1.0] * 10)
+        assert wire_size("x" * 100) > wire_size("x")
+
+    def test_none_nearly_free(self):
+        assert wire_size(None) <= 1

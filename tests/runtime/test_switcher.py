@@ -1,0 +1,82 @@
+"""Dynamic partition switching (Section 6.3)."""
+
+import pytest
+
+from repro.runtime.switcher import DynamicSwitcher, SwitcherConfig
+
+
+def make_switcher(**kwargs):
+    config = SwitcherConfig(**kwargs) if kwargs else SwitcherConfig()
+    return DynamicSwitcher(["low_budget", "high_budget"], config)
+
+
+class TestDynamicSwitcher:
+    def test_defaults_match_paper(self):
+        config = SwitcherConfig()
+        assert config.alpha == 0.2
+        assert config.poll_interval == 10.0
+        assert config.threshold_percent == 40.0
+
+    def test_starts_on_high_budget(self):
+        switcher = make_switcher()
+        assert switcher.choose() == "high_budget"
+
+    def test_switches_to_low_budget_under_load(self):
+        switcher = make_switcher()
+        switcher.observe_load(0.0, 90.0)
+        assert switcher.choose() == "low_budget"
+
+    def test_stays_high_when_idle(self):
+        switcher = make_switcher()
+        switcher.observe_load(0.0, 10.0)
+        assert switcher.choose() == "high_budget"
+
+    def test_poll_interval_suppresses_rapid_samples(self):
+        switcher = make_switcher()
+        switcher.observe_load(0.0, 10.0)
+        # A burst 1s later is ignored (poll every 10s).
+        switcher.observe_load(1.0, 100.0)
+        assert switcher.choose() == "high_budget"
+        switcher.observe_load(11.0, 100.0)
+        assert switcher.choose() == "low_budget"
+
+    def test_ewma_delays_switch(self):
+        # Paper: "due to the use of EWMA, it took a short period of
+        # time for Pyxis to adapt to load changes".
+        switcher = make_switcher(alpha=0.8, poll_interval=1.0,
+                                 threshold_percent=40.0)
+        switcher.observe_load(0.0, 0.0)
+        switcher.observe_load(1.0, 100.0)  # level = 0.8*0 + 0.2*100 = 20
+        assert switcher.choose() == "high_budget"
+        switcher.observe_load(2.0, 100.0)  # 36
+        assert switcher.choose() == "high_budget"
+        switcher.observe_load(3.0, 100.0)  # 48.8 > 40
+        assert switcher.choose() == "low_budget"
+
+    def test_recovers_when_load_drops(self):
+        switcher = make_switcher(alpha=0.2, poll_interval=1.0)
+        switcher.observe_load(0.0, 90.0)
+        assert switcher.choose() == "low_budget"
+        for t in range(1, 6):
+            switcher.observe_load(float(t), 5.0)
+        assert switcher.choose() == "high_budget"
+
+    def test_history_recorded(self):
+        switcher = make_switcher(poll_interval=1.0)
+        switcher.observe_load(0.0, 50.0)
+        switcher.observe_load(1.0, 60.0)
+        assert len(switcher.history) == 2
+
+    def test_requires_options(self):
+        with pytest.raises(ValueError):
+            DynamicSwitcher([])
+
+    def test_single_option_always_chosen(self):
+        switcher = DynamicSwitcher(["only"])
+        switcher.observe_load(0.0, 99.0)
+        assert switcher.choose() == "only"
+
+    def test_low_high_properties(self):
+        switcher = make_switcher()
+        assert switcher.low_budget == "low_budget"
+        assert switcher.high_budget == "high_budget"

@@ -1,0 +1,131 @@
+"""Virtual clock and event loop."""
+
+import pytest
+
+from repro.sim.clock import Event, EventLoop, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_backwards_rejected(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_reset(self):
+        clock = VirtualClock(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append("c"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(2.0, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("first", "second", "third"):
+            loop.schedule(1.0, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_with_events(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(2.5, lambda: times.append(loop.clock.now))
+        loop.schedule(5.0, lambda: times.append(loop.clock.now))
+        loop.run()
+        assert times == [2.5, 5.0]
+
+    def test_cancelled_events_skipped(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda: fired.append("cancelled"))
+        loop.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        loop.run()
+        assert fired == ["kept"]
+
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(10.0, lambda: fired.append(10))
+        loop.run(until=5.0)
+        assert fired == [1]
+        assert loop.clock.now == 5.0
+        assert loop.pending == 1
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(1.0, lambda: chain(n + 1))
+
+        loop.schedule(1.0, lambda: chain(1))
+        loop.run()
+        assert fired == [1, 2, 3]
+        assert loop.clock.now == 3.0
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.001, forever)
+
+        loop.schedule(0.001, forever)
+        with pytest.raises(RuntimeError, match="max_events"):
+            loop.run(max_events=100)
+
+    def test_returns_processed_count(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1.0, lambda: None)
+        assert loop.run() == 5
+
+    def test_step_on_empty_returns_false(self):
+        assert EventLoop().step() is False

@@ -1,0 +1,116 @@
+"""Cluster trace recording."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.queueing import StageKind
+
+
+class TestClusterBasics:
+    def test_default_paper_configuration(self):
+        cluster = Cluster()
+        assert cluster.app.cores == 8
+        assert cluster.db.cores == 16
+        assert cluster.network.round_trip_latency == pytest.approx(0.002)
+
+    def test_server_lookup(self):
+        cluster = Cluster()
+        assert cluster.server("app") is cluster.app
+        assert cluster.server("db") is cluster.db
+        with pytest.raises(KeyError):
+            cluster.server("other")
+
+
+class TestTraceRecording:
+    def test_consecutive_cpu_merges_into_one_stage(self):
+        cluster = Cluster()
+        cluster.start_trace()
+        cluster.record_cpu("app", 0.001)
+        cluster.record_cpu("app", 0.002)
+        trace = cluster.finish_trace("t")
+        assert len(trace.stages) == 1
+        assert trace.stages[0].duration == pytest.approx(0.003)
+
+    def test_side_switch_creates_new_stage(self):
+        cluster = Cluster()
+        cluster.start_trace()
+        cluster.record_cpu("app", 0.001)
+        cluster.record_cpu("db", 0.002)
+        cluster.record_cpu("app", 0.001)
+        trace = cluster.finish_trace("t")
+        kinds = [s.kind for s in trace.stages]
+        assert kinds == [
+            StageKind.APP_CPU, StageKind.DB_CPU, StageKind.APP_CPU,
+        ]
+
+    def test_messages_interleave_with_cpu(self):
+        cluster = Cluster()
+        cluster.start_trace()
+        cluster.record_cpu("app", 0.001)
+        cluster.record_message(100, to_db=True)
+        cluster.record_cpu("db", 0.002)
+        cluster.record_message(200, to_db=False)
+        trace = cluster.finish_trace("t")
+        kinds = [s.kind for s in trace.stages]
+        assert kinds == [
+            StageKind.APP_CPU,
+            StageKind.NET_TO_DB,
+            StageKind.DB_CPU,
+            StageKind.NET_TO_APP,
+        ]
+        assert trace.round_trips == 1
+
+    def test_clock_advances_for_cpu_and_network(self):
+        cluster = Cluster()
+        cluster.start_trace()
+        cluster.record_cpu("app", 0.005)
+        cluster.record_message(0, to_db=True)
+        cluster.finish_trace("t")
+        assert cluster.clock.now > 0.005
+
+    def test_pending_cpu_flushed_by_finish(self):
+        cluster = Cluster()
+        cluster.start_trace()
+        cluster.record_cpu("db", 0.004)
+        before = cluster.clock.now
+        trace = cluster.finish_trace("t")
+        assert cluster.clock.now == pytest.approx(before + 0.004)
+        assert trace.db_cpu == pytest.approx(0.004)
+
+    def test_trace_isolated_between_runs(self):
+        cluster = Cluster()
+        cluster.start_trace()
+        cluster.record_cpu("app", 0.001)
+        first = cluster.finish_trace("first")
+        cluster.start_trace()
+        cluster.record_cpu("db", 0.002)
+        second = cluster.finish_trace("second")
+        assert len(first.stages) == 1
+        assert len(second.stages) == 1
+        assert second.stages[0].kind is StageKind.DB_CPU
+
+    def test_negative_cpu_rejected(self):
+        cluster = Cluster()
+        with pytest.raises(ValueError):
+            cluster.record_cpu("app", -0.001)
+
+    def test_network_stats_accumulate(self):
+        cluster = Cluster()
+        cluster.record_message(100, to_db=True)
+        cluster.record_message(50, to_db=False)
+        assert cluster.network.total_messages() == 2
+
+    def test_reset(self):
+        cluster = Cluster()
+        cluster.record_cpu("app", 0.001)
+        cluster.record_message(10, to_db=True)
+        cluster.reset()
+        assert cluster.clock.now == 0.0
+        assert cluster.network.total_messages() == 0
+
+    def test_custom_config(self):
+        config = ClusterConfig(app_cores=2, db_cores=3, one_way_latency=0.01)
+        cluster = Cluster(config)
+        assert cluster.db.cores == 3
+        delay = cluster.record_message(0, to_db=True)
+        assert delay >= 0.01

@@ -1,0 +1,79 @@
+"""Network model."""
+
+import pytest
+
+from repro.sim.network import NetworkModel, NetworkStats
+
+
+class TestNetworkStats:
+    def test_record_accumulates(self):
+        stats = NetworkStats()
+        stats.record(100)
+        stats.record(50)
+        assert stats.messages == 2
+        assert stats.bytes == 150
+
+    def test_reset(self):
+        stats = NetworkStats()
+        stats.record(10)
+        stats.reset()
+        assert stats.messages == 0
+        assert stats.bytes == 0
+
+    def test_merge(self):
+        a, b = NetworkStats(), NetworkStats()
+        a.record(10)
+        b.record(20)
+        a.merge(b)
+        assert a.messages == 2
+        assert a.bytes == 30
+
+
+class TestNetworkModel:
+    def test_round_trip_is_twice_one_way(self):
+        net = NetworkModel(one_way_latency=0.001)
+        assert net.round_trip_latency == pytest.approx(0.002)
+
+    def test_transfer_time_includes_bandwidth(self):
+        net = NetworkModel(
+            one_way_latency=0.001, bandwidth=1000.0, per_message_overhead=0
+        )
+        # 500 bytes at 1000 B/s = 0.5 s on the wire.
+        assert net.transfer_time(500) == pytest.approx(0.501)
+
+    def test_overhead_added_per_message(self):
+        net = NetworkModel(
+            one_way_latency=0.0, bandwidth=100.0, per_message_overhead=50
+        )
+        assert net.transfer_time(0) == pytest.approx(0.5)
+
+    def test_send_records_direction(self):
+        net = NetworkModel()
+        net.send(100, to_db=True)
+        net.send(200, to_db=False)
+        net.send(300, to_db=True)
+        assert net.app_to_db.messages == 2
+        assert net.db_to_app.messages == 1
+        assert net.total_messages() == 3
+
+    def test_total_bytes_includes_overhead(self):
+        net = NetworkModel(per_message_overhead=64)
+        net.send(100, to_db=True)
+        assert net.total_bytes() == 164
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(one_way_latency=-0.1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+
+    def test_reset_stats(self):
+        net = NetworkModel()
+        net.send(10, to_db=True)
+        net.reset_stats()
+        assert net.total_messages() == 0
+        assert net.total_bytes() == 0

@@ -1,0 +1,223 @@
+"""Queueing simulator: sanity laws, contention, determinism."""
+
+import pytest
+
+from repro.sim.queueing import (
+    QueueingSimulator,
+    SimNetworkParams,
+    Stage,
+    StageKind,
+    TransactionTrace,
+    sweep_throughput,
+)
+
+
+def cpu_trace(app: float = 0.0, db: float = 0.0, name: str = "t") -> TransactionTrace:
+    stages = []
+    if app:
+        stages.append(Stage(StageKind.APP_CPU, app))
+    if db:
+        stages.append(Stage(StageKind.DB_CPU, db))
+    return TransactionTrace(name=name, stages=tuple(stages))
+
+
+class TestStage:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(StageKind.APP_CPU, -1.0)
+
+    def test_cpu_vs_network(self):
+        assert Stage(StageKind.DB_CPU, 0.1).is_cpu
+        assert Stage(StageKind.NET_TO_DB, nbytes=10).is_network
+
+
+class TestTransactionTrace:
+    def test_cpu_demand_sums(self):
+        trace = TransactionTrace(
+            "t",
+            (
+                Stage(StageKind.APP_CPU, 0.001),
+                Stage(StageKind.DB_CPU, 0.002),
+                Stage(StageKind.APP_CPU, 0.003),
+            ),
+        )
+        assert trace.app_cpu == pytest.approx(0.004)
+        assert trace.db_cpu == pytest.approx(0.002)
+
+    def test_round_trips_counts_to_db_messages(self):
+        trace = TransactionTrace(
+            "t",
+            (
+                Stage(StageKind.NET_TO_DB, nbytes=10),
+                Stage(StageKind.NET_TO_APP, nbytes=10),
+                Stage(StageKind.NET_TO_DB, nbytes=10),
+            ),
+        )
+        assert trace.round_trips == 2
+
+    def test_unloaded_latency(self):
+        network = SimNetworkParams(
+            one_way_latency=0.001, per_message_overhead=0,
+            bandwidth=1e12,
+        )
+        trace = TransactionTrace(
+            "t",
+            (
+                Stage(StageKind.APP_CPU, 0.005),
+                Stage(StageKind.NET_TO_DB, nbytes=0),
+                Stage(StageKind.DB_CPU, 0.002),
+                Stage(StageKind.NET_TO_APP, nbytes=0),
+            ),
+        )
+        assert trace.unloaded_latency(network) == pytest.approx(0.009)
+
+
+class TestQueueingSimulator:
+    def test_light_load_latency_matches_unloaded(self):
+        trace = cpu_trace(db=0.001)
+        sim = QueueingSimulator(db_cores=16)
+        result = sim.run(trace, rate=10, duration=30)
+        assert result.mean_latency == pytest.approx(0.001, rel=0.05)
+
+    def test_throughput_matches_offered_when_underloaded(self):
+        trace = cpu_trace(db=0.001)
+        sim = QueueingSimulator(db_cores=16)
+        result = sim.run(trace, rate=100, duration=60)
+        assert result.throughput == pytest.approx(100, rel=0.15)
+
+    def test_utilization_law(self):
+        # U = lambda * service_time / cores (within stochastic noise).
+        service = 0.004
+        rate = 1000.0
+        cores = 8
+        sim = QueueingSimulator(db_cores=cores)
+        result = sim.run(cpu_trace(db=service), rate=rate, duration=60)
+        expected = rate * service / cores
+        assert result.db_utilization == pytest.approx(expected, rel=0.1)
+
+    def test_overload_inflates_latency(self):
+        trace = cpu_trace(db=0.01)
+        sim_low = QueueingSimulator(db_cores=2)
+        low = sim_low.run(trace, rate=50, duration=30)
+        sim_high = QueueingSimulator(db_cores=2)
+        high = sim_high.run(trace, rate=300, duration=30)
+        assert high.mean_latency > 5 * low.mean_latency
+
+    def test_network_stage_bytes_counted(self):
+        trace = TransactionTrace(
+            "t",
+            (
+                Stage(StageKind.NET_TO_DB, nbytes=1000),
+                Stage(StageKind.NET_TO_APP, nbytes=500),
+            ),
+        )
+        sim = QueueingSimulator()
+        result = sim.run(trace, rate=10, duration=10)
+        assert result.bytes_to_db > result.bytes_to_app
+        assert result.messages == 2 * result.completed
+
+    def test_deterministic_given_seed(self):
+        trace = cpu_trace(app=0.001, db=0.002)
+        r1 = QueueingSimulator(seed=5).run(trace, rate=100, duration=10)
+        r2 = QueueingSimulator(seed=5).run(trace, rate=100, duration=10)
+        assert r1.latencies == r2.latencies
+
+    def test_different_seeds_differ(self):
+        trace = cpu_trace(db=0.002)
+        r1 = QueueingSimulator(seed=1).run(trace, rate=100, duration=10)
+        r2 = QueueingSimulator(seed=2).run(trace, rate=100, duration=10)
+        assert r1.latencies != r2.latencies
+
+    def test_invalid_rate_and_duration(self):
+        sim = QueueingSimulator()
+        with pytest.raises(ValueError):
+            sim.run(cpu_trace(db=0.001), rate=0, duration=10)
+        with pytest.raises(ValueError):
+            sim.run(cpu_trace(db=0.001), rate=10, duration=0)
+
+    def test_external_load_reserves_cores(self):
+        trace = cpu_trace(db=0.01)
+        sim = QueueingSimulator(db_cores=4)
+        sim.set_db_external_load(0.75)  # one core left
+        result = sim.run(trace, rate=150, duration=30)
+        # 150/s * 10ms = 1.5 core demand > 1 free core: overload.
+        assert result.mean_latency > 0.05
+
+    def test_trace_selector_called(self):
+        fast = cpu_trace(db=0.001, name="fast")
+        slow = cpu_trace(db=0.004, name="slow")
+        chosen = []
+
+        def selector(now, sim):
+            trace = fast if len(chosen) % 2 == 0 else slow
+            chosen.append(trace.name)
+            return trace
+
+        sim = QueueingSimulator()
+        result = sim.run(selector, rate=50, duration=20)
+        names = {name for _, name in result.trace_names}
+        assert names == {"fast", "slow"}
+
+
+class TestLockGroups:
+    def test_lock_contention_caps_throughput(self):
+        # One hot row, 10ms per transaction: at most ~100/s complete.
+        trace = TransactionTrace(
+            "locked", (Stage(StageKind.DB_CPU, 0.01),), lock_groups=1
+        )
+        sim = QueueingSimulator(db_cores=16)
+        result = sim.run(trace, rate=500, duration=20)
+        assert result.throughput < 120
+
+    def test_more_groups_raise_cap(self):
+        def run(groups):
+            trace = TransactionTrace(
+                "locked", (Stage(StageKind.DB_CPU, 0.01),),
+                lock_groups=groups,
+            )
+            sim = QueueingSimulator(db_cores=16)
+            return sim.run(trace, rate=400, duration=20).throughput
+
+        assert run(8) > 2 * run(1)
+
+    def test_no_groups_unconstrained(self):
+        trace = cpu_trace(db=0.001)
+        sim = QueueingSimulator(db_cores=16)
+        result = sim.run(trace, rate=500, duration=20)
+        assert result.throughput == pytest.approx(500, rel=0.15)
+
+
+class TestSimResult:
+    def test_latency_buckets(self):
+        trace = cpu_trace(db=0.001)
+        sim = QueueingSimulator()
+        result = sim.run(trace, rate=100, duration=20)
+        buckets = result.latency_buckets(5.0)
+        assert len(buckets) >= 3
+        for _, latency in buckets:
+            assert latency > 0
+
+    def test_trace_mix_fractions_sum_to_one(self):
+        traces = [cpu_trace(db=0.001, name="a"), cpu_trace(db=0.001, name="b")]
+        sim = QueueingSimulator()
+        result = sim.run(traces, rate=200, duration=10)
+        for _, fractions in result.trace_mix(2.0):
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_percentiles_ordered(self):
+        trace = cpu_trace(db=0.002)
+        sim = QueueingSimulator(db_cores=1)
+        result = sim.run(trace, rate=300, duration=10)
+        assert result.percentile(50) <= result.percentile(95)
+        assert result.percentile(95) <= result.percentile(99)
+
+
+class TestSweep:
+    def test_sweep_produces_curve_per_trace(self):
+        traces = {
+            "a": cpu_trace(db=0.001, name="a"),
+            "b": cpu_trace(db=0.002, name="b"),
+        }
+        curves = sweep_throughput(traces, rates=[50, 100], duration=10)
+        assert set(curves) == {"a", "b"}
+        assert len(curves["a"]) == 2

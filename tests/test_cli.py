@@ -1,0 +1,83 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import ORDER_SOURCE
+
+
+@pytest.fixture()
+def order_file(tmp_path):
+    path = tmp_path / "order_app.py"
+    path.write_text(ORDER_SOURCE)
+    return str(path)
+
+
+class TestPartitionCommand:
+    def test_partition_prints_summary(self, order_file, capsys):
+        code = main([
+            "partition", order_file, "--entry", "Order.place_order",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PartitionGraph" in out
+        assert "budget" in out
+
+    def test_partition_with_pyxil_listing(self, order_file, capsys):
+        code = main([
+            "partition", order_file, "--entry", "Order.place_order",
+            "--pyxil",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ":APP:" in out or ":DB:" in out
+
+    def test_partition_custom_budgets(self, order_file, capsys):
+        code = main([
+            "partition", order_file, "--entry", "Order.place_order",
+            "--budget", "0", "--budget", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget 0" in out
+        assert "budget 100" in out
+
+    def test_bad_entry_format(self, order_file, capsys):
+        code = main(["partition", order_file, "--entry", "nodots"])
+        assert code == 2
+        assert "Class.method" in capsys.readouterr().err
+
+    def test_solver_choices_enforced(self, order_file):
+        with pytest.raises(SystemExit):
+            main([
+                "partition", order_file, "--entry", "Order.place_order",
+                "--solver", "cplex",
+            ])
+
+
+class TestExperimentsCommand:
+    def test_unknown_experiment_rejected(self, capsys):
+        code = main(["experiments", "fig99"])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_fig14_runs(self, capsys):
+        code = main(["experiments", "fig14"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "microbenchmark 2" in out
+
+    def test_micro1_runs(self, capsys):
+        code = main(["experiments", "micro1"])
+        assert code == 0
+        assert "overhead" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_registered(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"

@@ -1,0 +1,105 @@
+"""Microbenchmark workloads."""
+
+import pytest
+
+from repro.core.pipeline import Pyxis
+from repro.lang import IRInterpreter, parse_source
+from repro.runtime.entrypoints import PartitionedApp
+from repro.sim.cluster import Cluster
+from repro.workloads.micro import (
+    LINKED_LIST_ENTRY_POINTS,
+    LINKED_LIST_SOURCE,
+    THREE_PHASE_ENTRY_POINTS,
+    THREE_PHASE_SOURCE,
+    MicroScale,
+    make_micro_database,
+    native_linked_list,
+)
+
+
+class TestLinkedList:
+    def test_native_baseline(self):
+        assert native_linked_list(10) == sum(range(10))
+        assert native_linked_list(1) == 0
+
+    def test_oracle_matches_native(self):
+        program = parse_source(
+            LINKED_LIST_SOURCE, entry_points=LINKED_LIST_ENTRY_POINTS
+        )
+        _, conn = make_micro_database()
+        interp = IRInterpreter(program, conn)
+        for n in (1, 2, 17):
+            assert interp.invoke("LinkedList", "run", n) == native_linked_list(n)
+
+    def test_partitioned_matches_native(self):
+        pyx = Pyxis.from_source(LINKED_LIST_SOURCE, LINKED_LIST_ENTRY_POINTS)
+        _, conn = make_micro_database()
+        profile = pyx.profile_with(
+            conn, lambda p: p.invoke("LinkedList", "run", 8)
+        )
+        part = pyx.partition(profile, budgets=[0.0]).partitions[0]
+        app = PartitionedApp(part.compiled, Cluster(), conn)
+        assert app.invoke("LinkedList", "run", 12) == native_linked_list(12)
+
+    def test_single_placement_has_no_transfers(self):
+        # Microbenchmark 1's premise: everything on one server means
+        # zero control transfers -- the measured slowdown is pure
+        # runtime overhead.
+        pyx = Pyxis.from_source(LINKED_LIST_SOURCE, LINKED_LIST_ENTRY_POINTS)
+        _, conn = make_micro_database()
+        profile = pyx.profile_with(
+            conn, lambda p: p.invoke("LinkedList", "run", 8)
+        )
+        part = pyx.partition(profile, budgets=[0.0]).partitions[0]
+        app = PartitionedApp(part.compiled, Cluster(), conn)
+        outcome = app.invoke_traced("LinkedList", "run", 10)
+        assert outcome.control_transfers == 0
+        assert outcome.db_round_trips == 0
+
+
+class TestThreePhase:
+    @pytest.fixture(scope="class")
+    def pset(self):
+        pyx = Pyxis.from_source(THREE_PHASE_SOURCE, THREE_PHASE_ENTRY_POINTS)
+        _, conn = make_micro_database()
+        profile = pyx.profile_with(
+            conn, lambda p: p.invoke("ThreePhase", "run", 10, 20, 100)
+        )
+        total = profile.total_statement_weight()
+        return pyx, pyx.partition(
+            profile, budgets=[0.0, total * 0.62, 1e9]
+        )
+
+    def test_three_distinct_partitions(self, pset):
+        # Paper Section 7.4: low/medium/high budgets yield APP, APP-DB
+        # and DB partitions respectively.
+        _, partitions = pset
+        fractions = [p.fraction_on_db for p in partitions.by_budget()]
+        assert fractions[0] == 0.0
+        assert 0.0 < fractions[1] < fractions[2]
+
+    def test_medium_budget_moves_queries_not_compute(self, pset):
+        pyx, partitions = pset
+        medium = partitions.by_budget()[1]
+        _, conn = make_micro_database()
+        app = PartitionedApp(medium.compiled, Cluster(), conn)
+        outcome = app.invoke_traced("ThreePhase", "run", 10, 20, 100)
+        # Queries run on the DB (no JDBC round trips), compute on APP.
+        assert outcome.db_round_trips == 0
+        assert outcome.trace.app_cpu > 0
+
+    def test_all_partitions_equivalent(self, pset):
+        pyx, partitions = pset
+        _, oracle_conn = make_micro_database()
+        oracle = IRInterpreter(pyx.program, oracle_conn)
+        expected = oracle.invoke("ThreePhase", "run", 12, 6, 100)
+        for part in partitions.partitions:
+            _, conn = make_micro_database()
+            app = PartitionedApp(part.compiled, Cluster(), conn)
+            got = app.invoke("ThreePhase", "run", 12, 6, 100)
+            assert got == pytest.approx(expected)
+
+    def test_scale_defaults(self):
+        scale = MicroScale()
+        assert scale.queries_per_phase > 0
+        assert scale.hashes > 0

@@ -1,0 +1,234 @@
+"""TPC-C workload: loader, generator, transactions, partitioning."""
+
+import pytest
+
+from repro.core.pipeline import Pyxis
+from repro.lang import IRInterpreter, parse_source
+from repro.runtime.entrypoints import PartitionedApp
+from repro.sim.cluster import Cluster
+from repro.workloads.tpcc import (
+    TPCC_ENTRY_POINTS,
+    TPCC_SOURCE,
+    TpccInputGenerator,
+    TpccScale,
+    customer_last_name,
+    make_tpcc_database,
+    nurand,
+)
+
+SCALE = TpccScale(warehouses=1, districts_per_warehouse=2,
+                  customers_per_district=30, items=50)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_source(TPCC_SOURCE, entry_points=TPCC_ENTRY_POINTS)
+
+
+class TestLoader:
+    def test_cardinalities(self):
+        db, conn = make_tpcc_database(SCALE)
+        assert conn.query_scalar("SELECT COUNT(*) FROM warehouse") == 1
+        assert conn.query_scalar("SELECT COUNT(*) FROM district") == 2
+        assert conn.query_scalar("SELECT COUNT(*) FROM customer") == 60
+        assert conn.query_scalar("SELECT COUNT(*) FROM item") == 50
+        assert conn.query_scalar("SELECT COUNT(*) FROM stock") == 50
+
+    def test_districts_start_with_order_id_one(self):
+        _, conn = make_tpcc_database(SCALE)
+        assert conn.query_scalar(
+            "SELECT MIN(d_next_o_id) FROM district"
+        ) == 1
+
+    def test_deterministic_given_seed(self):
+        _, conn1 = make_tpcc_database(SCALE, seed=9)
+        _, conn2 = make_tpcc_database(SCALE, seed=9)
+        q = "SELECT SUM(i_price) FROM item"
+        assert conn1.query_scalar(q) == conn2.query_scalar(q)
+
+
+class TestGenerator:
+    def test_new_order_shape(self):
+        gen = TpccInputGenerator(SCALE)
+        order = gen.new_order()
+        assert 1 <= order.w_id <= SCALE.warehouses
+        assert 1 <= order.d_id <= SCALE.districts_per_warehouse
+        assert 5 <= len(order.item_ids) <= 15
+        assert len(order.item_ids) == len(order.quantities)
+        assert all(1 <= i <= SCALE.items for i in order.item_ids)
+
+    def test_rollback_fraction(self):
+        gen = TpccInputGenerator(SCALE)
+        flags = [gen.new_order(rollback_fraction=0.1).rollback
+                 for _ in range(500)]
+        fraction = sum(flags) / len(flags)
+        assert 0.05 < fraction < 0.16
+
+    def test_nurand_in_range(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(200):
+            value = nurand(rng, 255, 0, 99)
+            assert 0 <= value <= 99
+
+    def test_last_name_synthesis(self):
+        assert customer_last_name(0) == "BARBARBAR"
+        assert customer_last_name(371) == "PRICALLYOUGHT"
+        assert customer_last_name(999) == "EINGEINGEING"
+
+
+class TestTransactions:
+    @pytest.fixture(scope="class")
+    def oracle(self, program):
+        _, conn = make_tpcc_database(SCALE)
+        return IRInterpreter(program, conn), conn
+
+    def test_new_order_returns_total(self, oracle):
+        interp, conn = oracle
+        gen = TpccInputGenerator(SCALE, seed=3)
+        order = gen.new_order(0)
+        total = interp.invoke(
+            "TpccTransactions", "new_order",
+            order.w_id, order.d_id, order.c_id,
+            order.item_ids, order.supply_w_ids, order.quantities,
+        )
+        assert total > 0
+
+    def test_new_order_writes_rows(self, oracle):
+        interp, conn = oracle
+        before = conn.query_scalar("SELECT COUNT(*) FROM order_line")
+        gen = TpccInputGenerator(SCALE, seed=4)
+        order = gen.new_order(0)
+        interp.invoke(
+            "TpccTransactions", "new_order",
+            order.w_id, order.d_id, order.c_id,
+            order.item_ids, order.supply_w_ids, order.quantities,
+        )
+        after = conn.query_scalar("SELECT COUNT(*) FROM order_line")
+        assert after == before + len(order.item_ids)
+
+    def test_new_order_advances_district_counter(self, oracle):
+        interp, conn = oracle
+        gen = TpccInputGenerator(SCALE, seed=5)
+        order = gen.new_order(0)
+        before = conn.query_scalar(
+            "SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+            order.w_id, order.d_id,
+        )
+        interp.invoke(
+            "TpccTransactions", "new_order",
+            order.w_id, order.d_id, order.c_id,
+            order.item_ids, order.supply_w_ids, order.quantities,
+        )
+        after = conn.query_scalar(
+            "SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+            order.w_id, order.d_id,
+        )
+        assert after == before + 1
+
+    def test_payment_updates_balance(self, oracle):
+        interp, conn = oracle
+        gen = TpccInputGenerator(SCALE, seed=6)
+        payment = gen.payment()
+        before = conn.query_scalar(
+            "SELECT c_balance FROM customer WHERE c_w_id = ? AND c_d_id = ? "
+            "AND c_id = ?",
+            payment.c_w_id, payment.c_d_id, payment.c_id,
+        )
+        balance = interp.invoke(
+            "TpccTransactions", "payment",
+            payment.w_id, payment.d_id, payment.c_w_id, payment.c_d_id,
+            payment.c_id, payment.amount,
+        )
+        assert balance == pytest.approx(before - payment.amount)
+
+    def test_order_status_counts_lines(self, oracle):
+        interp, conn = oracle
+        gen = TpccInputGenerator(SCALE, seed=7)
+        order = gen.new_order(0)
+        interp.invoke(
+            "TpccTransactions", "new_order",
+            order.w_id, order.d_id, order.c_id,
+            order.item_ids, order.supply_w_ids, order.quantities,
+        )
+        lines = interp.invoke(
+            "TpccTransactions", "order_status",
+            order.w_id, order.d_id, order.c_id,
+        )
+        assert lines == len(order.item_ids)
+
+
+class TestPartitionedEquivalence:
+    @pytest.mark.parametrize("budget", [0.0, 1e9])
+    def test_new_order_matches_oracle(self, program, budget):
+        pyx = Pyxis.from_source(TPCC_SOURCE, TPCC_ENTRY_POINTS)
+        _, profile_conn = make_tpcc_database(SCALE)
+        gen = TpccInputGenerator(SCALE, seed=11)
+
+        def workload(p):
+            for _ in range(3):
+                order = gen.new_order(0)
+                p.invoke(
+                    "TpccTransactions", "new_order",
+                    order.w_id, order.d_id, order.c_id,
+                    order.item_ids, order.supply_w_ids, order.quantities,
+                )
+
+        profile = pyx.profile_with(profile_conn, workload)
+        part = pyx.partition(profile, budgets=[budget]).partitions[0]
+
+        _, oracle_conn = make_tpcc_database(SCALE)
+        _, run_conn = make_tpcc_database(SCALE)
+        oracle = IRInterpreter(pyx.program, oracle_conn)
+        app = PartitionedApp(part.compiled, Cluster(), run_conn)
+        gen_a = TpccInputGenerator(SCALE, seed=12)
+        gen_b = TpccInputGenerator(SCALE, seed=12)
+        for _ in range(4):
+            oa, ob = gen_a.new_order(0), gen_b.new_order(0)
+            expected = oracle.invoke(
+                "TpccTransactions", "new_order",
+                oa.w_id, oa.d_id, oa.c_id,
+                oa.item_ids, oa.supply_w_ids, oa.quantities,
+            )
+            got = app.invoke(
+                "TpccTransactions", "new_order",
+                ob.w_id, ob.d_id, ob.c_id,
+                ob.item_ids, ob.supply_w_ids, ob.quantities,
+            )
+            assert got == pytest.approx(expected)
+        for table in ("orders", "new_order", "order_line", "stock"):
+            a = oracle_conn.query_scalar(f"SELECT COUNT(*) FROM {table}")
+            b = run_conn.query_scalar(f"SELECT COUNT(*) FROM {table}")
+            assert a == b, table
+
+    def test_rollback_leaves_no_trace(self, program):
+        # The paper rolls back 10% of new-order transactions; wrap the
+        # partitioned execution in a transaction and roll it back.
+        from repro.db.jdbc import connect as db_connect
+
+        pyx = Pyxis.from_source(TPCC_SOURCE, TPCC_ENTRY_POINTS)
+        _, profile_conn = make_tpcc_database(SCALE)
+        gen = TpccInputGenerator(SCALE, seed=13)
+        order = gen.new_order(0)
+
+        def workload(p):
+            p.invoke(
+                "TpccTransactions", "new_order",
+                order.w_id, order.d_id, order.c_id,
+                order.item_ids, order.supply_w_ids, order.quantities,
+            )
+
+        profile = pyx.profile_with(profile_conn, workload)
+        part = pyx.partition(profile, budgets=[1e9]).partitions[0]
+        db, run_conn = make_tpcc_database(SCALE)
+        app = PartitionedApp(part.compiled, Cluster(), run_conn)
+        before = db.total_rows()
+        run_conn.begin()
+        app.invoke(
+            "TpccTransactions", "new_order",
+            order.w_id, order.d_id, order.c_id,
+            order.item_ids, order.supply_w_ids, order.quantities,
+        )
+        run_conn.rollback()
+        assert db.total_rows() == before

@@ -1,0 +1,156 @@
+"""TPC-W workload."""
+
+import pytest
+
+from repro.core.partition_graph import Placement
+from repro.core.pipeline import Pyxis
+from repro.lang import IRInterpreter, parse_source
+from repro.runtime.entrypoints import PartitionedApp
+from repro.sim.cluster import Cluster
+from repro.workloads.tpcw import (
+    SUBJECTS,
+    TPCW_ENTRY_POINTS,
+    TPCW_SOURCE,
+    BrowsingMix,
+    TpcwScale,
+    make_tpcw_database,
+)
+
+SCALE = TpcwScale(items=120, authors=30, customers=40, orders=60)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_source(TPCW_SOURCE, entry_points=TPCW_ENTRY_POINTS)
+
+
+@pytest.fixture(scope="module")
+def oracle(program):
+    _, conn = make_tpcw_database(SCALE)
+    return IRInterpreter(program, conn)
+
+
+class TestLoader:
+    def test_cardinalities(self):
+        _, conn = make_tpcw_database(SCALE)
+        assert conn.query_scalar("SELECT COUNT(*) FROM tw_item") == 120
+        assert conn.query_scalar("SELECT COUNT(*) FROM author") == 30
+        assert conn.query_scalar("SELECT COUNT(*) FROM tw_customer") == 40
+        assert conn.query_scalar("SELECT COUNT(*) FROM tw_orders") == 60
+        assert conn.query_scalar("SELECT COUNT(*) FROM tw_order_line") > 0
+
+    def test_items_reference_valid_authors(self):
+        _, conn = make_tpcw_database(SCALE)
+        orphans = conn.query_scalar(
+            "SELECT COUNT(*) FROM tw_item WHERE i_a_id > ?", 30
+        )
+        assert orphans == 0
+
+
+class TestBrowsingMix:
+    def test_interactions_valid(self):
+        mix = BrowsingMix(SCALE)
+        methods = {name for name, _ in BrowsingMix.WEIGHTS}
+        for _ in range(100):
+            interaction = mix.next_interaction()
+            assert interaction.method in methods
+
+    def test_mix_roughly_matches_weights(self):
+        mix = BrowsingMix(SCALE, seed=1)
+        counts: dict[str, int] = {}
+        n = 2000
+        for _ in range(n):
+            method = mix.next_interaction().method
+            counts[method] = counts.get(method, 0) + 1
+        # home should be the most common interaction (weight 29).
+        assert max(counts, key=counts.get) == "home"
+        assert 0.2 < counts["home"] / n < 0.4
+
+
+class TestInteractions:
+    def test_home_builds_html(self, oracle):
+        html = oracle.invoke("TpcwBrowsing", "home", 1)
+        assert html.startswith("<html>")
+        assert "Welcome" in html
+
+    def test_new_products_counts(self, oracle):
+        count = oracle.invoke("TpcwBrowsing", "new_products", SUBJECTS[0])
+        assert 0 <= count <= 10
+
+    def test_best_sellers_returns_item(self, oracle):
+        best = oracle.invoke("TpcwBrowsing", "best_sellers", SUBJECTS[1])
+        assert best >= 0
+
+    def test_product_detail(self, oracle):
+        html = oracle.invoke("TpcwBrowsing", "product_detail", 5)
+        assert "Title 5" in html
+
+    def test_order_inquiry_touches_no_tables(self, program):
+        # The paper: some interactions have no DB operations at all.
+        db, conn = make_tpcw_database(SCALE)
+        calls = []
+        conn.observer = lambda *a: calls.append(a)
+        interp = IRInterpreter(program, conn)
+        interp.invoke("TpcwBrowsing", "order_inquiry", "user1")
+        assert calls == []
+
+    def test_order_display_totals(self, oracle):
+        qty = oracle.invoke("TpcwBrowsing", "order_display", 1)
+        assert qty >= 0
+
+
+class TestPartitioning:
+    @pytest.fixture(scope="class")
+    def pset(self):
+        pyx = Pyxis.from_source(TPCW_SOURCE, TPCW_ENTRY_POINTS)
+        _, conn = make_tpcw_database(SCALE)
+        mix = BrowsingMix(SCALE, seed=2)
+
+        def workload(p):
+            for _ in range(25):
+                interaction = mix.next_interaction()
+                p.invoke("TpcwBrowsing", interaction.method, *interaction.args)
+
+        profile = pyx.profile_with(conn, workload)
+        return pyx, pyx.partition(profile, budgets=[0.0, 1e9])
+
+    def test_no_db_interaction_stays_on_app(self, pset):
+        # Paper Section 7.2: order inquiry is placed entirely on the
+        # application server even with a high budget.
+        pyx, partitions = pset
+        high = partitions.highest()
+        sids = [
+            s.sid
+            for s in pyx.program.function("TpcwBrowsing", "order_inquiry").walk()
+        ]
+        assert all(
+            high.placed.placement_of(sid) is Placement.APP for sid in sids
+        )
+
+    def test_db_interactions_move_at_high_budget(self, pset):
+        pyx, partitions = pset
+        high = partitions.highest()
+        sids = [
+            s.sid
+            for s in pyx.program.function("TpcwBrowsing", "home").walk()
+        ]
+        on_db = sum(
+            1 for sid in sids
+            if high.placed.placement_of(sid) is Placement.DB
+        )
+        assert on_db > len(sids) * 0.5
+
+    def test_partitioned_equivalence(self, pset):
+        pyx, partitions = pset
+        for part in partitions.partitions:
+            _, oracle_conn = make_tpcw_database(SCALE)
+            _, run_conn = make_tpcw_database(SCALE)
+            oracle = IRInterpreter(pyx.program, oracle_conn)
+            app = PartitionedApp(part.compiled, Cluster(), run_conn)
+            mix_a = BrowsingMix(SCALE, seed=3)
+            mix_b = BrowsingMix(SCALE, seed=3)
+            for _ in range(12):
+                ia, ib = mix_a.next_interaction(), mix_b.next_interaction()
+                expected = oracle.invoke("TpcwBrowsing", ia.method, *ia.args)
+                got = app.invoke("TpcwBrowsing", ib.method, *ib.args)
+                assert got == expected, ia.method
