@@ -1,0 +1,63 @@
+"""Interpreter performance smoke: tree-walker vs compiled blocks.
+
+Times the micro1 linked-list workload under both block-runtime
+implementations (``REPRO_INTERP=tree`` and ``compiled``) and writes
+``BENCH_interp.json`` at the repository root -- median of five runs
+per implementation plus the speedup ratio -- so the interpreter's
+performance trajectory is recorded by every CI run from this PR
+onward.
+
+Non-failing by design: the only hard assertion is that both
+implementations actually ran.  The test only executes when the
+``perfsmoke`` marker is selected (``pytest benchmarks/perf_smoke.py
+-m perfsmoke``) so plain test runs never rewrite the tracked JSON
+with local machine timings; otherwise it reports as skipped.
+
+Run as a script for a quick local check:
+``PYTHONPATH=src python benchmarks/perf_smoke.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import interp_comparison
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_interp.json"
+
+
+def run_perf_smoke(n: int = 600, repeats: int = 5) -> dict:
+    result = interp_comparison(n=n, repeats=repeats)
+    payload = {
+        "workload": "micro1-linked-list",
+        "n": result.n,
+        "repeats": result.repeats,
+        "tree_median_seconds": result.tree_seconds,
+        "compiled_median_seconds": result.compiled_seconds,
+        "speedup": result.speedup,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+@pytest.mark.perfsmoke
+def test_perf_smoke(request):
+    if "perfsmoke" not in (request.config.getoption("-m") or ""):
+        pytest.skip("select with -m perfsmoke to record BENCH_interp.json")
+    payload = run_perf_smoke()
+    print()
+    print(
+        f"interp perf smoke: tree {payload['tree_median_seconds'] * 1e3:.2f} ms, "
+        f"compiled {payload['compiled_median_seconds'] * 1e3:.2f} ms, "
+        f"speedup {payload['speedup']:.2f}x -> {OUTPUT.name}"
+    )
+    # Non-failing perf record: assert the measurement happened, not a
+    # threshold (wall-clock CI noise would make that flaky).
+    assert payload["tree_median_seconds"] > 0
+    assert payload["compiled_median_seconds"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_perf_smoke(), indent=2))

@@ -472,6 +472,68 @@ class Micro1Result:
         )
 
 
+@dataclass
+class InterpComparisonResult:
+    """Wall-clock medians for the two block-runtime implementations."""
+
+    tree_seconds: float
+    compiled_seconds: float
+    n: int
+    repeats: int
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.tree_seconds / self.compiled_seconds
+            if self.compiled_seconds > 0
+            else float("inf")
+        )
+
+
+def interp_comparison(n: int = 600, repeats: int = 5) -> InterpComparisonResult:
+    """Micro1 under the tree-walking and compiled block interpreters.
+
+    The linked-list workload has no DB calls and (under budget 0) no
+    control transfers, so the measured time is pure interpreter
+    overhead -- exactly what the closure-compilation layer attacks.
+    Reports the median of ``repeats`` timed runs per implementation.
+    """
+    import statistics
+
+    _, conn = make_micro_database()
+    pyxis = Pyxis.from_source(LINKED_LIST_SOURCE, LINKED_LIST_ENTRY_POINTS)
+    profile = pyxis.profile_with(
+        conn, lambda p: p.invoke("LinkedList", "run", 32)
+    )
+    part = pyxis.partition(profile, budgets=[0.0]).partitions[0]
+    expected = native_linked_list(n)
+
+    def median_seconds(interp: str) -> float:
+        app = PartitionedApp(
+            part.compiled, Cluster(), conn, interp=interp
+        )
+        # Warm-up doubles as a correctness guard (not an `assert`, so
+        # python -O cannot strip it and skew the first timed sample).
+        warm = app.invoke("LinkedList", "run", n)
+        if warm != expected:
+            raise RuntimeError(
+                f"{interp} interpreter returned {warm!r}, expected {expected!r}"
+            )
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            app.invoke("LinkedList", "run", n)
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    return InterpComparisonResult(
+        tree_seconds=median_seconds("tree"),
+        compiled_seconds=median_seconds("compiled"),
+        n=n,
+        repeats=repeats,
+    )
+
+
 def micro1(n: int = 400, repeats: int = 5) -> Micro1Result:
     """Wall-clock overhead of the block runtime versus native Python.
 
@@ -489,8 +551,11 @@ def micro1(n: int = 400, repeats: int = 5) -> Micro1Result:
 
     cluster = Cluster()
     app = PartitionedApp(part.compiled, cluster, conn)
-    # Warm up both paths.
-    assert app.invoke("LinkedList", "run", n) == native_linked_list(n)
+    # Warm up both paths (a correctness guard, not an `assert`: it must
+    # survive python -O or the first timed sample runs cold).
+    warm = app.invoke("LinkedList", "run", n)
+    if warm != native_linked_list(n):
+        raise RuntimeError(f"pyxis runtime returned {warm!r} for micro1")
 
     start = time.perf_counter()
     for _ in range(repeats):

@@ -197,12 +197,15 @@ def collect_tpcc_traces(
     inputs: Sequence[Any],
     cluster_factory: Callable[[], Cluster],
     lock_groups: Optional[int] = None,
+    interp: Optional[str] = None,
 ) -> TraceSet:
     """Collect JDBC / Manual / Pyxis traces for TPC-C new-order inputs.
 
     ``pyxis_partitions`` maps a label (e.g. ``"pyxis"``) to a compiled
     partition; each implementation replays the same input sequence on
-    its own database copy.
+    its own database copy.  ``interp`` selects the block-runtime
+    implementation (``tree`` / ``compiled``; None = REPRO_INTERP or
+    the default).
     """
     from repro.runtime.entrypoints import PartitionedApp
 
@@ -221,7 +224,7 @@ def collect_tpcc_traces(
     for label, compiled in pyxis_partitions.items():
         connection = make_connection()
         cluster = cluster_factory()
-        app = PartitionedApp(compiled, cluster, connection)
+        app = PartitionedApp(compiled, cluster, connection, interp=interp)
         for item in inputs:
             outcome = app.invoke_traced("TpccTransactions", "new_order", *item)
             trace = outcome.trace
@@ -237,6 +240,7 @@ def collect_tpcw_traces(
     make_connection: Callable[[], Connection],
     interactions: Sequence[Any],
     cluster_factory: Callable[[], Cluster],
+    interp: Optional[str] = None,
 ) -> TraceSet:
     """Collect traces for a sequence of TPC-W interactions."""
     from repro.runtime.entrypoints import PartitionedApp
@@ -254,7 +258,7 @@ def collect_tpcw_traces(
     for label, compiled in pyxis_partitions.items():
         connection = make_connection()
         cluster = cluster_factory()
-        app = PartitionedApp(compiled, cluster, connection)
+        app = PartitionedApp(compiled, cluster, connection, interp=interp)
         for interaction in interactions:
             outcome = app.invoke_traced(
                 "TpcwBrowsing", interaction.method, *interaction.args

@@ -60,4 +60,24 @@ def solve_with_scipy(problem: ILPProblem) -> list[int]:
         from repro.core.solvers import SolverError
 
         raise SolverError(f"scipy milp failed: {result.message}")
-    return [int(round(v)) for v in result.x[:n]]
+    values = [int(round(v)) for v in result.x[:n]]
+    if not problem.feasible(values):
+        # HiGHS accepts budget violations within its primal feasibility
+        # tolerance (~1e-7), which the strict check rejects when loads
+        # are tiny or the budget sits exactly on a boundary.  Small
+        # problems re-solve exactly; larger ones (where exhaustive
+        # search could blow past the branch-and-bound node cap) get a
+        # bounded repair -- the violation is tolerance-level, so moving
+        # the lightest DB assignments to APP restores feasibility with
+        # minimal objective damage.
+        if n <= 20:
+            from repro.core.solvers import solve_branch_and_bound
+
+            return solve_branch_and_bound(problem)
+        for _, i in sorted(
+            (problem.loads[i], i) for i, v in enumerate(values) if v
+        ):
+            values[i] = 0
+            if problem.feasible(values):
+                break
+    return values

@@ -11,6 +11,7 @@ code runs on the application server.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Sequence
 
@@ -26,11 +27,13 @@ from repro.db.txn import LockManager, Transaction
 class Row:
     """One result row with access by column name or position."""
 
-    __slots__ = ("_columns", "_values")
+    __slots__ = ("_columns", "_values", "_wire_size")
 
     def __init__(self, columns: Sequence[str], values: tuple) -> None:
         self._columns = columns
         self._values = values
+        # Memoized estimate_size result; rows are immutable records.
+        self._wire_size: Optional[int] = None
 
     def __getitem__(self, key: int | str) -> Any:
         if isinstance(key, int):
@@ -84,6 +87,8 @@ class ResultSet:
         self._rows = [Row(self.columns, values) for values in result.rows]
         self.rows_touched = result.rows_touched
         self._cursor = -1
+        # Memoized estimate_size result; the row list is fixed.
+        self._wire_size: Optional[int] = None
 
     # -- cursor API (JDBC style) ----------------------------------------------
 
@@ -138,6 +143,25 @@ class ResultSet:
 # Observer signature: (kind, sql, rows_touched, result_rows)
 CallObserver = Callable[[str, str, int, int], None]
 
+# Default bound on the per-connection prepared-plan cache.  Long sweeps
+# over generated SQL (distinct literals instead of ? parameters) would
+# otherwise grow the cache without limit.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+
+@dataclass
+class PlanCacheStats:
+    """ExecutionStats-style counters for the prepared-plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
 
 class PreparedStatement:
     """A parsed and planned statement, executable with ``?`` parameters."""
@@ -179,6 +203,7 @@ class Connection:
         lock_manager: Optional[LockManager] = None,
         *,
         use_locks: bool = False,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> None:
         self.database = database
         self.lock_manager = (
@@ -188,7 +213,10 @@ class Connection:
         )
         self.planner = Planner(database)
         self.executor = Executor(database)
-        self._plan_cache: dict[str, PreparedStatement] = {}
+        # LRU: most recently used statements at the end.
+        self._plan_cache: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self.plan_cache_size = max(1, plan_cache_size)
+        self.plan_cache_stats = PlanCacheStats()
         self._txn: Optional[Transaction] = None
         self.observer: Optional[CallObserver] = None
         self.closed = False
@@ -198,13 +226,21 @@ class Connection:
 
     def prepare(self, sql: str) -> PreparedStatement:
         self._check_open()
-        cached = self._plan_cache.get(sql)
+        cache = self._plan_cache
+        cached = cache.get(sql)
+        stats = self.plan_cache_stats
         if cached is not None:
+            cache.move_to_end(sql)
+            stats.hits += 1
             return cached
+        stats.misses += 1
         stmt = parse(sql)
         plan = self.planner.plan(stmt)
         prepared = PreparedStatement(self, sql, plan)
-        self._plan_cache[sql] = prepared
+        cache[sql] = prepared
+        if len(cache) > self.plan_cache_size:
+            cache.popitem(last=False)
+            stats.evictions += 1
         return prepared
 
     # -- execution ----------------------------------------------------------------
@@ -299,6 +335,10 @@ def connect(
     lock_manager: Optional[LockManager] = None,
     *,
     use_locks: bool = False,
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
 ) -> Connection:
     """Open a connection to ``database`` (the module-level entry point)."""
-    return Connection(database, lock_manager, use_locks=use_locks)
+    return Connection(
+        database, lock_manager,
+        use_locks=use_locks, plan_cache_size=plan_cache_size,
+    )

@@ -9,6 +9,9 @@ shared logical stack and a distributed heap:
 * :mod:`repro.runtime.rpc` -- control-transfer and DB-call messages;
 * :mod:`repro.runtime.interpreter` -- the block interpreter and
   control-transfer loop (single thread of control across servers);
+* :mod:`repro.runtime.compile_blocks` -- the closure-compilation
+  layer behind the default ``compiled`` interpreter mode (see
+  ``REPRO_INTERP``);
 * :mod:`repro.runtime.entrypoints` -- the entry-point wrappers
   (Section 5.2);
 * :mod:`repro.runtime.switcher` -- EWMA-based dynamic selection among
@@ -18,7 +21,12 @@ shared logical stack and a distributed heap:
 from repro.runtime.heap import HeapStore, ObjRef, NativeRef, HeapError
 from repro.runtime.serializer import wire_copy, wire_size
 from repro.runtime.rpc import ControlTransferMessage, DbRequestMessage, DbResponseMessage
-from repro.runtime.interpreter import PyxisExecutor, RuntimeError_, ExecutionStats
+from repro.runtime.interpreter import (
+    PyxisExecutor,
+    RuntimeError_,
+    ExecutionStats,
+    resolve_interp_mode,
+)
 from repro.runtime.entrypoints import PartitionedApp
 from repro.runtime.switcher import DynamicSwitcher, SwitcherConfig
 
@@ -35,6 +43,7 @@ __all__ = [
     "PyxisExecutor",
     "RuntimeError_",
     "ExecutionStats",
+    "resolve_interp_mode",
     "PartitionedApp",
     "DynamicSwitcher",
     "SwitcherConfig",

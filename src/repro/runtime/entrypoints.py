@@ -40,12 +40,13 @@ class PartitionedApp:
         cluster: Cluster,
         connection: Connection,
         natives: Optional[NativeRegistry] = None,
+        interp: Optional[str] = None,
     ) -> None:
         self.compiled = compiled
         self.cluster = cluster
         self.connection = connection
         self.executor = PyxisExecutor(
-            compiled, cluster, connection, natives=natives
+            compiled, cluster, connection, natives=natives, interp=interp
         )
 
     def invoke(self, class_name: str, method: str, *args: Any) -> Any:

@@ -55,9 +55,13 @@ class HeapStore:
         self._fields: dict[int, dict[str, Any]] = {}
         # oid -> container / native value.
         self._natives: dict[int, Any] = {}
-        # Writes since the last control transfer.
-        self.dirty_fields: set[tuple[int, str, str]] = set()  # (oid, cls, field)
-        self.dirty_natives: set[int] = set()
+        # Writes since the last control transfer, as insertion-ordered
+        # key -> None dicts: control transfers ship exactly this delta,
+        # deterministically ordered, instead of re-walking the heap.
+        # (repro.runtime.compile_blocks inlines the write path; keep
+        # write_field and these structures in sync with it.)
+        self.dirty_fields: dict[tuple[int, str, str], None] = {}  # (oid, cls, field)
+        self.dirty_natives: dict[int, None] = {}
 
     # -- objects -------------------------------------------------------------
 
@@ -83,16 +87,19 @@ class HeapStore:
     def write_field(
         self, ref: ObjRef, field_name: str, value: Any, mark_dirty: bool = True
     ) -> None:
-        self._fields.setdefault(ref.oid, {})[field_name] = value
+        fields = self._fields.get(ref.oid)
+        if fields is None:
+            fields = self._fields[ref.oid] = {}
+        fields[field_name] = value
         if mark_dirty:
-            self.dirty_fields.add((ref.oid, ref.class_name, field_name))
+            self.dirty_fields[(ref.oid, ref.class_name, field_name)] = None
 
     # -- natives ---------------------------------------------------------------
 
     def register_native(self, ref: NativeRef, value: Any, mark_dirty: bool = True) -> None:
         self._natives[ref.oid] = value
         if mark_dirty:
-            self.dirty_natives.add(ref.oid)
+            self.dirty_natives[ref.oid] = None
 
     def has_native(self, oid: int) -> bool:
         return oid in self._natives
@@ -108,10 +115,10 @@ class HeapStore:
     def set_native(self, ref: NativeRef, value: Any, mark_dirty: bool = True) -> None:
         self._natives[ref.oid] = value
         if mark_dirty:
-            self.dirty_natives.add(ref.oid)
+            self.dirty_natives[ref.oid] = None
 
     def mark_native_dirty(self, ref: NativeRef) -> None:
-        self.dirty_natives.add(ref.oid)
+        self.dirty_natives[ref.oid] = None
 
     # -- synchronization ---------------------------------------------------------
 
@@ -129,19 +136,20 @@ class HeapStore:
         before the next write.
         """
         field_updates: dict[tuple[int, str, str], Any] = {}
-        for oid, cls, field_name in self.dirty_fields:
+        fields = self._fields
+        for key in self.dirty_fields:
+            oid, cls, field_name = key
             if field_ships.get((cls, field_name), True):
-                field_updates[(oid, cls, field_name)] = self._fields[oid][
-                    field_name
-                ]
+                field_updates[key] = fields[oid][field_name]
         native_updates: dict[int, Any] = {}
+        natives = self._natives
         for oid in self.dirty_natives:
             alloc_sid = native_sites.get(oid)
             ships = True if alloc_sid is None else array_ships.get(
                 alloc_sid, True
             )
-            if ships and oid in self._natives:
-                native_updates[oid] = self._natives[oid]
+            if ships and oid in natives:
+                native_updates[oid] = natives[oid]
         self.dirty_fields.clear()
         self.dirty_natives.clear()
         return field_updates, native_updates

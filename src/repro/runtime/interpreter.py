@@ -13,8 +13,9 @@ trip, exactly like the paper's JDBC baseline.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.core.partition_graph import Placement
 from repro.db.jdbc import Connection, ResultSet, Row
@@ -67,6 +68,27 @@ NATIVE_CPU_COSTS: dict[str, float] = {
     "print": 2e-6,
 }
 
+# Interpreter selection: "compiled" runs blocks through the closure
+# compilation layer (repro.runtime.compile_blocks); "tree" walks the
+# Expr trees directly.  On successful runs both produce identical
+# results and identical ExecutionStats (after a mid-block error the
+# compiled mode's batched op/CPU accounting may cover the whole
+# failing block); the tree-walker is the debugging reference.
+INTERP_ENV_VAR = "REPRO_INTERP"
+INTERP_MODES = ("tree", "compiled")
+DEFAULT_INTERP = "compiled"
+
+
+def resolve_interp_mode(interp: Optional[str] = None) -> str:
+    """Resolve an interpreter mode from an argument or the environment."""
+    source = interp if interp is not None else os.environ.get(INTERP_ENV_VAR, "")
+    mode = source.strip().lower() or DEFAULT_INTERP
+    if mode not in INTERP_MODES:
+        raise RuntimeError_(
+            f"unknown interpreter mode {mode!r}; expected one of {INTERP_MODES}"
+        )
+    return mode
+
 
 @dataclass
 class ExecutionStats:
@@ -86,14 +108,39 @@ class ExecutionStats:
         self.bytes_sent = 0
 
 
-@dataclass
 class _Frame:
-    method: str
-    values: dict[str, Any]
-    dirty: set[str]
-    return_target: int = -1
-    result_lvalue: Optional[LValue] = None
-    ctor_result: Optional[ObjRef] = None
+    """One activation record (a plain slots class: frames are the
+    runtime's hottest allocation)."""
+
+    __slots__ = (
+        "method",
+        "values",
+        "dirty",
+        "return_target",
+        "result_lvalue",
+        "ctor_result",
+        "result_store",
+    )
+
+    def __init__(
+        self,
+        method: str,
+        values: dict[str, Any],
+        dirty: set[str],
+        return_target: int = -1,
+        result_lvalue: Optional[LValue] = None,
+        ctor_result: Optional[ObjRef] = None,
+        # Compiled-mode twin of result_lvalue: the precompiled store
+        # closure the return terminator invokes on the caller frame.
+        result_store: Optional[Callable[..., None]] = None,
+    ) -> None:
+        self.method = method
+        self.values = values
+        self.dirty = dirty
+        self.return_target = return_target
+        self.result_lvalue = result_lvalue
+        self.ctor_result = ctor_result
+        self.result_store = result_store
 
 
 class PyxisExecutor:
@@ -106,6 +153,7 @@ class PyxisExecutor:
         connection: Connection,
         natives: Optional[NativeRegistry] = None,
         max_blocks: int = 5_000_000,
+        interp: Optional[str] = None,
     ) -> None:
         self.compiled = compiled
         self.cluster = cluster
@@ -121,6 +169,28 @@ class PyxisExecutor:
         self._native_sites: dict[int, int] = {}
         self.stack: list[_Frame] = []
         self.side: Placement = Placement.APP
+        # Cost-model constants hoisted off the per-op path; the model is
+        # treated as fixed for the lifetime of the executor.
+        self._cost_model = cluster.app.cost_model
+        self._heap_cost = self._cost_model.heap_op_cost
+        self._ret: Any = None
+        self.interp = resolve_interp_mode(interp)
+        if self.interp == "compiled":
+            # Imported lazily: compile_blocks imports names from this
+            # module at its top level.
+            from repro.runtime.compile_blocks import ensure_program_code
+
+            self._codes = ensure_program_code(compiled)
+            model = self._cost_model
+            self._block_costs: list[tuple[float, ...]] = [
+                tuple(seg.seconds(model) for seg in code.segments)
+                if code is not None
+                else ()
+                for code in self._codes
+            ]
+            self._loop_fn = self._loop_compiled
+        else:
+            self._loop_fn = self._loop
 
     # -- allocation -----------------------------------------------------------
 
@@ -170,13 +240,13 @@ class PyxisExecutor:
                 f"{qualified} expects {len(params)} args, got {len(args)}"
             )
         values: dict[str, Any] = {"self": receiver}
-        values.update(dict(zip(params, args)))
+        values.update(zip(params, args))
         frame = _Frame(
             method=qualified, values=values, dirty=set(values),
         )
         self.stack = [frame]
         self.side = Placement.APP  # execution starts at the app server
-        result = self._loop(entry_bid)
+        result = self._loop_fn(entry_bid)
         if self.side is Placement.DB:
             # Return control (and final heap updates) to the app server.
             self._control_transfer(Placement.APP, -1)
@@ -229,6 +299,58 @@ class PyxisExecutor:
             else:  # pragma: no cover - defensive
                 raise RuntimeError_(f"bad terminator {term!r}")
 
+    def _loop_compiled(self, bid: int) -> Any:
+        """Run precompiled block closures (see compile_blocks).
+
+        Op and terminator dispatch happened at compile time; this loop
+        only moves between blocks, performs control transfers, and
+        batches the per-block stats/cost accounting.  Block and op
+        counts accumulate in locals and flush to ``stats`` on exit
+        (nothing reads them mid-run; DB-call counters update live
+        inside the step closures).
+        """
+        codes = self._codes
+        costs = self._block_costs
+        stats = self.stats
+        app = Placement.APP
+        heap_app = self.heaps[app]
+        heap_db = self.heaps[Placement.DB]
+        record_cpu = self.cluster.record_cpu
+        stack = self.stack
+        max_blocks = self.max_blocks
+        executed = 0
+        blocks = 0
+        ops = 0
+        try:
+            while True:
+                executed += 1
+                if executed > max_blocks:
+                    raise RuntimeError_(
+                        f"exceeded {self.max_blocks} blocks; runaway program?"
+                    )
+                code = codes[bid]
+                placement = code.placement
+                if placement is not self.side:
+                    self._control_transfer(placement, bid)
+                    self.side = placement
+                blocks += 1
+                ops += code.n_ops
+                frame = stack[-1]
+                heap = heap_app if placement is app else heap_db
+                # Segment 0 (block dispatch + the leading ops' static
+                # cost) is charged here; later segments charge from
+                # their own steps.
+                record_cpu(code.side, costs[bid][0])
+                for step in code.steps:
+                    step(self, frame, heap)
+                nxt = code.term(self, frame, heap)
+                if nxt is None:
+                    return self._ret
+                bid = nxt
+        finally:
+            stats.blocks += blocks
+            stats.ops += ops
+
     def _do_call(self, term: TCall, frame: _Frame) -> int:
         self._charge(self._cost.statement_cost)
         args = tuple(self._eval_atom(a, frame) for a in term.args)
@@ -255,7 +377,7 @@ class PyxisExecutor:
                 f"{term.callee} expects {len(params)} args, got {len(args)}"
             )
         values: dict[str, Any] = {"self": receiver}
-        values.update(dict(zip(params, args)))
+        values.update(zip(params, args))
         new_frame = _Frame(
             method=term.callee,
             values=values,

@@ -6,6 +6,11 @@ their heap stores would mask exactly the class of staleness bugs the
 synchronization analysis exists to prevent.  ``wire_copy`` produces an
 isolated copy; ``wire_size`` estimates its encoded size for the
 network model.
+
+``Row`` and ``ResultSet`` get fast paths: rows are immutable records,
+so their ``values`` tuples can be shared between the copy and the
+original (only the containers are rebuilt), and their sizes are
+memoized by :mod:`repro.profiler.sizes`.
 """
 
 from __future__ import annotations
@@ -16,6 +21,28 @@ from repro.db.jdbc import ResultSet, Row
 from repro.db.sql.executor import StatementResult
 from repro.profiler.sizes import estimate_size
 from repro.runtime.heap import NativeRef, ObjRef
+
+
+def _copy_row(row: Row) -> Row:
+    # Rows are immutable records of primitives: the values tuple and
+    # the column list are never mutated, so both can be shared (only
+    # the Row object itself is rebuilt), and the memoized size carries
+    # over.
+    clone = Row(row._columns, row._values)
+    clone._wire_size = row._wire_size
+    return clone
+
+
+def _copy_result_set(rs: ResultSet) -> ResultSet:
+    result = StatementResult(
+        columns=list(rs.columns),
+        rows=[row._values for row in rs._rows],
+        rowcount=len(rs._rows),
+        rows_touched=rs.rows_touched,
+    )
+    clone = ResultSet(result)
+    clone._wire_size = rs._wire_size
+    return clone
 
 
 def wire_copy(value: Any) -> Any:
@@ -31,16 +58,9 @@ def wire_copy(value: Any) -> Any:
     if isinstance(value, dict):
         return {k: wire_copy(v) for k, v in value.items()}
     if isinstance(value, Row):
-        # Rows are immutable records of primitives; rebuild defensively.
-        return Row(list(value.as_dict().keys()), tuple(value.as_tuple()))
+        return _copy_row(value)
     if isinstance(value, ResultSet):
-        result = StatementResult(
-            columns=list(value.columns),
-            rows=[tuple(row.as_tuple()) for row in value.rows],
-            rowcount=len(value.rows),
-            rows_touched=value.rows_touched,
-        )
-        return ResultSet(result)
+        return _copy_result_set(value)
     raise TypeError(f"cannot serialize {type(value).__name__} for transfer")
 
 

@@ -48,15 +48,17 @@ class TestMicro1:
         # The runtime is slower by a constant factor (the paper's claim;
         # their Java runtime measured ~6x, our Python block interpreter
         # is a larger constant -- see EXPERIMENTS.md).
-        small = micro1(n=100, repeats=2)
-        large = micro1(n=400, repeats=2)
+        # More repeats than the defaults: single-run wall-clock samples
+        # at this scale flake under CI scheduler noise.
+        small = micro1(n=100, repeats=4)
+        large = micro1(n=400, repeats=4)
         assert small.overhead > 1.0
         assert large.overhead > 1.0
         # Constant factor: overhead should not explode with n.
         assert large.overhead < small.overhead * 8
 
     def test_results_equal(self):
-        result = micro1(n=50, repeats=1)
+        result = micro1(n=100, repeats=3)
         assert result.pyxis_seconds > result.native_seconds
 
     def test_report_renders(self):

@@ -80,6 +80,29 @@ class TestConnection:
         second = conn.prepare("SELECT id FROM person WHERE id = ?")
         assert first is second
 
+    def test_plan_cache_counts_hits_and_misses(self, conn):
+        stats = conn.plan_cache_stats
+        stats.reset()
+        conn.prepare("SELECT id FROM person WHERE id = ?")
+        conn.prepare("SELECT id FROM person WHERE id = ?")
+        conn.prepare("SELECT name FROM person WHERE id = ?")
+        assert stats.misses == 2
+        assert stats.hits == 1
+
+    def test_plan_cache_bounded_lru(self, people_db):
+        db, _ = people_db
+        conn = connect(db, plan_cache_size=2)
+        a = "SELECT id FROM person WHERE id = 1"
+        b = "SELECT id FROM person WHERE id = 2"
+        c = "SELECT id FROM person WHERE id = 3"
+        conn.prepare(a)
+        conn.prepare(b)
+        conn.prepare(a)  # refresh a: b becomes least recently used
+        conn.prepare(c)  # evicts b
+        assert conn.plan_cache_stats.evictions == 1
+        assert set(conn._plan_cache) == {a, c}
+        assert len(conn._plan_cache) <= 2
+
     def test_execute_rejects_select(self, conn):
         with pytest.raises(ExecutionError):
             conn.execute("SELECT id FROM person")

@@ -190,6 +190,45 @@ class TestTransferAccounting:
                 assert first.kind is not second.kind
 
 
+class TestInterpSelection:
+    def test_explicit_mode_wins(self, order_partitions):
+        part = order_partitions.lowest()
+        _, conn = make_order_database()
+        executor = PyxisExecutor(part.compiled, Cluster(), conn, interp="tree")
+        assert executor.interp == "tree"
+
+    def test_env_var_selects_mode(self, order_partitions, monkeypatch):
+        monkeypatch.setenv("REPRO_INTERP", "tree")
+        part = order_partitions.lowest()
+        _, conn = make_order_database()
+        executor = PyxisExecutor(part.compiled, Cluster(), conn)
+        assert executor.interp == "tree"
+
+    def test_default_is_compiled(self, order_partitions, monkeypatch):
+        monkeypatch.delenv("REPRO_INTERP", raising=False)
+        part = order_partitions.lowest()
+        _, conn = make_order_database()
+        executor = PyxisExecutor(part.compiled, Cluster(), conn)
+        assert executor.interp == "compiled"
+
+    def test_unknown_mode_rejected(self, order_partitions):
+        part = order_partitions.lowest()
+        _, conn = make_order_database()
+        with pytest.raises(RuntimeError_, match="unknown interpreter mode"):
+            PyxisExecutor(part.compiled, Cluster(), conn, interp="jit")
+
+    def test_compiled_code_cached_on_program(self, order_partitions):
+        part = order_partitions.lowest()
+        _, conn = make_order_database()
+        PyxisExecutor(part.compiled, Cluster(), conn, interp="compiled")
+        first = part.compiled.code_cache
+        assert first is not None
+        PyxisExecutor(part.compiled, Cluster(), conn, interp="compiled")
+        assert part.compiled.code_cache is first  # compiled exactly once
+        bids = [b.bid for b in part.compiled.blocks.values()]
+        assert all(part.compiled.blocks[b].code is not None for b in bids)
+
+
 class TestErrors:
     def test_unknown_class(self, order_partitions):
         part = order_partitions.lowest()
