@@ -1,0 +1,87 @@
+"""Serving-engine performance smoke: 32-client TPC-C throughput.
+
+Runs the closed-loop serve engine at 32 clients with the adaptive
+controller on a 3-core database server and writes ``BENCH_serve.json``
+at the repository root -- transactions per *virtual* second (the
+modeled system's throughput, deterministic across machines) plus the
+wall-clock cost of simulating it (machine-dependent, recorded for the
+performance trajectory).
+
+Like the interpreter smoke, it only executes under ``-m perfsmoke``
+(``pytest benchmarks/serve_smoke.py -m perfsmoke``) so plain test runs
+never rewrite the tracked JSON; run as a script for a quick local
+check: ``PYTHONPATH=src python benchmarks/serve_smoke.py``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.serve_experiments import serve_load_sweep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+CLIENTS = 32
+DB_CORES = 3
+DURATION = 20.0
+
+
+def run_serve_smoke() -> dict:
+    start = time.perf_counter()
+    sweep = serve_load_sweep(
+        fast=True,
+        client_counts=[CLIENTS],
+        db_cores=DB_CORES,
+        duration=DURATION,
+        seed=17,
+    )
+    wall = time.perf_counter() - start
+    point = sweep.curves["adaptive"][0]
+    payload = {
+        "workload": "tpcc-new-order",
+        "clients": CLIENTS,
+        "db_cores": DB_CORES,
+        "virtual_duration_seconds": DURATION,
+        "adaptive_txn_per_virtual_second": point.throughput,
+        "adaptive_p95_latency_ms": point.p95_ms,
+        "adaptive_switches": point.switches,
+        "static_low_txn_per_virtual_second":
+            sweep.curves["static_low"][0].throughput,
+        "static_high_txn_per_virtual_second":
+            sweep.curves["static_high"][0].throughput,
+        "wall_seconds_all_configs": wall,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+@pytest.mark.perfsmoke
+def test_serve_smoke(request):
+    if "perfsmoke" not in (request.config.getoption("-m") or ""):
+        pytest.skip("select with -m perfsmoke to record BENCH_serve.json")
+    payload = run_serve_smoke()
+    print()
+    print(
+        f"serve perf smoke: adaptive "
+        f"{payload['adaptive_txn_per_virtual_second']:.1f} txn/vs at "
+        f"{CLIENTS} clients "
+        f"(static {payload['static_low_txn_per_virtual_second']:.1f} / "
+        f"{payload['static_high_txn_per_virtual_second']:.1f}), "
+        f"{payload['wall_seconds_all_configs']:.1f}s wall -> {OUTPUT.name}"
+    )
+    # Non-failing perf record, but the modeled throughput is virtual-
+    # clock deterministic, so a hard floor is safe: the adaptive config
+    # must at least keep up with the weaker static partitioning.
+    weakest = min(
+        payload["static_low_txn_per_virtual_second"],
+        payload["static_high_txn_per_virtual_second"],
+    )
+    assert payload["adaptive_txn_per_virtual_second"] > 0
+    assert payload["adaptive_txn_per_virtual_second"] >= 0.85 * weakest
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_serve_smoke(), indent=2))

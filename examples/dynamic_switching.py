@@ -1,31 +1,39 @@
-"""Dynamic partition switching under a load spike (paper Figure 11).
+"""Online partition switching under a load spike (paper Figure 11).
 
-Runs TPC-C at a fixed rate; a third of the way in, an external tenant
-occupies most of the database server's cores.  The Pyxis runtime polls
-DB load every 10 seconds, smooths it with an EWMA (alpha = 0.2), and
-switches from the stored-procedure-like partition to the JDBC-like
-partition when the estimate crosses 40% -- then back, if the load
-clears.
+Drives the *concurrent serving engine*: a population of closed-loop
+TPC-C clients runs against the partitioned runtime; a third of the way
+in, an external tenant occupies most of the database server's cores.
+The adaptive controller polls DB CPU on the virtual clock, smooths it
+with an EWMA (alpha = 0.2), and switches from the stored-procedure-like
+partition to the JDBC-like partition when the estimate crosses 40% --
+the switch event lands in the controller history.
 
-Run:  python examples/dynamic_switching.py
+Every transaction trace in circulation was produced by executing the
+real compiled-block program (see repro.serve.workload.LiveWorkload).
+
+Run:  PYTHONPATH=src python examples/dynamic_switching.py
 """
 
-from repro.bench.experiments import fig11
-from repro.bench.report import format_fig11
+from repro.bench.serve_experiments import serve_dynamic_switching
+from repro.bench.report import format_serve_switching
 
 
-def main() -> None:
-    result = fig11(fast=True)
-    print(format_fig11(result))
+def main(fast: bool = True) -> None:
+    result = serve_dynamic_switching(fast=fast)
+    print(format_serve_switching(result))
     print()
-    print("Reading the table: before the load spike Pyxis tracks Manual "
-          "(low\nlatency, 0% JDBC-like); after the spike the mix flips to "
-          "100% JDBC-like\nand Pyxis latency settles near JDBC's while "
-          "Manual degrades.")
+    print("Reading the table: before the load spike the adaptive "
+          "configuration tracks\nstatic_high (low latency, 0% JDBC-like); "
+          "after the spike the mix flips to\n100% JDBC-like and adaptive "
+          "latency settles near static_low's while\nstatic_high degrades.")
     print()
-    mix_start = result.pyxis_mix[0][1]["jdbc_like"]
-    mix_end = result.pyxis_mix[-1][1]["jdbc_like"]
-    print(f"JDBC-like fraction: {mix_start * 100:.0f}% -> {mix_end * 100:.0f}%")
+    mix_start = result.adaptive_mix[0][1]
+    mix_end = result.adaptive_mix[-1][1]
+    print(f"JDBC-like fraction: {mix_start * 100:.0f}% -> "
+          f"{mix_end * 100:.0f}%")
+    assert result.controller is not None
+    if result.controller.switches == 0:
+        raise SystemExit("expected at least one partition switch")
 
 
 if __name__ == "__main__":

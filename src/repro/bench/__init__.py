@@ -5,6 +5,8 @@
   and collects per-transaction stage traces;
 * :mod:`repro.bench.experiments` -- one function per paper table /
   figure (fig9, fig10, fig11, fig12, fig13, micro1, fig14);
+* :mod:`repro.bench.serve_experiments` -- closed-loop serving-engine
+  experiments (load sweeps over client counts, online switching);
 * :mod:`repro.bench.report` -- text tables mirroring the paper's
   plots, printed by the pytest benchmarks and the examples.
 """
@@ -29,7 +31,18 @@ from repro.bench.experiments import (
     micro1,
     fig14,
 )
-from repro.bench.report import format_curves, format_fig11, format_fig14
+from repro.bench.serve_experiments import (
+    ServeSwitchResult,
+    serve_dynamic_switching,
+    serve_load_sweep,
+)
+from repro.bench.report import (
+    format_curves,
+    format_fig11,
+    format_fig14,
+    format_serve_sweep,
+    format_serve_switching,
+)
 
 __all__ = [
     "BaselineMode",
@@ -51,4 +64,9 @@ __all__ = [
     "format_curves",
     "format_fig11",
     "format_fig14",
+    "ServeSwitchResult",
+    "serve_dynamic_switching",
+    "serve_load_sweep",
+    "format_serve_sweep",
+    "format_serve_switching",
 ]

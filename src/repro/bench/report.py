@@ -10,6 +10,8 @@ from repro.bench.experiments import (
     Fig14Result,
     Micro1Result,
 )
+from repro.bench.serve_experiments import ServeSwitchResult
+from repro.serve.stats import LoadSweepResult
 
 
 def format_curves(result: ExperimentResult) -> str:
@@ -79,6 +81,75 @@ def format_fig14(result: Fig14Result) -> str:
             row += f"{value:>14.3f}{marker}"
         lines.append(row)
     lines.append("(* = fastest partition for that load; paper's diagonal)")
+    return "\n".join(lines)
+
+
+def format_serve_sweep(result: LoadSweepResult) -> str:
+    """Throughput / latency percentiles versus client count."""
+    lines = [
+        f"== serve load sweep: {result.workload} "
+        f"(db_cores={result.notes.get('db_cores')}, "
+        f"think={result.notes.get('think_time')}s) =="
+    ]
+    header = (
+        f"{'config':<12} {'clients':>7} {'tput/s':>8} {'p50 ms':>8} "
+        f"{'p95 ms':>8} {'p99 ms':>8} {'db%':>6} {'rej':>5} {'sw':>3}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, points in result.curves.items():
+        for p in points:
+            lines.append(
+                f"{label:<12} {p.clients:>7} {p.throughput:>8.1f} "
+                f"{p.p50_ms:>8.2f} {p.p95_ms:>8.2f} {p.p99_ms:>8.2f} "
+                f"{100 * p.db_util:>6.1f} {p.rejected:>5} {p.switches:>3}"
+            )
+        lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_serve_switching(result: ServeSwitchResult) -> str:
+    """Latency time series plus the adaptive partition mix."""
+    lines = [
+        f"== serve dynamic switching ({result.clients} clients, "
+        f"DB loaded at t={result.load_time:.0f}s) =="
+    ]
+    labels = list(result.buckets)
+    header = f"{'t (s)':>8} " + " ".join(f"{name:>13}" for name in labels)
+    lines.append(header + "   jdbc-like %")
+    by_time: dict[float, dict[str, float]] = {}
+    for name, series in result.buckets.items():
+        for when, latency in series:
+            by_time.setdefault(round(when, 3), {})[name] = latency
+    mix_lookup = {round(when, 3): frac for when, frac in result.adaptive_mix}
+    for when in sorted(by_time):
+        row = f"{when:>8.0f} "
+        for name in labels:
+            latency = by_time[when].get(name)
+            row += (
+                f"{1000 * latency:>12.1f}ms" if latency is not None
+                else f"{'-':>13}"
+            )
+        if when in mix_lookup:
+            row += f"   {100 * mix_lookup[when]:.0f}%"
+        lines.append(row)
+    lines.append(
+        "throughput: "
+        + ", ".join(
+            f"{name} {tput:.1f}/s" for name, tput in result.throughput.items()
+        )
+    )
+    if result.controller is not None:
+        ctrl = result.controller
+        events = ", ".join(
+            f"t={e.now:.0f}s {e.from_index}->{e.to_index} "
+            f"(ewma {e.level:.0f}%)"
+            for e in ctrl.recent_switches
+        ) or "none"
+        lines.append(
+            f"controller: {ctrl.samples} samples, {ctrl.switches} "
+            f"switch(es); events: {events}"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,209 @@
+"""Serving-engine experiments: load sweeps and online switching.
+
+These reproduce the *shape* of the paper's load figures with the
+closed-loop serving engine instead of open-loop trace replay:
+
+* :func:`serve_load_sweep` -- throughput / latency percentiles versus
+  client count (1 -> 64) for two static partitionings and the
+  dynamically switched configuration, on a CPU-constrained database
+  server (the Figure 10 regime, where the JDBC-like partition's lower
+  DB CPU demand wins once the server saturates);
+* :func:`serve_dynamic_switching` -- a fixed client population with an
+  external tenant seizing most DB cores mid-run (the Figure 11
+  scenario), showing the controller switching partitionings online.
+
+Both execute real compiled-block programs through the serving
+workload layer (:mod:`repro.serve.workload`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.runtime.switcher import SwitcherSummary
+from repro.serve.controller import (
+    AdaptiveController,
+    Controller,
+    StaticController,
+)
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.stats import LoadSweepResult, ServeResult, SweepPoint
+from repro.serve.workload import WORKLOAD_FACTORIES, BuiltWorkload
+
+SWEEP_CLIENTS_FAST = (1, 4, 16, 64)
+SWEEP_CLIENTS_FULL = (1, 2, 4, 8, 16, 32, 48, 64)
+
+# The three configurations every serve experiment compares.  The
+# static indices follow the switcher convention: 0 = lowest budget
+# (JDBC-like), -1 = highest (stored-procedure-like).
+STATIC_LOW = "static_low"
+STATIC_HIGH = "static_high"
+ADAPTIVE = "adaptive"
+
+
+def _controller(label: str, poll_interval: float) -> Controller:
+    if label == STATIC_LOW:
+        return StaticController(0)
+    if label == STATIC_HIGH:
+        return StaticController(-1)
+    if label == ADAPTIVE:
+        return AdaptiveController(n_options=2, poll_interval=poll_interval)
+    raise ValueError(f"unknown configuration {label!r}")
+
+
+def _built_workload(
+    workload: str, db_cores: int, seed: int, pool_size: int
+) -> BuiltWorkload:
+    try:
+        factory = WORKLOAD_FACTORIES[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; "
+            f"options: {sorted(WORKLOAD_FACTORIES)}"
+        ) from None
+    return factory(db_cores=db_cores, seed=seed, pool_size=pool_size)
+
+
+def serve_load_sweep(
+    fast: bool = True,
+    workload: str = "tpcc",
+    client_counts: Optional[Sequence[int]] = None,
+    db_cores: int = 3,
+    duration: Optional[float] = None,
+    think_time: float = 0.05,
+    poll_interval: Optional[float] = None,
+    accept_queue_limit: Optional[int] = None,
+    seed: int = 17,
+    built: Optional[BuiltWorkload] = None,
+) -> LoadSweepResult:
+    """Sweep client counts for static-low/static-high/adaptive configs.
+
+    ``built`` lets callers reuse an already-constructed workload (the
+    expensive part is partitioning the program and the first live
+    executions that fill the trace pools).
+    """
+    counts = list(
+        client_counts
+        if client_counts is not None
+        else (SWEEP_CLIENTS_FAST if fast else SWEEP_CLIENTS_FULL)
+    )
+    if not counts or any(c < 1 for c in counts):
+        raise ValueError("client counts must be positive")
+    duration = duration if duration is not None else (20.0 if fast else 120.0)
+    poll = poll_interval if poll_interval is not None else duration / 10.0
+    if built is None:
+        built = _built_workload(
+            workload, db_cores=db_cores, seed=seed,
+            pool_size=8 if fast else 24,
+        )
+
+    result = LoadSweepResult(workload=workload)
+    result.notes.update(built.notes)
+    result.notes.update(
+        db_cores=db_cores, duration=duration, think_time=think_time,
+        poll_interval=poll, client_counts=counts,
+        labels=built.workload.labels,
+    )
+    controllers: dict[str, list[SwitcherSummary]] = {}
+    for label in (STATIC_LOW, STATIC_HIGH, ADAPTIVE):
+        points = []
+        for clients in counts:
+            engine = ServeEngine(
+                built.workload,
+                _controller(label, poll),
+                ServeConfig(
+                    app_cores=8, db_cores=db_cores, network=built.network,
+                    think_time=think_time, seed=seed,
+                    accept_queue_limit=accept_queue_limit,
+                    warmup=min(2 * poll, duration / 4.0),
+                    ramp=min(think_time, duration / 10.0),
+                ),
+            )
+            run = engine.run(
+                clients=clients, duration=duration,
+                name=f"{label}@{clients}",
+            )
+            points.append(SweepPoint.from_result(run))
+            if run.controller is not None:
+                controllers.setdefault(label, []).append(run.controller)
+        result.curves[label] = points
+    result.notes["controllers"] = controllers
+    return result
+
+
+@dataclass
+class ServeSwitchResult:
+    """Latency time series per configuration plus the adaptive mix."""
+
+    clients: int
+    duration: float
+    load_time: float
+    buckets: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    adaptive_mix: list[tuple[float, float]] = field(default_factory=list)
+    controller: Optional[SwitcherSummary] = None
+    throughput: dict[str, float] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+
+def serve_dynamic_switching(
+    fast: bool = True,
+    workload: str = "tpcc",
+    clients: int = 20,
+    db_cores: int = 16,
+    duration: Optional[float] = None,
+    think_time: float = 0.05,
+    external_load: float = 0.85,
+    accept_queue_limit: Optional[int] = None,
+    seed: int = 17,
+    built: Optional[BuiltWorkload] = None,
+) -> ServeSwitchResult:
+    """Fixed client population; an external tenant grabs DB cores
+    mid-run and the adaptive controller switches partitionings."""
+    duration = duration if duration is not None else (45.0 if fast else 300.0)
+    load_time = duration * 0.3
+    poll = duration / 20.0
+    bucket = duration / 12.0
+    if built is None:
+        built = _built_workload(
+            workload, db_cores=db_cores, seed=seed,
+            pool_size=8 if fast else 24,
+        )
+
+    result = ServeSwitchResult(
+        clients=clients, duration=duration, load_time=load_time
+    )
+    result.notes.update(built.notes)
+    result.notes.update(
+        db_cores=db_cores, think_time=think_time,
+        external_load=external_load, poll_interval=poll,
+        labels=built.workload.labels,
+    )
+
+    def run(label: str) -> ServeResult:
+        engine = ServeEngine(
+            built.workload,
+            _controller(label, poll),
+            ServeConfig(
+                app_cores=8, db_cores=db_cores, network=built.network,
+                think_time=think_time, seed=seed,
+                accept_queue_limit=accept_queue_limit,
+                ramp=min(think_time, duration / 10.0),
+            ),
+        )
+        engine.schedule(
+            load_time, lambda: engine.set_db_external_load(external_load)
+        )
+        return engine.run(clients=clients, duration=duration, name=label)
+
+    for label in (STATIC_LOW, STATIC_HIGH, ADAPTIVE):
+        serve_result = run(label)
+        result.buckets[label] = serve_result.latency_buckets(bucket)
+        result.throughput[label] = serve_result.throughput
+        if label == ADAPTIVE:
+            result.controller = serve_result.controller
+            result.adaptive_mix = [
+                (when, mix.get(0, 0.0))
+                for when, mix in serve_result.option_mix(bucket)
+            ]
+    return result

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro partition FILE --entry Class.method [...]
         Parse, profile (with a synthetic single-invocation workload or
@@ -9,6 +9,12 @@ Three subcommands::
 
     python -m repro experiments [fig9 fig10 fig11 fig12 fig13 fig14 micro1]
         Regenerate the paper's figures/tables and print the series.
+
+    python -m repro serve [--workload tpcc] [--clients 1,4,16,64] [...]
+        Drive the concurrent serving engine: a load sweep over client
+        counts comparing the static partitionings with the online
+        adaptive switcher, or (--switching) the mid-run load-spike
+        scenario.
 
     python -m repro demo
         Run the quickstart (the paper's running example) end to end.
@@ -101,6 +107,53 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench import serve_experiments as serve_mod
+    from repro.bench import report as report_mod
+
+    try:
+        clients = [int(c) for c in args.clients.split(",") if c.strip()]
+    except ValueError:
+        print(f"error: --clients must be a comma-separated list of ints, "
+              f"got {args.clients!r}", file=sys.stderr)
+        return 2
+    if not clients or any(c < 1 for c in clients):
+        print("error: client counts must be positive", file=sys.stderr)
+        return 2
+
+    if args.switching:
+        # Switching needs CPU headroom to start from (external load eats
+        # it mid-run); the sweep wants a CPU-constrained DB so the
+        # static partitionings separate.  Hence different defaults.
+        db_cores = args.db_cores if args.db_cores is not None else 16
+        result = serve_mod.serve_dynamic_switching(
+            fast=args.fast,
+            workload=args.workload,
+            clients=clients[0],
+            db_cores=db_cores,
+            duration=args.duration,
+            think_time=args.think,
+            accept_queue_limit=args.accept_limit,
+            seed=args.seed,
+        )
+        print(report_mod.format_serve_switching(result))
+        return 0
+
+    db_cores = args.db_cores if args.db_cores is not None else 3
+    result = serve_mod.serve_load_sweep(
+        fast=args.fast,
+        workload=args.workload,
+        client_counts=clients,
+        db_cores=db_cores,
+        duration=args.duration,
+        think_time=args.think,
+        accept_queue_limit=args.accept_limit,
+        seed=args.seed,
+    )
+    print(report_mod.format_serve_sweep(result))
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     import examples.quickstart as quickstart  # type: ignore[import-not-found]
 
@@ -137,6 +190,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--full", dest="fast", action="store_false",
                        help="full-length sweeps (slow)")
     p_exp.set_defaults(func=_cmd_experiments, fast=True)
+
+    p_serve = sub.add_parser(
+        "serve", help="drive the concurrent serving engine"
+    )
+    p_serve.add_argument(
+        "--workload", default="tpcc", choices=["tpcc", "tpcw", "micro"],
+        help="transaction workload (default: tpcc)",
+    )
+    p_serve.add_argument(
+        "--clients", default="1,4,16,64",
+        help="comma-separated client counts to sweep "
+             "(--switching uses the first; default: 1,4,16,64)",
+    )
+    p_serve.add_argument(
+        "--db-cores", type=int, default=None,
+        help="database server cores (default: 3 for the sweep, "
+             "16 for --switching)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=None,
+        help="virtual seconds per run (default: fast presets)",
+    )
+    p_serve.add_argument(
+        "--think", type=float, default=0.05,
+        help="mean client think time in seconds (default: 0.05)",
+    )
+    p_serve.add_argument(
+        "--accept-limit", type=int, default=None,
+        help="admission control: max transactions waiting for a "
+             "session before rejection (default: unbounded)",
+    )
+    p_serve.add_argument("--seed", type=int, default=17)
+    p_serve.add_argument(
+        "--switching", action="store_true",
+        help="run the mid-run load-spike scenario instead of the sweep",
+    )
+    p_serve.add_argument(
+        "--full", dest="fast", action="store_false",
+        help="full-length runs (slow)",
+    )
+    p_serve.set_defaults(func=_cmd_serve, fast=True)
 
     p_demo = sub.add_parser("demo", help="run the quickstart example")
     p_demo.set_defaults(func=_cmd_demo)

@@ -11,8 +11,9 @@ one.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Generic, Optional, TypeVar
+from typing import Deque, Generic, Optional, TypeVar
 
 from repro.sim.metrics import LoadMonitor
 
@@ -21,11 +22,45 @@ T = TypeVar("T")
 
 @dataclass
 class SwitcherConfig:
-    """Paper values: alpha=0.2, poll every 10 s, threshold 40%."""
+    """Paper values: alpha=0.2, poll every 10 s, threshold 40%.
+
+    ``history_limit`` bounds the sample/switch-event ring buffers so a
+    long-running server does not grow memory with every poll (the
+    serving engine polls for the whole run); older entries are dropped
+    oldest-first.  Totals survive in :meth:`DynamicSwitcher.summary`.
+    """
 
     alpha: float = 0.2
     poll_interval: float = 10.0
     threshold_percent: float = 40.0
+    history_limit: int = 256
+
+    def __post_init__(self) -> None:
+        if self.history_limit < 1:
+            raise ValueError("history_limit must be at least 1")
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """One controller decision change: which option took over, when."""
+
+    now: float
+    level: float
+    from_index: int
+    to_index: int
+
+
+@dataclass
+class SwitcherSummary:
+    """Compact view of a switcher's lifetime (bounded-memory safe)."""
+
+    samples: int
+    switches: int
+    current_index: int
+    level: float
+    last_sample_at: Optional[float]
+    recent: list[tuple[float, float, int]] = field(default_factory=list)
+    recent_switches: list[SwitchEvent] = field(default_factory=list)
 
 
 class DynamicSwitcher(Generic[T]):
@@ -34,6 +69,11 @@ class DynamicSwitcher(Generic[T]):
     ``options`` maps a budget rank to an arbitrary payload (a compiled
     program, a transaction trace, ...): index 0 is the lowest budget
     (safest under load), the last index the highest.
+
+    ``history`` is a bounded ring buffer of ``(now, ewma_level,
+    chosen_index)`` samples; ``switch_events`` records only the polls
+    where the decision changed.  Use :meth:`summary` for reporting --
+    it carries lifetime totals even after old entries roll off.
     """
 
     def __init__(
@@ -47,7 +87,11 @@ class DynamicSwitcher(Generic[T]):
         self.config = config if config is not None else SwitcherConfig()
         self.monitor = LoadMonitor(alpha=self.config.alpha)
         self._last_poll: Optional[float] = None
-        self.history: list[tuple[float, float, int]] = []
+        limit = self.config.history_limit
+        self.history: Deque[tuple[float, float, int]] = deque(maxlen=limit)
+        self.switch_events: Deque[SwitchEvent] = deque(maxlen=limit)
+        self.samples_total = 0
+        self.switches_total = 0
 
     @property
     def low_budget(self) -> T:
@@ -65,8 +109,18 @@ class DynamicSwitcher(Generic[T]):
         ):
             return self.monitor.level
         self._last_poll = now
+        before = self._index()
         level = self.monitor.observe(load_percent)
-        self.history.append((now, level, self._index()))
+        after = self._index()
+        self.samples_total += 1
+        self.history.append((now, level, after))
+        if after != before:
+            self.switches_total += 1
+            self.switch_events.append(
+                SwitchEvent(
+                    now=now, level=level, from_index=before, to_index=after
+                )
+            )
         return level
 
     def _index(self) -> int:
@@ -82,3 +136,15 @@ class DynamicSwitcher(Generic[T]):
 
     def current_index(self) -> int:
         return self._index()
+
+    def summary(self, recent: int = 8) -> SwitcherSummary:
+        """Lifetime totals plus the tail of the bounded ring buffers."""
+        return SwitcherSummary(
+            samples=self.samples_total,
+            switches=self.switches_total,
+            current_index=self._index(),
+            level=self.monitor.level,
+            last_sample_at=self._last_poll,
+            recent=list(self.history)[-recent:],
+            recent_switches=list(self.switch_events)[-recent:],
+        )

@@ -1,0 +1,94 @@
+"""Online partition-selection controllers.
+
+The adaptive controller closes the Section 6.3 feedback loop *inside*
+the serving engine: a periodic task on the engine's virtual clock
+samples windowed DB-CPU utilization and feeds it to
+:class:`~repro.runtime.switcher.DynamicSwitcher`, whose EWMA decides
+which partitioning every subsequent transaction executes.  Static
+controllers pin one option and provide the baseline curves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.switcher import (
+    DynamicSwitcher,
+    SwitcherConfig,
+    SwitcherSummary,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.engine import ServeEngine
+
+
+class Controller:
+    """Interface: pick the partition option for the next transaction."""
+
+    def attach(self, engine: "ServeEngine", until: float) -> None:
+        """Hook the controller onto a run (called once per run)."""
+
+    def choose_index(self, n_options: int) -> int:
+        raise NotImplementedError
+
+    def summary(self) -> Optional[SwitcherSummary]:
+        return None
+
+
+class StaticController(Controller):
+    """Always the same option; negative indices count from the end
+    (``-1`` = highest budget, mirroring the switcher's idle default)."""
+
+    def __init__(self, index: int = -1) -> None:
+        self.index = index
+
+    def choose_index(self, n_options: int) -> int:
+        return self.index % n_options
+
+
+class AdaptiveController(Controller):
+    """DB-CPU-driven switching between partition options.
+
+    ``poll_interval`` is the controller's sampling cadence on the
+    virtual clock.  The wrapped switcher's own poll gate is set to half
+    that interval: the periodic task already enforces the cadence, and
+    a gate equal to the interval would drop samples to floating-point
+    jitter in the event times.
+    """
+
+    def __init__(
+        self,
+        n_options: int = 2,
+        alpha: float = 0.2,
+        poll_interval: float = 10.0,
+        threshold_percent: float = 40.0,
+        history_limit: int = 256,
+    ) -> None:
+        if n_options < 1:
+            raise ValueError("need at least one option")
+        self.poll_interval = poll_interval
+        self.switcher: DynamicSwitcher[int] = DynamicSwitcher(
+            list(range(n_options)),
+            SwitcherConfig(
+                alpha=alpha,
+                poll_interval=poll_interval * 0.5,
+                threshold_percent=threshold_percent,
+                history_limit=history_limit,
+            ),
+        )
+        self._task = None
+
+    def attach(self, engine: "ServeEngine", until: float) -> None:
+        def poll() -> None:
+            sample = 100.0 * engine.db_utilization_window()
+            self.switcher.observe_load(engine.now, sample)
+
+        self._task = engine.loop.schedule_periodic(
+            self.poll_interval, poll, until=until
+        )
+
+    def choose_index(self, n_options: int) -> int:
+        return self.switcher.current_index()
+
+    def summary(self) -> SwitcherSummary:
+        return self.switcher.summary()

@@ -1,0 +1,103 @@
+"""Connection/session pool with admission control.
+
+The serving engine funnels every transaction through a bounded pool of
+sessions (think: database connections / worker slots on the
+application server).  A transaction that arrives while all sessions
+are busy waits in a FIFO accept queue; when that queue is itself full
+the transaction is *rejected* and the client must back off and retry.
+This is the admission-control knob that keeps an overloaded server's
+queues -- and its memory -- bounded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.serve.stats import PoolStats
+
+
+@dataclass
+class Session:
+    """One pooled session slot."""
+
+    sid: int
+    in_use: bool = False
+    uses: int = 0
+
+
+SessionWork = Callable[[Session], None]
+
+
+class SessionPool:
+    """Fixed-size session pool with a bounded FIFO accept queue.
+
+    ``accept_limit`` bounds the number of *waiting* submissions; ``None``
+    means an unbounded accept queue (no admission control).
+    """
+
+    def __init__(self, size: int, accept_limit: Optional[int] = None) -> None:
+        if size < 1:
+            raise ValueError("session pool needs at least one session")
+        if accept_limit is not None and accept_limit < 0:
+            raise ValueError("accept_limit must be non-negative")
+        self.sessions = [Session(sid) for sid in range(size)]
+        self._free: Deque[int] = deque(range(size))
+        self._waiters: Deque[SessionWork] = deque()
+        self.accept_limit = accept_limit
+        self.stats = PoolStats(size=size, accept_limit=accept_limit)
+
+    @property
+    def size(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def in_use(self) -> int:
+        return len(self.sessions) - len(self._free)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def _start(self, sid: int, work: SessionWork) -> None:
+        session = self.sessions[sid]
+        session.in_use = True
+        session.uses += 1
+        self.stats.peak_in_use = max(self.stats.peak_in_use, self.in_use)
+        work(session)
+
+    def submit(self, work: SessionWork) -> bool:
+        """Admit ``work``; returns False when the accept queue is full.
+
+        Admitted work either runs immediately on a free session or
+        waits FIFO for the next release.
+        """
+        if self._free:
+            self.stats.accepted += 1
+            self._start(self._free.popleft(), work)
+            return True
+        if (
+            self.accept_limit is not None
+            and len(self._waiters) >= self.accept_limit
+        ):
+            self.stats.rejected += 1
+            return False
+        self.stats.accepted += 1
+        self._waiters.append(work)
+        self.stats.peak_waiting = max(
+            self.stats.peak_waiting, len(self._waiters)
+        )
+        return True
+
+    def release(self, session: Session) -> None:
+        """Return a session; hands it straight to the next waiter."""
+        if not session.in_use:
+            raise ValueError(f"session {session.sid} is not in use")
+        if self._waiters:
+            work = self._waiters.popleft()
+            session.uses += 1
+            work(session)
+        else:
+            session.in_use = False
+            self._free.append(session.sid)

@@ -1,0 +1,175 @@
+"""Measurement types for the concurrent serving engine.
+
+The engine records one sample per completed transaction -- completion
+time, latency, trace name, client id and the partition option used --
+and aggregates them into per-client and per-run views with the latency
+percentiles the paper plots (p50/p95/p99).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.runtime.switcher import SwitcherSummary
+from repro.sim.metrics import Summary, summarize
+
+
+@dataclass(frozen=True)
+class TxnSample:
+    """One completed transaction."""
+
+    when: float
+    latency: float
+    trace_name: str
+    client_id: int
+    option: int
+
+
+@dataclass
+class ClientStats:
+    """Per-client latency histogram and admission counters."""
+
+    client_id: int
+    completed: int = 0
+    rejected: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def summary(self) -> Optional[Summary]:
+        """p50/p95/p99 view of this client's latencies (None if idle)."""
+        return summarize(self.latencies) if self.latencies else None
+
+
+@dataclass
+class PoolStats:
+    """Session-pool / admission-control counters for one run."""
+
+    size: int
+    accept_limit: Optional[int]
+    accepted: int = 0
+    rejected: int = 0
+    peak_waiting: int = 0
+    peak_in_use: int = 0
+
+
+@dataclass
+class ServeResult:
+    """Output of one closed-loop serving run."""
+
+    name: str
+    clients: int
+    duration: float
+    warmup: float = 0.0
+    completed: int = 0
+    rejected: int = 0
+    latencies: list[float] = field(default_factory=list)
+    samples: list[TxnSample] = field(default_factory=list)
+    per_client: list[ClientStats] = field(default_factory=list)
+    app_utilization: float = 0.0
+    db_utilization: float = 0.0
+    pool: Optional[PoolStats] = None
+    controller: Optional[SwitcherSummary] = None
+    live_executions: int = 0
+    trace_replays: int = 0
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completions per virtual second inside the measurement window."""
+        window = max(self.duration - self.warmup, 1e-12)
+        return self.completed / window
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(int(p / 100.0 * len(ordered)), len(ordered) - 1)
+        return ordered[idx]
+
+    def latency_summary(self) -> Optional[Summary]:
+        return summarize(self.latencies) if self.latencies else None
+
+    def latency_buckets(self, width: float) -> list[tuple[float, float]]:
+        """Mean latency per ``width``-second bucket of completion time."""
+        buckets: dict[int, list[float]] = {}
+        for sample in self.samples:
+            buckets.setdefault(int(sample.when // width), []).append(
+                sample.latency
+            )
+        return [
+            ((idx + 0.5) * width, sum(vals) / len(vals))
+            for idx, vals in sorted(buckets.items())
+        ]
+
+    def option_mix(self, width: float) -> list[tuple[float, dict[int, float]]]:
+        """Fraction of completions per partition option per time bucket."""
+        buckets: dict[int, dict[int, int]] = {}
+        for sample in self.samples:
+            counts = buckets.setdefault(int(sample.when // width), {})
+            counts[sample.option] = counts.get(sample.option, 0) + 1
+        out = []
+        for idx, counts in sorted(buckets.items()):
+            total = sum(counts.values())
+            out.append(
+                ((idx + 0.5) * width,
+                 {opt: n / total for opt, n in counts.items()})
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (client count, configuration) cell of a load sweep."""
+
+    clients: int
+    throughput: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    app_util: float
+    db_util: float
+    rejected: int
+    switches: int
+
+    @classmethod
+    def from_result(cls, result: ServeResult) -> "SweepPoint":
+        switches = (
+            result.controller.switches if result.controller is not None else 0
+        )
+        # One sorted pass for mean/p50/p95/p99 instead of a sort per
+        # percentile (sweep runs collect tens of thousands of samples).
+        summary = result.latency_summary()
+        return cls(
+            clients=result.clients,
+            throughput=result.throughput,
+            mean_ms=1000.0 * summary.mean if summary else 0.0,
+            p50_ms=1000.0 * summary.p50 if summary else 0.0,
+            p95_ms=1000.0 * summary.p95 if summary else 0.0,
+            p99_ms=1000.0 * summary.p99 if summary else 0.0,
+            app_util=result.app_utilization,
+            db_util=result.db_utilization,
+            rejected=result.rejected,
+            switches=switches,
+        )
+
+
+@dataclass
+class LoadSweepResult:
+    """Throughput/latency-vs-client-count curves per configuration."""
+
+    workload: str
+    curves: dict[str, list[SweepPoint]] = field(default_factory=dict)
+    notes: dict = field(default_factory=dict)
+
+    def configurations(self) -> list[str]:
+        return list(self.curves)
+
+    def client_counts(self) -> list[int]:
+        for points in self.curves.values():
+            return [p.clients for p in points]
+        return []

@@ -1,0 +1,397 @@
+"""Transaction sources for the serving engine.
+
+A *workload* hands the engine one
+:class:`~repro.sim.queueing.TransactionTrace` per transaction, for a
+given partition option (index 0 = lowest CPU budget, matching
+:class:`~repro.runtime.switcher.DynamicSwitcher`).
+
+:class:`LiveWorkload` executes **real compiled-block programs** through
+:class:`~repro.runtime.entrypoints.PartitionedApp` -- every trace in
+circulation was produced by actually running the partitioned program
+(closure-compiled blocks, managed heaps, real SQL against the in-memory
+engine) during the serve run.  Because a live execution costs real wall
+time, each option keeps a bounded trace pool: the first ``pool_size``
+transactions per option run live, later ones replay a uniformly drawn
+pooled trace (``refresh_every`` forces a periodic live refresh so a
+long run keeps sampling the program).  :class:`TraceWorkload` serves
+pre-collected traces and exists for tests and custom experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.runtime.entrypoints import PartitionedApp
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.queueing import SimNetworkParams, TransactionTrace
+from repro.sim.server import CostModel
+
+# One (method, args) invocation of a partitioned entry point.
+CallFactory = Callable[[], tuple[str, tuple]]
+
+
+class ServeWorkload:
+    """Interface: named partition options that yield stage traces."""
+
+    labels: list[str]
+
+    @property
+    def n_options(self) -> int:
+        return len(self.labels)
+
+    def draw(self, option: int, rng: random.Random) -> TransactionTrace:
+        raise NotImplementedError
+
+    @property
+    def live_executions(self) -> int:
+        return 0
+
+    @property
+    def trace_replays(self) -> int:
+        return 0
+
+
+class TraceWorkload(ServeWorkload):
+    """Serve pre-collected traces (uniform draw per option)."""
+
+    def __init__(
+        self,
+        options: Sequence[Sequence[TransactionTrace]],
+        labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not options or any(not opt for opt in options):
+            raise ValueError("each option needs at least one trace")
+        self._options = [list(opt) for opt in options]
+        self.labels = (
+            list(labels)
+            if labels is not None
+            else [f"option{i}" for i in range(len(options))]
+        )
+        if len(self.labels) != len(self._options):
+            raise ValueError("labels must match options")
+        self._replays = 0
+
+    def draw(self, option: int, rng: random.Random) -> TransactionTrace:
+        pool = self._options[option]
+        self._replays += 1
+        return pool[rng.randrange(len(pool))]
+
+    @property
+    def trace_replays(self) -> int:
+        return self._replays
+
+
+@dataclass
+class ProgramOption:
+    """One partitioning of one application, ready to execute."""
+
+    label: str
+    class_name: str
+    app: PartitionedApp
+    next_call: CallFactory
+    lock_groups: Optional[int] = None
+
+
+class LiveWorkload(ServeWorkload):
+    """Execute compiled-block programs, with bounded trace pools."""
+
+    def __init__(
+        self,
+        options: Sequence[ProgramOption],
+        pool_size: int = 16,
+        refresh_every: int = 0,
+    ) -> None:
+        if not options:
+            raise ValueError("need at least one program option")
+        if pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        self.options = list(options)
+        self.labels = [opt.label for opt in self.options]
+        self.pool_size = pool_size
+        self.refresh_every = refresh_every
+        self._pools: list[list[TransactionTrace]] = [[] for _ in self.options]
+        self._draws = [0] * len(self.options)
+        self._live = 0
+        self._replays = 0
+
+    def _execute(self, option: int) -> TransactionTrace:
+        opt = self.options[option]
+        method, args = opt.next_call()
+        outcome = opt.app.invoke_traced(opt.class_name, method, *args)
+        self._live += 1
+        trace = outcome.trace
+        if opt.lock_groups:
+            trace = TransactionTrace(
+                name=trace.name, stages=trace.stages,
+                lock_groups=opt.lock_groups,
+            )
+        pool = self._pools[option]
+        if len(pool) >= self.pool_size:
+            pool[self._live % self.pool_size] = trace
+        else:
+            pool.append(trace)
+        return trace
+
+    def draw(self, option: int, rng: random.Random) -> TransactionTrace:
+        self._draws[option] += 1
+        pool = self._pools[option]
+        if len(pool) < self.pool_size or (
+            self.refresh_every
+            and self._draws[option] % self.refresh_every == 0
+        ):
+            return self._execute(option)
+        self._replays += 1
+        return pool[rng.randrange(len(pool))]
+
+    @property
+    def live_executions(self) -> int:
+        return self._live
+
+    @property
+    def trace_replays(self) -> int:
+        return self._replays
+
+
+# ---------------------------------------------------------------------------
+# Workload factories
+# ---------------------------------------------------------------------------
+
+# Serving-scenario cost model for TPC-C.  Relative to the fig9/fig10
+# calibration the per-statement cost is raised so the stored-procedure
+# partition's extra DB-side logic is clearly visible against its
+# round-trip savings -- that separation is what makes the low/high
+# budget choice (and the online switch) matter under load.
+SERVE_TPCC_ONE_WAY_LATENCY = 0.00025
+SERVE_TPCC_COST_MODEL = CostModel(
+    statement_cost=12e-6,
+    block_dispatch_cost=2e-6,
+    db_fixed_cost=150e-6,
+    db_row_cost=20e-6,
+)
+
+SERVE_TPCW_ONE_WAY_LATENCY = 0.0005
+SERVE_TPCW_COST_MODEL = CostModel(
+    statement_cost=20e-6,
+    native_call_cost=25e-6,
+    block_dispatch_cost=2e-6,
+)
+
+
+@dataclass
+class BuiltWorkload:
+    """A live workload plus the network parameters it was traced with."""
+
+    workload: LiveWorkload
+    network: SimNetworkParams
+    notes: dict = field(default_factory=dict)
+
+
+def _two_budget_partitions(source: str, entry_points, latency: float,
+                           profile_run) -> tuple:
+    from repro.core.pipeline import Pyxis, PyxisConfig
+
+    pyxis = Pyxis.from_source(
+        source, entry_points, PyxisConfig(latency=latency)
+    )
+    profile = pyxis.profile_with(*profile_run(pyxis))
+    pset = pyxis.partition(profile, budgets=[0.0, 1e9])
+    return pset.lowest(), pset.highest()
+
+
+def make_tpcc_workload(
+    db_cores: int = 16,
+    seed: int = 31,
+    pool_size: int = 16,
+    interp: Optional[str] = None,
+) -> BuiltWorkload:
+    """TPC-C new-order under two partitionings (JDBC-like, proc-like)."""
+    from repro.workloads.tpcc import (
+        TPCC_ENTRY_POINTS,
+        TPCC_SOURCE,
+        TpccInputGenerator,
+        TpccScale,
+        make_tpcc_database,
+    )
+
+    scale = TpccScale()
+    lock_groups = scale.warehouses * scale.districts_per_warehouse
+    latency = SERVE_TPCC_ONE_WAY_LATENCY
+
+    def profile_run(pyxis):
+        _, conn = make_tpcc_database(scale)
+        gen = TpccInputGenerator(scale, seed=seed)
+
+        def run(profiler):
+            for _ in range(10):
+                order = gen.new_order(rollback_fraction=0.0)
+                profiler.invoke(
+                    "TpccTransactions", "new_order",
+                    order.w_id, order.d_id, order.c_id,
+                    order.item_ids, order.supply_w_ids, order.quantities,
+                )
+
+        return conn, run
+
+    low, high = _two_budget_partitions(
+        TPCC_SOURCE, TPCC_ENTRY_POINTS, latency, profile_run
+    )
+
+    def make_option(label: str, part) -> ProgramOption:
+        _, conn = make_tpcc_database(scale)
+        cluster = Cluster(
+            ClusterConfig(
+                app_cores=8, db_cores=db_cores, one_way_latency=latency
+            ),
+            SERVE_TPCC_COST_MODEL,
+        )
+        gen = TpccInputGenerator(scale, seed=seed + 1)
+
+        def next_call() -> tuple[str, tuple]:
+            order = gen.new_order(rollback_fraction=0.0)
+            return "new_order", (
+                order.w_id, order.d_id, order.c_id,
+                order.item_ids, order.supply_w_ids, order.quantities,
+            )
+
+        app = PartitionedApp(part.compiled, cluster, conn, interp=interp)
+        return ProgramOption(
+            label=label, class_name="TpccTransactions", app=app,
+            next_call=next_call, lock_groups=lock_groups,
+        )
+
+    workload = LiveWorkload(
+        [make_option("jdbc_like", low), make_option("proc_like", high)],
+        pool_size=pool_size,
+    )
+    return BuiltWorkload(
+        workload=workload,
+        network=SimNetworkParams(one_way_latency=latency),
+        notes={"lock_groups": lock_groups,
+               "fraction_on_db": {
+                   "jdbc_like": low.fraction_on_db,
+                   "proc_like": high.fraction_on_db,
+               }},
+    )
+
+
+def make_tpcw_workload(
+    db_cores: int = 16,
+    seed: int = 41,
+    pool_size: int = 16,
+    interp: Optional[str] = None,
+) -> BuiltWorkload:
+    """TPC-W browsing mix under two partitionings."""
+    from repro.workloads.tpcw import (
+        TPCW_ENTRY_POINTS,
+        TPCW_SOURCE,
+        BrowsingMix,
+        TpcwScale,
+        make_tpcw_database,
+    )
+
+    scale = TpcwScale()
+    latency = SERVE_TPCW_ONE_WAY_LATENCY
+
+    def profile_run(pyxis):
+        _, conn = make_tpcw_database(scale)
+        mix = BrowsingMix(scale, seed=seed)
+
+        def run(profiler):
+            for _ in range(40):
+                interaction = mix.next_interaction()
+                profiler.invoke(
+                    "TpcwBrowsing", interaction.method, *interaction.args
+                )
+
+        return conn, run
+
+    low, high = _two_budget_partitions(
+        TPCW_SOURCE, TPCW_ENTRY_POINTS, latency, profile_run
+    )
+
+    def make_option(label: str, part) -> ProgramOption:
+        _, conn = make_tpcw_database(scale)
+        cluster = Cluster(
+            ClusterConfig(
+                app_cores=8, db_cores=db_cores, one_way_latency=latency
+            ),
+            SERVE_TPCW_COST_MODEL,
+        )
+        mix = BrowsingMix(scale, seed=seed + 1)
+
+        def next_call() -> tuple[str, tuple]:
+            interaction = mix.next_interaction()
+            return interaction.method, tuple(interaction.args)
+
+        app = PartitionedApp(part.compiled, cluster, conn, interp=interp)
+        return ProgramOption(
+            label=label, class_name="TpcwBrowsing", app=app,
+            next_call=next_call,
+        )
+
+    workload = LiveWorkload(
+        [make_option("jdbc_like", low), make_option("proc_like", high)],
+        pool_size=pool_size,
+    )
+    return BuiltWorkload(
+        workload=workload,
+        network=SimNetworkParams(one_way_latency=latency),
+    )
+
+
+def make_micro_workload(
+    db_cores: int = 16,
+    seed: int = 11,
+    pool_size: int = 4,
+    interp: Optional[str] = None,
+) -> BuiltWorkload:
+    """Three-phase microbenchmark under two partitionings (APP, DB)."""
+    from repro.workloads.micro import (
+        THREE_PHASE_ENTRY_POINTS,
+        THREE_PHASE_SOURCE,
+        MicroScale,
+        make_micro_database,
+    )
+
+    scale = MicroScale()
+    latency = 0.001
+    args = (scale.queries_per_phase, scale.hashes, scale.keys)
+
+    def profile_run(pyxis):
+        _, conn = make_micro_database(rows=scale.keys)
+        return conn, lambda p: p.invoke("ThreePhase", "run", *args)
+
+    low, high = _two_budget_partitions(
+        THREE_PHASE_SOURCE, THREE_PHASE_ENTRY_POINTS, latency, profile_run
+    )
+
+    def make_option(label: str, part) -> ProgramOption:
+        _, conn = make_micro_database(rows=scale.keys)
+        cluster = Cluster(
+            ClusterConfig(
+                app_cores=8, db_cores=db_cores, one_way_latency=latency
+            ),
+        )
+        app = PartitionedApp(part.compiled, cluster, conn, interp=interp)
+        return ProgramOption(
+            label=label, class_name="ThreePhase", app=app,
+            next_call=lambda: ("run", args),
+        )
+
+    workload = LiveWorkload(
+        [make_option("app_like", low), make_option("db_like", high)],
+        pool_size=pool_size,
+    )
+    return BuiltWorkload(
+        workload=workload,
+        network=SimNetworkParams(one_way_latency=latency),
+    )
+
+
+WORKLOAD_FACTORIES: dict[str, Callable[..., BuiltWorkload]] = {
+    "tpcc": make_tpcc_workload,
+    "tpcw": make_tpcw_workload,
+    "micro": make_micro_workload,
+}

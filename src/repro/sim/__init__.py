@@ -15,11 +15,13 @@ the reproduction:
 * :mod:`repro.sim.metrics` -- load monitoring and summary statistics.
 """
 
-from repro.sim.clock import VirtualClock, EventLoop, Event
+from repro.sim.clock import VirtualClock, EventLoop, Event, PeriodicTask
 from repro.sim.network import NetworkModel, NetworkStats
 from repro.sim.server import Server, CpuAccount
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.queueing import (
+    CorePool,
+    LockTable,
     Stage,
     StageKind,
     TransactionTrace,
@@ -32,6 +34,9 @@ __all__ = [
     "VirtualClock",
     "EventLoop",
     "Event",
+    "PeriodicTask",
+    "CorePool",
+    "LockTable",
     "NetworkModel",
     "NetworkStats",
     "Server",

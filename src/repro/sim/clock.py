@@ -71,6 +71,56 @@ class Event:
         self.cancelled = True
 
 
+class PeriodicTask:
+    """Handle for a repeating callback scheduled on an :class:`EventLoop`.
+
+    The loop re-arms the task after every firing until :meth:`cancel`
+    is called or the optional ``until`` horizon is reached.  Used by
+    the serving subsystem for monitor polls and load scripts.
+    """
+
+    __slots__ = ("loop", "interval", "action", "until", "fired", "_event")
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        interval: float,
+        action: Callable[[], None],
+        until: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("periodic interval must be positive")
+        self.loop = loop
+        self.interval = interval
+        self.action = action
+        self.until = until
+        self.fired = 0
+        self._event: Optional[Event] = None
+        self._arm()
+
+    def _arm(self) -> None:
+        when = self.loop.clock.now + self.interval
+        if self.until is not None and when > self.until + 1e-12:
+            self._event = None
+            return
+        self._event = self.loop.schedule_at(when, self._fire)
+
+    def _fire(self) -> None:
+        self.fired += 1
+        self.action()
+        if self._event is not None:  # not cancelled from inside action
+            self._arm()
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+
 class EventLoop:
     """A minimal discrete-event loop over a :class:`VirtualClock`.
 
@@ -99,6 +149,19 @@ class EventLoop:
         event = Event(when=when, seq=next(self._counter), action=action)
         heapq.heappush(self._heap, event)
         return event
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        until: Optional[float] = None,
+    ) -> PeriodicTask:
+        """Run ``action`` every ``interval`` seconds of virtual time.
+
+        The first firing happens one interval from now; ``until`` (an
+        absolute virtual time) stops re-arming past the horizon.
+        """
+        return PeriodicTask(self, interval, action, until=until)
 
     @property
     def pending(self) -> int:

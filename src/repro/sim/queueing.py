@@ -131,12 +131,16 @@ class SimNetworkParams:
         )
 
 
-class _CorePool:
-    """FCFS pool of cores on one simulated server.
+class CorePool:
+    """FCFS run queue over the cores of one simulated server.
 
     ``reserved`` cores model external load (other tenants); they are
     unavailable for transactions.  Changing the reservation mid-run
     takes effect as running work drains.
+
+    The pool is clock-agnostic: every scheduling hook takes the current
+    virtual time explicitly, so both the open-loop replay simulator and
+    the closed-loop serving engine (:mod:`repro.serve`) share it.
     """
 
     def __init__(self, name: str, cores: int) -> None:
@@ -149,10 +153,18 @@ class _CorePool:
         self.queue: deque = deque()
         self.busy_time = 0.0
         self._last_change = 0.0
+        # Monitor window for window_utilization().
+        self._window_start = 0.0
+        self._window_busy = 0.0
 
     @property
     def available(self) -> int:
         return max(self.cores - self.reserved, 1)
+
+    @property
+    def queued(self) -> int:
+        """Work items waiting for a free core (the run-queue depth)."""
+        return len(self.queue)
 
     def _account(self, now: float) -> None:
         # Integrate busy-cores over time for utilization reporting.
@@ -170,6 +182,93 @@ class _CorePool:
         self._account(now)
         elapsed = max(now - since, 1e-12)
         return min(self.busy_time / (self.cores * elapsed), 1.0)
+
+    def busy_seconds(self, now: float) -> float:
+        """Integrated busy-core-seconds up to ``now`` (monotonic).
+
+        Load monitors diff two readings to get windowed utilization
+        without resetting the pool's accounting.
+        """
+        self._account(now)
+        return self.busy_time
+
+    def window_utilization(self, now: float) -> float:
+        """Average utilization since the previous call (load-monitor
+        feed for EWMA switching); the first call covers [0, now]."""
+        self._account(now)
+        busy = self.busy_time - self._window_busy
+        elapsed = max(now - self._window_start, 1e-12)
+        self._window_start = now
+        self._window_busy = self.busy_time
+        return min(busy / (self.cores * elapsed), 1.0)
+
+    # -- scheduler hooks --------------------------------------------------
+
+    def acquire(self, now: float, work: Callable[[], None]) -> None:
+        """Run ``work`` on a free core now, or queue it FCFS."""
+        if self.busy < self.available:
+            self._account(now)
+            self.busy += 1
+            work()
+        else:
+            self.queue.append(work)
+
+    def release(self, now: float) -> None:
+        """Free one core and start queued work that now fits."""
+        self._account(now)
+        self.busy -= 1
+        self.drain(now)
+
+    def drain(self, now: float) -> None:
+        """Start queued work while cores are available (e.g. after the
+        external-load reservation shrinks)."""
+        while self.queue and self.busy < self.available:
+            work = self.queue.popleft()
+            self._account(now)
+            self.busy += 1
+            work()
+
+
+# Backwards-compatible alias (the pool predates the serving subsystem).
+_CorePool = CorePool
+
+
+class LockTable:
+    """Exclusive row-group locks with FIFO hand-off.
+
+    Models coarse row-level contention (e.g. TPC-C district rows): a
+    transaction holds its group's lock for its entire lifetime, so
+    longer-latency transactions cap throughput.  Shared by the replay
+    simulator and the serving engine.
+    """
+
+    def __init__(self) -> None:
+        self._waiters: dict[int, deque] = {}
+        self._held: set[int] = set()
+
+    def acquire(self, group: int, work: Callable[[], None]) -> None:
+        """Run ``work`` under the group lock now, or queue it FIFO."""
+        if group not in self._held:
+            self._held.add(group)
+            work()
+        else:
+            self._waiters.setdefault(group, deque()).append(work)
+
+    def release(self, group: int) -> None:
+        waiters = self._waiters.get(group)
+        if waiters:
+            work = waiters.popleft()
+            work()  # lock passes directly to the next waiter
+        else:
+            self._held.discard(group)
+
+    @property
+    def held(self) -> int:
+        return len(self._held)
+
+    @property
+    def waiting(self) -> int:
+        return sum(len(q) for q in self._waiters.values())
 
 
 @dataclass
@@ -276,19 +375,14 @@ class QueueingSimulator:
     ) -> None:
         self.network = network if network is not None else SimNetworkParams()
         self.loop = EventLoop(VirtualClock())
-        self.app = _CorePool("app", app_cores)
-        self.db = _CorePool("db", db_cores)
+        self.app = CorePool("app", app_cores)
+        self.db = CorePool("db", db_cores)
         self.rng = random.Random(seed)
         self._result: Optional[SimResult] = None
         self._bytes_to_db = 0
         self._bytes_to_app = 0
         self._messages = 0
-        # Utilization window for the load monitor (EWMA switching).
-        self._window_start = 0.0
-        self._window_busy_db = 0.0
-        # Lock tables: group id -> (held?, FIFO of waiting thunks).
-        self._locks: dict[int, deque] = {}
-        self._held: set[int] = set()
+        self.locks = LockTable()
 
     # -- load monitoring hooks -------------------------------------------
 
@@ -298,13 +392,7 @@ class QueueingSimulator:
 
     def db_utilization_window(self) -> float:
         """DB utilization since the last call (used by the load monitor)."""
-        now = self.now
-        self.db._account(now)
-        busy = self.db.busy_time - self._window_busy_db
-        elapsed = max(now - self._window_start, 1e-12)
-        self._window_start = now
-        self._window_busy_db = self.db.busy_time
-        return min(busy / (self.db.cores * elapsed), 1.0)
+        return self.db.window_utilization(self.now)
 
     def set_db_external_load(self, fraction: float) -> None:
         """Reserve a fraction of DB cores for external work, effective now."""
@@ -320,42 +408,14 @@ class QueueingSimulator:
 
     # -- core pool mechanics ---------------------------------------------
 
-    def _acquire(self, pool: _CorePool, work: Callable[[], None]) -> None:
-        if pool.busy < pool.available:
-            pool._account(self.now)
-            pool.busy += 1
-            work()
-        else:
-            pool.queue.append(work)
+    def _acquire(self, pool: CorePool, work: Callable[[], None]) -> None:
+        pool.acquire(self.now, work)
 
-    def _release(self, pool: _CorePool) -> None:
-        pool._account(self.now)
-        pool.busy -= 1
-        self._drain(pool)
+    def _release(self, pool: CorePool) -> None:
+        pool.release(self.now)
 
-    def _drain(self, pool: _CorePool) -> None:
-        while pool.queue and pool.busy < pool.available:
-            work = pool.queue.popleft()
-            pool._account(self.now)
-            pool.busy += 1
-            work()
-
-    # -- lock mechanics -----------------------------------------------------
-
-    def _acquire_lock(self, group: int, work: Callable[[], None]) -> None:
-        if group not in self._held:
-            self._held.add(group)
-            work()
-        else:
-            self._locks.setdefault(group, deque()).append(work)
-
-    def _release_lock(self, group: int) -> None:
-        waiters = self._locks.get(group)
-        if waiters:
-            work = waiters.popleft()
-            work()  # lock passes directly to the next waiter
-        else:
-            self._held.discard(group)
+    def _drain(self, pool: CorePool) -> None:
+        pool.drain(self.now)
 
     # -- transaction lifecycle -------------------------------------------
 
@@ -366,7 +426,7 @@ class QueueingSimulator:
             def begin() -> None:
                 self._run_stage(trace, 0, arrived, lock_group=group)
 
-            self._acquire_lock(group, begin)
+            self.locks.acquire(group, begin)
         else:
             self._run_stage(trace, 0, arrived)
 
@@ -379,7 +439,7 @@ class QueueingSimulator:
     ) -> None:
         if idx >= len(trace.stages):
             if lock_group is not None:
-                self._release_lock(lock_group)
+                self.locks.release(lock_group)
             self._complete(trace, arrived)
             return
         stage = trace.stages[idx]

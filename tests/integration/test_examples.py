@@ -1,0 +1,42 @@
+"""CI guard for the runnable examples.
+
+The dynamic-switching example rode on the trace-replay fig11 pipeline
+before the serving subsystem existed and silently rotted once; running
+it exactly as a user would (fresh subprocess, PYTHONPATH=src) keeps it
+honest.  The example itself exits non-zero if no partition switch
+happened, so this doubles as an end-to-end check of the serve engine's
+adaptive controller.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / name)],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        timeout=600,
+    )
+
+
+class TestDynamicSwitchingExample:
+    def test_example_runs_and_switches(self):
+        proc = run_example("dynamic_switching.py")
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout
+        assert "serve dynamic switching" in out
+        assert "switch(es)" in out
+        # The narrative numbers: mix starts proc-like, ends JDBC-like.
+        assert "JDBC-like fraction: 0% -> 100%" in out

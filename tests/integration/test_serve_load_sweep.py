@@ -1,0 +1,103 @@
+"""Acceptance: the serving engine's TPC-C load sweep.
+
+Sweeps client counts 1 -> 64 on a CPU-constrained database server and
+checks the paper's dynamic-switching claim end to end: the adaptively
+switched configuration tracks the better of the two static
+partitionings on throughput, switching online (the event is recorded
+in the controller history) once DB CPU saturates.  Every trace in the
+sweep came from executing the real compiled-block TPC-C program.
+"""
+
+import pytest
+
+from repro.bench.serve_experiments import (
+    ADAPTIVE,
+    STATIC_HIGH,
+    STATIC_LOW,
+    serve_load_sweep,
+)
+
+CLIENT_COUNTS = [1, 4, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return serve_load_sweep(
+        fast=True,
+        client_counts=CLIENT_COUNTS,
+        db_cores=3,
+        duration=10.0,
+        poll_interval=1.0,
+        seed=17,
+    )
+
+
+def by_clients(sweep, label):
+    return {p.clients: p for p in sweep.curves[label]}
+
+
+class TestSweepShape:
+    def test_all_configurations_cover_all_counts(self, sweep):
+        assert set(sweep.curves) == {STATIC_LOW, STATIC_HIGH, ADAPTIVE}
+        for label in sweep.curves:
+            assert [p.clients for p in sweep.curves[label]] == CLIENT_COUNTS
+
+    def test_traces_came_from_live_execution(self, sweep):
+        # The workload layer executed the real partitioned programs.
+        assert sweep.notes["labels"] == ["jdbc_like", "proc_like"]
+        assert sweep.notes["fraction_on_db"]["proc_like"] > 0.9
+        assert sweep.notes["fraction_on_db"]["jdbc_like"] < 0.1
+
+    def test_static_curves_reproduce_fig10_regime(self, sweep):
+        low = by_clients(sweep, STATIC_LOW)
+        high = by_clients(sweep, STATIC_HIGH)
+        # Idle: the stored-procedure-like partition wins on latency.
+        assert high[1].p50_ms < low[1].p50_ms
+        # Saturated: the JDBC-like partition's lower DB CPU demand
+        # sustains clearly higher throughput on 3 cores.
+        assert low[64].throughput > 1.2 * high[64].throughput
+        assert high[64].db_util > 0.9
+
+
+class TestAdaptiveTracksBestStatic:
+    def test_throughput_tracks_better_static_everywhere(self, sweep):
+        low = by_clients(sweep, STATIC_LOW)
+        high = by_clients(sweep, STATIC_HIGH)
+        adaptive = by_clients(sweep, ADAPTIVE)
+        for clients in CLIENT_COUNTS:
+            best = max(low[clients].throughput, high[clients].throughput)
+            assert adaptive[clients].throughput >= 0.85 * best, (
+                f"adaptive lost at {clients} clients: "
+                f"{adaptive[clients].throughput:.1f}/s vs best {best:.1f}/s"
+            )
+
+    def test_idle_latency_tracks_high_budget(self, sweep):
+        high = by_clients(sweep, STATIC_HIGH)
+        low = by_clients(sweep, STATIC_LOW)
+        adaptive = by_clients(sweep, ADAPTIVE)
+        assert adaptive[1].p50_ms == pytest.approx(
+            high[1].p50_ms, rel=0.25
+        )
+        assert adaptive[1].p50_ms < 0.75 * low[1].p50_ms
+
+    def test_switch_event_visible_in_controller_history(self, sweep):
+        adaptive = by_clients(sweep, ADAPTIVE)
+        # No switching while idle...
+        assert adaptive[1].switches == 0
+        assert adaptive[4].switches == 0
+        # ...but the saturated runs switched, and the event landed in
+        # the controller history with the crossing EWMA level.
+        controllers = sweep.notes["controllers"][ADAPTIVE]
+        saturated = controllers[-1]  # the 64-client run
+        assert adaptive[64].switches >= 1
+        assert saturated.switches >= 1
+        assert saturated.current_index == 0  # ended on the JDBC-like
+        event = saturated.recent_switches[0]
+        assert event.to_index == 0
+        assert event.level > 40.0
+        assert 0.0 < event.now < 10.0
+
+    def test_ewma_samples_recorded_throughout(self, sweep):
+        controllers = sweep.notes["controllers"][ADAPTIVE]
+        for summary in controllers:
+            assert summary.samples >= 8  # ~10s run, 1s poll interval

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.switcher import DynamicSwitcher, SwitcherConfig
+from repro.runtime.switcher import DynamicSwitcher, SwitchEvent, SwitcherConfig
 
 
 def make_switcher(**kwargs):
@@ -80,3 +80,55 @@ class TestDynamicSwitcher:
         switcher = make_switcher()
         assert switcher.low_budget == "low_budget"
         assert switcher.high_budget == "high_budget"
+
+
+class TestBoundedHistory:
+    def test_history_is_a_ring_buffer(self):
+        switcher = make_switcher(poll_interval=1.0, history_limit=10)
+        for t in range(100):
+            switcher.observe_load(float(t), 50.0)
+        assert len(switcher.history) == 10
+        # Oldest entries rolled off; the tail is the most recent polls.
+        assert switcher.history[0][0] == 90.0
+        assert switcher.history[-1][0] == 99.0
+        assert switcher.samples_total == 100
+
+    def test_invalid_history_limit_rejected(self):
+        with pytest.raises(ValueError):
+            SwitcherConfig(history_limit=0)
+
+    def test_switch_events_recorded(self):
+        switcher = make_switcher(poll_interval=1.0)
+        switcher.observe_load(0.0, 10.0)   # high budget
+        switcher.observe_load(1.0, 100.0)  # EWMA jumps to 82%: switch
+        switcher.observe_load(2.0, 100.0)  # no further change
+        switcher.observe_load(3.0, 100.0)
+        events = list(switcher.switch_events)
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, SwitchEvent)
+        assert (event.from_index, event.to_index) == (1, 0)
+        assert event.level > 40.0
+        assert switcher.switches_total == 1
+
+    def test_summary_survives_ring_rollover(self):
+        switcher = make_switcher(poll_interval=1.0, history_limit=4)
+        loads = [10.0, 100.0, 100.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0]
+        for t, load in enumerate(loads):
+            switcher.observe_load(float(t), load)
+        summary = switcher.summary(recent=3)
+        assert summary.samples == len(loads)
+        assert summary.switches == 2  # high -> low -> high
+        assert summary.current_index == 1
+        assert len(summary.recent) == 3
+        assert summary.last_sample_at == float(len(loads) - 1)
+        # The ring only holds 4 samples but totals are preserved.
+        assert len(switcher.history) == 4
+
+    def test_summary_on_fresh_switcher(self):
+        switcher = make_switcher()
+        summary = switcher.summary()
+        assert summary.samples == 0
+        assert summary.switches == 0
+        assert summary.recent == []
+        assert summary.last_sample_at is None

@@ -1,0 +1,77 @@
+"""Session pool and admission control."""
+
+import pytest
+
+from repro.serve.session import SessionPool
+
+
+class TestSessionPool:
+    def test_needs_at_least_one_session(self):
+        with pytest.raises(ValueError):
+            SessionPool(0)
+
+    def test_negative_accept_limit_rejected(self):
+        with pytest.raises(ValueError):
+            SessionPool(1, accept_limit=-1)
+
+    def test_free_session_runs_immediately(self):
+        pool = SessionPool(2)
+        ran = []
+        assert pool.submit(lambda s: ran.append(s.sid))
+        assert ran == [0]
+        assert pool.in_use == 1
+
+    def test_busy_pool_queues_fifo(self):
+        pool = SessionPool(1)
+        order = []
+        held = []
+        pool.submit(lambda s: held.append(s))
+        pool.submit(lambda s: order.append("first"))
+        pool.submit(lambda s: order.append("second"))
+        assert order == []
+        assert pool.waiting == 2
+        pool.release(held[0])
+        assert order == ["first"]
+        assert pool.waiting == 1
+
+    def test_accept_limit_rejects_overflow(self):
+        pool = SessionPool(1, accept_limit=1)
+        held = []
+        assert pool.submit(lambda s: held.append(s))
+        assert pool.submit(lambda s: None)        # one waiter allowed
+        assert not pool.submit(lambda s: None)    # queue full: rejected
+        assert pool.stats.rejected == 1
+        assert pool.stats.accepted == 2
+
+    def test_accept_limit_zero_means_no_queueing(self):
+        pool = SessionPool(1, accept_limit=0)
+        held = []
+        assert pool.submit(lambda s: held.append(s))
+        assert not pool.submit(lambda s: None)
+        pool.release(held[0])
+        assert pool.submit(lambda s: None)  # free again after release
+
+    def test_release_hands_session_to_waiter(self):
+        pool = SessionPool(1)
+        sessions = []
+        pool.submit(lambda s: sessions.append(s))
+        pool.submit(lambda s: sessions.append(s))
+        pool.release(sessions[0])
+        assert len(sessions) == 2
+        assert sessions[0].sid == sessions[1].sid
+        assert sessions[1].uses == 2
+
+    def test_release_unused_session_rejected(self):
+        pool = SessionPool(1)
+        with pytest.raises(ValueError):
+            pool.release(pool.sessions[0])
+
+    def test_peak_stats_tracked(self):
+        pool = SessionPool(2, accept_limit=None)
+        held = []
+        for _ in range(2):
+            pool.submit(lambda s: held.append(s))
+        pool.submit(lambda s: None)
+        pool.submit(lambda s: None)
+        assert pool.stats.peak_in_use == 2
+        assert pool.stats.peak_waiting == 2

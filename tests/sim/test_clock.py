@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.clock import Event, EventLoop, VirtualClock
+from repro.sim.clock import Event, EventLoop, PeriodicTask, VirtualClock
 
 
 class TestVirtualClock:
@@ -129,3 +129,49 @@ class TestEventLoop:
 
     def test_step_on_empty_returns_false(self):
         assert EventLoop().step() is False
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_periodic(2.0, lambda: times.append(loop.clock.now))
+        loop.schedule(7.0, lambda: None)  # drives the clock past 3 fires
+        loop.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_until_stops_rearming(self):
+        loop = EventLoop()
+        task = loop.schedule_periodic(1.0, lambda: None, until=3.0)
+        loop.run()
+        assert task.fired == 3
+        assert not task.active
+
+    def test_cancel_stops_future_fires(self):
+        loop = EventLoop()
+        fired = []
+
+        def tick():
+            fired.append(loop.clock.now)
+            if len(fired) == 2:
+                task.cancel()
+
+        task = loop.schedule_periodic(1.0, tick)
+        loop.run()
+        assert fired == [1.0, 2.0]
+
+    def test_non_positive_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule_periodic(0.0, lambda: None)
+
+    def test_interleaves_deterministically_with_plain_events(self):
+        # A periodic fire and a plain event at the same instant run in
+        # scheduling order -- the tie-break rule the serving engine
+        # relies on for reproducibility.
+        loop = EventLoop()
+        order = []
+        loop.schedule_periodic(2.0, lambda: order.append("poll"))
+        loop.schedule(2.0, lambda: order.append("event"))
+        loop.run(until=2.0)
+        assert order == ["poll", "event"]

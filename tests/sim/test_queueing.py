@@ -3,6 +3,8 @@
 import pytest
 
 from repro.sim.queueing import (
+    CorePool,
+    LockTable,
     QueueingSimulator,
     SimNetworkParams,
     Stage,
@@ -210,6 +212,105 @@ class TestSimResult:
         result = sim.run(trace, rate=300, duration=10)
         assert result.percentile(50) <= result.percentile(95)
         assert result.percentile(95) <= result.percentile(99)
+
+
+class TestEdgeCases:
+    """Config validation, degenerate traces, event-order determinism."""
+
+    def test_zero_core_config_rejected(self):
+        with pytest.raises(ValueError, match="at least one core"):
+            QueueingSimulator(app_cores=0)
+        with pytest.raises(ValueError, match="at least one core"):
+            QueueingSimulator(db_cores=0)
+        with pytest.raises(ValueError, match="at least one core"):
+            CorePool("app", 0)
+        with pytest.raises(ValueError, match="at least one core"):
+            CorePool("db", -3)
+
+    def test_empty_trace_replays_with_zero_latency(self):
+        # A trace with no stages completes the instant it arrives.
+        trace = TransactionTrace("empty", ())
+        sim = QueueingSimulator()
+        result = sim.run(trace, rate=50, duration=10)
+        assert result.completed > 0
+        assert result.throughput == pytest.approx(50, rel=0.2)
+        assert all(latency == 0.0 for latency in result.latencies)
+        assert result.messages == 0
+        assert result.db_utilization == 0.0
+
+    def test_simultaneous_events_processed_in_scheduling_order(self):
+        # Two zero-duration stages scheduled at the same virtual time
+        # must run FIFO: arrivals complete in arrival order, every run.
+        trace = TransactionTrace("zero", (Stage(StageKind.APP_CPU, 0.0),))
+        sim = QueueingSimulator(seed=9)
+        result = sim.run(trace, rate=200, duration=5)
+        completions = [when for when, _ in result.samples]
+        assert completions == sorted(completions)
+        repeat = QueueingSimulator(seed=9).run(trace, rate=200, duration=5)
+        assert [s for s in repeat.samples] == result.samples
+
+    def test_mixed_trace_tie_order_deterministic(self):
+        fast = TransactionTrace("fast", (Stage(StageKind.DB_CPU, 0.001),))
+        slow = TransactionTrace(
+            "slow",
+            (Stage(StageKind.APP_CPU, 0.002), Stage(StageKind.DB_CPU, 0.003)),
+        )
+        runs = [
+            QueueingSimulator(seed=4).run([fast, slow], rate=300, duration=5)
+            for _ in range(2)
+        ]
+        assert runs[0].trace_names == runs[1].trace_names
+        assert runs[0].latencies == runs[1].latencies
+
+
+class TestCorePool:
+    def test_acquire_release_cycle(self):
+        pool = CorePool("db", 1)
+        ran = []
+        pool.acquire(0.0, lambda: ran.append("a"))
+        pool.acquire(0.0, lambda: ran.append("b"))  # queued: core busy
+        assert ran == ["a"]
+        assert pool.queued == 1
+        pool.release(1.0)
+        assert ran == ["a", "b"]
+        assert pool.queued == 0
+
+    def test_reservation_shrinks_capacity(self):
+        pool = CorePool("db", 4)
+        pool.set_reserved(0.0, 3)
+        assert pool.available == 1
+        # Reservation can never take the last core.
+        pool.set_reserved(0.0, 99)
+        assert pool.available == 1
+
+    def test_busy_seconds_monotonic(self):
+        pool = CorePool("db", 2)
+        pool.acquire(0.0, lambda: None)
+        first = pool.busy_seconds(1.0)
+        second = pool.busy_seconds(2.0)
+        assert second > first
+
+
+class TestLockTable:
+    def test_fifo_handoff(self):
+        locks = LockTable()
+        order = []
+        locks.acquire(1, lambda: order.append("first"))
+        locks.acquire(1, lambda: order.append("second"))
+        locks.acquire(1, lambda: order.append("third"))
+        assert order == ["first"]
+        assert locks.held == 1
+        assert locks.waiting == 2
+        locks.release(1)
+        locks.release(1)
+        assert order == ["first", "second", "third"]
+
+    def test_distinct_groups_independent(self):
+        locks = LockTable()
+        order = []
+        locks.acquire(1, lambda: order.append("g1"))
+        locks.acquire(2, lambda: order.append("g2"))
+        assert order == ["g1", "g2"]
 
 
 class TestSweep:

@@ -73,6 +73,43 @@ class TestExperimentsCommand:
         assert "overhead" in capsys.readouterr().out
 
 
+class TestServeCommand:
+    def test_serve_sweep_prints_table(self, capsys):
+        code = main([
+            "serve", "--workload", "micro", "--clients", "1,2",
+            "--duration", "2", "--think", "0.05",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve load sweep: micro" in out
+        assert "static_low" in out
+        assert "static_high" in out
+        assert "adaptive" in out
+
+    def test_serve_accept_limit_flag(self, capsys):
+        code = main([
+            "serve", "--workload", "micro", "--clients", "4",
+            "--duration", "2", "--accept-limit", "0",
+        ])
+        assert code == 0
+        assert "adaptive" in capsys.readouterr().out
+
+    def test_serve_bad_clients_rejected(self, capsys):
+        code = main(["serve", "--clients", "nope"])
+        assert code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_serve_zero_clients_rejected(self, capsys):
+        code = main(["serve", "--clients", "0"])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_switching_registered(self):
+        args = build_parser().parse_args(["serve", "--switching"])
+        assert args.switching
+        assert args.command == "serve"
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
