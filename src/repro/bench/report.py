@@ -10,7 +10,10 @@ from repro.bench.experiments import (
     Fig14Result,
     Micro1Result,
 )
-from repro.bench.serve_experiments import ServeSwitchResult
+from repro.bench.serve_experiments import (
+    RepartitionRunResult,
+    ServeSwitchResult,
+)
 from repro.serve.stats import LoadSweepResult
 
 
@@ -149,6 +152,53 @@ def format_serve_switching(result: ServeSwitchResult) -> str:
         lines.append(
             f"controller: {ctrl.samples} samples, {ctrl.switches} "
             f"switch(es); events: {events}"
+        )
+    return "\n".join(lines)
+
+
+def format_serve_repartition(result: RepartitionRunResult) -> str:
+    """Mix-shift scenario: static ladder vs adaptive vs repartition."""
+    lines = [
+        f"== online repartitioning ({result.clients} clients, "
+        f"mix shifts browse->checkout at t={result.shift_time:.0f}s) =="
+    ]
+    header = (
+        f"{'config':<14} {'tput/s':>8} {'post-shift/s':>13}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, tput in result.throughput.items():
+        post = result.post_shift_throughput.get(label, 0.0)
+        lines.append(f"{label:<14} {tput:>8.1f} {post:>13.1f}")
+    lines.append("-" * len(header))
+    best = result.best_static(post_shift=True)
+    repart = result.post_shift_throughput.get("repartition", 0.0)
+    if best > 0:
+        lines.append(
+            f"post-shift: repartition {repart:.1f}/s vs best static "
+            f"{best:.1f}/s ({repart / best:.2f}x)"
+        )
+    summary = result.repartition
+    if summary is not None:
+        events = ", ".join(
+            f"t={e.now:.0f}s drift={e.drift:.2f} "
+            f"budget={e.budget:.0f} -> option {e.index}"
+            for e in summary.events
+        ) or "none"
+        lines.append(
+            f"repartition controller: {summary.checks} checks, "
+            f"{summary.mints} mint(s); {events}"
+        )
+    stats = result.notes.get("session_stats")
+    if stats:
+        lines.append(
+            "session: "
+            f"{stats['structure_builds']} structure build(s), "
+            f"{stats['reweights']} reweight(s), "
+            f"{stats['solves']} solve(s) "
+            f"({stats['warm_solves']} warm), "
+            f"{stats['pyxil_compiles']} compile(s), "
+            f"{stats['pyxil_reuses']} reuse(s)"
         )
     return "\n".join(lines)
 

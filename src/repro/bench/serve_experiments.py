@@ -25,11 +25,19 @@ from repro.runtime.switcher import SwitcherSummary
 from repro.serve.controller import (
     AdaptiveController,
     Controller,
+    RepartitionController,
+    RepartitionPolicy,
+    RepartitionSummary,
     StaticController,
 )
 from repro.serve.engine import ServeConfig, ServeEngine
 from repro.serve.stats import LoadSweepResult, ServeResult, SweepPoint
-from repro.serve.workload import WORKLOAD_FACTORIES, BuiltWorkload
+from repro.serve.workload import (
+    WORKLOAD_FACTORIES,
+    BuiltWorkload,
+    ShiftingWorkload,
+    make_shifting_workload,
+)
 
 SWEEP_CLIENTS_FAST = (1, 4, 16, 64)
 SWEEP_CLIENTS_FULL = (1, 2, 4, 8, 16, 32, 48, 64)
@@ -40,6 +48,8 @@ SWEEP_CLIENTS_FULL = (1, 2, 4, 8, 16, 32, 48, 64)
 STATIC_LOW = "static_low"
 STATIC_HIGH = "static_high"
 ADAPTIVE = "adaptive"
+# Adaptive switching plus online minting of new partitionings.
+REPARTITION = "repartition"
 
 
 def _controller(label: str, poll_interval: float) -> Controller:
@@ -206,4 +216,137 @@ def serve_dynamic_switching(
                 (when, mix.get(0, 0.0))
                 for when, mix in serve_result.option_mix(bucket)
             ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Online repartitioning under a load-mix shift
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RepartitionRunResult:
+    """Throughput per configuration under a mid-run mix shift."""
+
+    clients: int
+    duration: float
+    shift_time: float
+    throughput: dict[str, float] = field(default_factory=dict)
+    post_shift_throughput: dict[str, float] = field(default_factory=dict)
+    buckets: dict[str, list[tuple[float, float]]] = field(
+        default_factory=dict
+    )
+    option_mix: list[tuple[float, dict[int, float]]] = field(
+        default_factory=list
+    )
+    repartition: Optional[RepartitionSummary] = None
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def best_static(self, post_shift: bool = True) -> float:
+        series = (
+            self.post_shift_throughput if post_shift else self.throughput
+        )
+        return max(series[STATIC_LOW], series[STATIC_HIGH])
+
+
+def _post_shift_throughput(
+    result: ServeResult, shift_time: float
+) -> float:
+    window = max(result.duration - shift_time, 1e-12)
+    completed = sum(
+        1
+        for s in result.samples
+        if shift_time <= s.when <= result.duration
+    )
+    return completed / window
+
+
+def serve_repartition(
+    fast: bool = True,
+    clients: int = 16,
+    db_cores: int = 2,
+    duration: Optional[float] = None,
+    think_time: float = 0.005,
+    seed: int = 17,
+) -> RepartitionRunResult:
+    """Mid-run load-mix shift with online repartitioning.
+
+    The storefront workload starts all-browse (the mix the offline
+    profile and the initial two-budget ladder were built from) and
+    flips to all-checkout at ``shift_time``.  Four configurations run
+    the identical scenario: the two static ladder rungs, the adaptive
+    switcher over the static ladder, and the repartitioning
+    controller, which additionally mints new partitionings from the
+    live profile (incremental session: cached artifacts, reweighted
+    graph, warm-started solves) and switches onto them online.
+    """
+    duration = duration if duration is not None else (60.0 if fast else 240.0)
+    shift_time = duration * 0.35
+    poll = duration / 20.0
+    bucket = duration / 12.0
+
+    result = RepartitionRunResult(
+        clients=clients, duration=duration, shift_time=shift_time
+    )
+    result.notes.update(
+        db_cores=db_cores, think_time=think_time, poll_interval=poll,
+    )
+
+    def controller_for(
+        label: str, shifting: ShiftingWorkload
+    ) -> Controller:
+        if label != REPARTITION:
+            return _controller(label, poll)
+        return RepartitionController(
+            service=shifting.service,
+            workload=shifting.built.workload,
+            profiler=shifting.profiler,
+            make_option=shifting.make_option,
+            policy=RepartitionPolicy(
+                check_interval=poll,
+                min_window_txns=32,
+                cooldown=2 * poll,
+            ),
+            poll_interval=poll,
+        )
+
+    for label in (STATIC_LOW, STATIC_HIGH, ADAPTIVE, REPARTITION):
+        # Fresh workload per configuration: minted options and trace
+        # pools must not leak across runs.
+        shifting = make_shifting_workload(
+            db_cores=db_cores, seed=seed, pool_size=6,
+        )
+        controller = controller_for(label, shifting)
+        n_initial_options = len(shifting.built.workload.labels)
+        engine = ServeEngine(
+            shifting.built.workload,
+            controller,
+            ServeConfig(
+                app_cores=8, db_cores=db_cores,
+                network=shifting.built.network,
+                think_time=think_time, seed=seed,
+                ramp=min(think_time, duration / 10.0),
+            ),
+        )
+        engine.schedule(
+            shift_time, lambda s=shifting: s.mix.set_phase("checkout")
+        )
+        serve_result = engine.run(
+            clients=clients, duration=duration, name=label
+        )
+        result.throughput[label] = serve_result.throughput
+        result.post_shift_throughput[label] = _post_shift_throughput(
+            serve_result, shift_time
+        )
+        result.buckets[label] = serve_result.latency_buckets(bucket)
+        if label == REPARTITION:
+            assert isinstance(controller, RepartitionController)
+            result.repartition = controller.repartition_summary()
+            result.option_mix = serve_result.option_mix(bucket)
+            result.notes["minted_labels"] = list(
+                shifting.built.workload.labels[n_initial_options:]
+            )
+            result.notes["session_stats"] = (
+                shifting.service.stats.snapshot()
+            )
     return result

@@ -26,11 +26,10 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core.pipeline import Pyxis, PyxisConfig
+from repro.core.pipeline import SOLVERS, Pyxis, PyxisConfig
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    from repro.db import Database, connect
     from repro.pyxil.program import format_pyxil
 
     source = open(args.file).read()
@@ -56,10 +55,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
     profile = ProfileData()
     budgets = args.budget if args.budget else None
-    pset = pyxis.partition(
-        profile,
-        budgets=[float(b) for b in budgets] if budgets else [0.0, 1e9],
-    )
+    budget_list = [float(b) for b in budgets] if budgets else [0.0, 1e9]
+    pset = pyxis.partition(profile, budgets=budget_list)
     print(pset.graph.summary())
     for part in pset.by_budget():
         print(f"\n=== budget {part.budget:.0f} "
@@ -67,6 +64,26 @@ def _cmd_partition(args: argparse.Namespace) -> int:
               f"objective {part.result.objective * 1000:.3f} ms) ===")
         if args.pyxil:
             print(format_pyxil(part.placed))
+    if args.reuse_artifacts:
+        # Demonstrate the incremental session: re-solve the same
+        # ladder against the cached artifacts and report what was
+        # actually recomputed (expect warm solves + PyxIL reuse).
+        import time
+
+        start = time.perf_counter()
+        again = pyxis.partition(profile, budgets=budget_list)
+        elapsed = time.perf_counter() - start
+        reused = sum(
+            1
+            for a, b in zip(pset.by_budget(), again.by_budget())
+            if a.compiled is b.compiled
+        )
+        stats = pyxis.stats.snapshot()
+        print(f"\n=== incremental re-solve (--reuse-artifacts) ===")
+        print(f"re-solved {len(budget_list)} budget(s) in "
+              f"{elapsed * 1000:.1f} ms; {reused} compiled program(s) "
+              f"reused identically")
+        print(f"session stats: {stats}")
     return 0
 
 
@@ -111,15 +128,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.bench import serve_experiments as serve_mod
     from repro.bench import report as report_mod
 
-    try:
-        clients = [int(c) for c in args.clients.split(",") if c.strip()]
-    except ValueError:
-        print(f"error: --clients must be a comma-separated list of ints, "
-              f"got {args.clients!r}", file=sys.stderr)
+    if args.switching and args.repartition:
+        print("error: --switching and --repartition are mutually "
+              "exclusive scenarios", file=sys.stderr)
         return 2
+    if args.clients is None:
+        clients = [16] if args.repartition else [1, 4, 16, 64]
+    else:
+        try:
+            clients = [int(c) for c in args.clients.split(",") if c.strip()]
+        except ValueError:
+            print(f"error: --clients must be a comma-separated list of "
+                  f"ints, got {args.clients!r}", file=sys.stderr)
+            return 2
     if not clients or any(c < 1 for c in clients):
         print("error: client counts must be positive", file=sys.stderr)
         return 2
+
+    if args.repartition:
+        if len(clients) > 1:
+            print("error: --repartition runs one scenario; give a single "
+                  "--clients count", file=sys.stderr)
+            return 2
+        db_cores = args.db_cores if args.db_cores is not None else 2
+        result = serve_mod.serve_repartition(
+            fast=args.fast,
+            clients=clients[0],
+            db_cores=db_cores,
+            duration=args.duration,
+            think_time=args.think,
+            seed=args.seed,
+        )
+        print(report_mod.format_serve_repartition(result))
+        return 0
 
     if args.switching:
         # Switching needs CPU headroom to start from (external load eats
@@ -180,9 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--latency", type=float, default=0.001,
                         help="one-way network latency in seconds")
     p_part.add_argument("--solver", default="scipy",
-                        choices=["scipy", "bnb", "greedy"])
+                        choices=sorted(SOLVERS))
     p_part.add_argument("--pyxil", action="store_true",
                         help="print the PyxIL listing per budget")
+    p_part.add_argument(
+        "--reuse-artifacts", action="store_true",
+        help="after the first pass, re-solve the same budgets on the "
+             "cached session artifacts and report reuse statistics",
+    )
     p_part.set_defaults(func=_cmd_partition)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper figures")
@@ -199,9 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="transaction workload (default: tpcc)",
     )
     p_serve.add_argument(
-        "--clients", default="1,4,16,64",
+        "--clients", default=None,
         help="comma-separated client counts to sweep "
-             "(--switching uses the first; default: 1,4,16,64)",
+             "(--switching uses the first; default: 1,4,16,64, "
+             "or 16 for --repartition)",
     )
     p_serve.add_argument(
         "--db-cores", type=int, default=None,
@@ -225,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--switching", action="store_true",
         help="run the mid-run load-spike scenario instead of the sweep",
+    )
+    p_serve.add_argument(
+        "--repartition", action="store_true",
+        help="run the mid-run load-mix-shift scenario with online "
+             "repartitioning (storefront workload; ignores --workload)",
     )
     p_serve.add_argument(
         "--full", dest="fast", action="store_false",

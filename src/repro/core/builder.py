@@ -13,6 +13,19 @@ Field node     weight 0
 =============  =======================================
 
 with ``cnt(e) = min(cnt(src), cnt(dst))``.
+
+Construction is split in two so the partitioning service can cache the
+expensive half and redo the cheap half:
+
+* :func:`build_graph_structure` runs the static analyses only --
+  nodes, edges, pins, co-location groups and per-edge *weight recipes*
+  (:class:`WeightSpec`), no profile required;
+* :func:`reweight_graph` evaluates the recorded recipes against a
+  :class:`~repro.profiler.profile_data.ProfileData`, assigning numeric
+  node and edge weights in place.
+
+:func:`build_partition_graph` composes the two and is the batch
+(one-shot) entry point.
 """
 
 from __future__ import annotations
@@ -104,35 +117,62 @@ class BuilderConfig:
     unprofiled_count: int = 1
 
 
+@dataclass(frozen=True)
+class WeightSpec:
+    """A symbolic edge-weight recipe, evaluated against a profile.
+
+    ``kind`` is ``"lat"`` (control-transfer cost: ``factor * LAT *
+    cnt``) or ``"size"`` (data-shipping cost: ``size / BW * cnt``)
+    where ``cnt`` is the minimum profiled count over ``cnt_sids`` and
+    ``size`` is looked up via ``size_kind`` / ``size_key``:
+
+    =============  ==========================================
+    ``assign``     ``profile.assign_size(size_key[0])``
+    ``arg``        ``profile.arg_size(size_key[0])``
+    ``result``     ``profile.result_size(size_key[0])``
+    ``field``      ``profile.field_size(*size_key)``
+    =============  ==========================================
+    """
+
+    kind: str
+    cnt_sids: tuple
+    factor: float = 1.0
+    size_kind: str = ""
+    size_key: tuple = ()
+
+    def evaluate(self, profile: ProfileData, config: BuilderConfig) -> float:
+        cnt = min(
+            float(profile.count(sid) or config.unprofiled_count)
+            for sid in self.cnt_sids
+        )
+        if self.kind == "lat":
+            return self.factor * config.latency * cnt
+        if self.size_kind == "assign":
+            size = profile.assign_size(self.size_key[0])
+        elif self.size_kind == "arg":
+            size = profile.arg_size(self.size_key[0])
+        elif self.size_kind == "result":
+            size = profile.result_size(self.size_key[0])
+        else:  # "field"
+            size = profile.field_size(*self.size_key)
+        return size / config.bandwidth * cnt
+
+
 class GraphBuilder:
-    """Builds a :class:`PartitionGraph` for one analyzed program."""
+    """Builds the *structure* of a :class:`PartitionGraph` for one
+    analyzed program: nodes, edges, pins, co-location groups, weight
+    recipes.  Numeric weights come from :func:`reweight_graph`."""
 
     def __init__(
         self,
         program: ProgramIR,
         call_graph: CallGraph,
         points_to: PointsToResult,
-        profile: ProfileData,
-        config: Optional[BuilderConfig] = None,
     ) -> None:
         self.program = program
         self.cg = call_graph
         self.pts = points_to
-        self.profile = profile
-        self.config = config if config is not None else BuilderConfig()
         self.graph = PartitionGraph()
-
-    # -- profile helpers ---------------------------------------------------------
-
-    def _cnt(self, sid: int) -> float:
-        count = self.profile.count(sid)
-        return float(count if count > 0 else self.config.unprofiled_count)
-
-    def _edge_cnt(self, src_sid: int, dst_sid: int) -> float:
-        return min(self._cnt(src_sid), self._cnt(dst_sid))
-
-    def _bw_weight(self, size: float, cnt: float) -> float:
-        return size / self.config.bandwidth * cnt
 
     # -- top level ------------------------------------------------------------------
 
@@ -163,7 +203,6 @@ class GraphBuilder:
                 node = Node(
                     stmt_node_id(stmt.sid),
                     NodeKind.STMT,
-                    weight=self._cnt(stmt.sid),
                     sid=stmt.sid,
                     label=f"{func.qualified_name}:{stmt.sid}",
                 )
@@ -210,7 +249,6 @@ class GraphBuilder:
     # -- control edges ------------------------------------------------------------
 
     def _add_control_edges(self) -> None:
-        lat = self.config.latency
         for func in self.program.functions():
             analysis = self.cg.analysis(func.qualified_name)
             entry_sids = sorted(analysis.control_deps.get(ENTRY, set()))
@@ -224,8 +262,8 @@ class GraphBuilder:
                         stmt_node_id(src_sid),
                         stmt_node_id(dst_sid),
                         EdgeKind.CONTROL,
-                        weight=lat * self._edge_cnt(src_sid, dst_sid),
                         label="ctrl",
+                        spec=WeightSpec("lat", (src_sid, dst_sid)),
                     )
             # Entry-level statements: control-dependent on every caller.
             callers = self.cg.callers_of(func.qualified_name)
@@ -235,8 +273,8 @@ class GraphBuilder:
                         stmt_node_id(site.sid),
                         stmt_node_id(dst_sid),
                         EdgeKind.CONTROL,
-                        weight=lat * self._edge_cnt(site.sid, dst_sid),
                         label="call",
+                        spec=WeightSpec("lat", (site.sid, dst_sid)),
                     )
             # Entry-point methods are invoked from unpartitioned code on
             # the application server.  Entering (and leaving) the method
@@ -252,8 +290,8 @@ class GraphBuilder:
                     entry_node_id(func.qualified_name),
                     stmt_node_id(first_sid),
                     EdgeKind.CONTROL,
-                    weight=2.0 * lat * self._cnt(first_sid),
                     label="entry",
+                    spec=WeightSpec("lat", (first_sid,), factor=2.0),
                 )
 
     def _add_db_edges(self) -> None:
@@ -262,7 +300,6 @@ class GraphBuilder:
         A JDBC call issued from the application server costs a full
         request/response round trip, so the edge carries 2x latency.
         """
-        lat = self.config.latency
         for func in self.program.functions():
             analysis = self.cg.analysis(func.qualified_name)
             for stmt in func.walk():
@@ -272,8 +309,8 @@ class GraphBuilder:
                         stmt_node_id(stmt.sid),
                         DBCODE_NODE_ID,
                         EdgeKind.CONTROL,
-                        weight=2.0 * lat * self._cnt(stmt.sid),
                         label="jdbc",
+                        spec=WeightSpec("lat", (stmt.sid,), factor=2.0),
                     )
 
     def _add_seq_edges(self) -> None:
@@ -285,7 +322,6 @@ class GraphBuilder:
         One edge per adjacent pair, weighted like a control edge,
         models exactly that cost.
         """
-        lat = self.config.latency
         for func in self.program.functions():
             pending: list[Block] = [func.body]
             while pending:
@@ -296,8 +332,8 @@ class GraphBuilder:
                         stmt_node_id(first.sid),
                         stmt_node_id(second.sid),
                         EdgeKind.CONTROL,
-                        weight=lat * self._edge_cnt(first.sid, second.sid),
                         label="seq",
+                        spec=WeightSpec("lat", (first.sid, second.sid)),
                     )
                 for stmt in stmts:
                     pending.extend(stmt.blocks())
@@ -310,15 +346,15 @@ class GraphBuilder:
             for def_sid, use_sid, var in analysis.defuse.edges():
                 if def_sid == use_sid:
                     continue
-                size = self.profile.assign_size(def_sid)
                 self.graph.add_edge(
                     stmt_node_id(def_sid),
                     stmt_node_id(use_sid),
                     EdgeKind.DATA,
-                    weight=self._bw_weight(
-                        size, self._edge_cnt(def_sid, use_sid)
-                    ),
                     label=var,
+                    spec=WeightSpec(
+                        "size", (def_sid, use_sid),
+                        size_kind="assign", size_key=(def_sid,),
+                    ),
                 )
 
     def _add_interproc_data_edges(self) -> None:
@@ -328,28 +364,28 @@ class GraphBuilder:
                 callee = self.cg.functions.get(callee_name)
                 if callee is None:
                     continue
-                arg_size = self.profile.arg_size(site.sid)
                 for param in callee.func.params:
                     for use_sid in callee.defuse.param_uses(param):
                         self.graph.add_edge(
                             stmt_node_id(site.sid),
                             stmt_node_id(use_sid),
                             EdgeKind.DATA,
-                            weight=self._bw_weight(
-                                arg_size, self._edge_cnt(site.sid, use_sid)
-                            ),
                             label=f"arg:{param}",
+                            spec=WeightSpec(
+                                "size", (site.sid, use_sid),
+                                size_kind="arg", size_key=(site.sid,),
+                            ),
                         )
-                result_size = self.profile.result_size(site.sid)
                 for ret in callee.return_stmts():
                     self.graph.add_edge(
                         stmt_node_id(ret.sid),
                         stmt_node_id(site.sid),
                         EdgeKind.DATA,
-                        weight=self._bw_weight(
-                            result_size, self._edge_cnt(ret.sid, site.sid)
-                        ),
                         label="ret",
+                        spec=WeightSpec(
+                            "size", (ret.sid, site.sid),
+                            size_kind="result", size_key=(site.sid,),
+                        ),
                     )
 
     def _field_classes(self, func: FunctionIR, obj: Atom, field_name: str) -> list[str]:
@@ -375,23 +411,29 @@ class GraphBuilder:
                 acc = analysis.defuse.accesses[stmt.sid]
                 for obj, field_name in acc.field_reads:
                     for cls in self._field_classes(func, obj, field_name):
-                        size = self.profile.field_size(cls, field_name)
                         self.graph.add_edge(
                             field_node_id(cls, field_name),
                             stmt_node_id(stmt.sid),
                             EdgeKind.DATA,
-                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
                             label=f"read {field_name}",
+                            spec=WeightSpec(
+                                "size", (stmt.sid,),
+                                size_kind="field",
+                                size_key=(cls, field_name),
+                            ),
                         )
                 for obj, field_name in acc.field_writes:
                     for cls in self._field_classes(func, obj, field_name):
-                        size = self.profile.field_size(cls, field_name)
                         self.graph.add_edge(
                             field_node_id(cls, field_name),
                             stmt_node_id(stmt.sid),
                             EdgeKind.UPDATE,
-                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
                             label=f"write {field_name}",
+                            spec=WeightSpec(
+                                "size", (stmt.sid,),
+                                size_kind="field",
+                                size_key=(cls, field_name),
+                            ),
                         )
 
     def _array_sites(self, func: FunctionIR, atom: Atom) -> list[int]:
@@ -411,25 +453,29 @@ class GraphBuilder:
                     for alloc_sid in self._array_sites(func, atom):
                         if alloc_sid == stmt.sid:
                             continue
-                        size = self.profile.assign_size(alloc_sid)
                         self.graph.add_edge(
                             array_node_id(alloc_sid),
                             stmt_node_id(stmt.sid),
                             EdgeKind.DATA,
-                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
                             label="elem-read",
+                            spec=WeightSpec(
+                                "size", (stmt.sid,),
+                                size_kind="assign", size_key=(alloc_sid,),
+                            ),
                         )
                 for atom in acc.index_writes:
                     for alloc_sid in self._array_sites(func, atom):
                         if alloc_sid == stmt.sid:
                             continue
-                        size = self.profile.assign_size(alloc_sid)
                         self.graph.add_edge(
                             array_node_id(alloc_sid),
                             stmt_node_id(stmt.sid),
                             EdgeKind.UPDATE,
-                            weight=self._bw_weight(size, self._cnt(stmt.sid)),
                             label="elem-write",
+                            spec=WeightSpec(
+                                "size", (stmt.sid,),
+                                size_kind="assign", size_key=(alloc_sid,),
+                            ),
                         )
 
     # -- ordering edges (Section 4.4) ---------------------------------------------
@@ -569,6 +615,45 @@ def _is_barrier(stmt: Stmt) -> bool:
     return False
 
 
+def build_graph_structure(
+    program: ProgramIR,
+    call_graph: CallGraph,
+    points_to: PointsToResult,
+) -> PartitionGraph:
+    """Build the profile-independent partition-graph structure.
+
+    All node and edge weights are zero; every weighted edge carries
+    the :class:`WeightSpec` recipes needed to assign them later.  The
+    result is cacheable across profiles: call :func:`reweight_graph`
+    (cheap) whenever new profile data arrives.
+    """
+    return GraphBuilder(program, call_graph, points_to).build()
+
+
+def reweight_graph(
+    graph: PartitionGraph,
+    profile: ProfileData,
+    config: Optional[BuilderConfig] = None,
+) -> PartitionGraph:
+    """Assign numeric weights from ``profile`` in place (and return
+    ``graph``).  Statement nodes get ``cnt(s)``; weighted edges get the
+    sum of their recorded :class:`WeightSpec` recipes.  Idempotent per
+    profile; safe to call repeatedly as observations evolve."""
+    config = config if config is not None else BuilderConfig()
+    for node in graph.nodes.values():
+        if node.kind is NodeKind.STMT:
+            count = profile.count(node.sid)
+            node.weight = float(
+                count if count > 0 else config.unprofiled_count
+            )
+    for edge in graph.edges:
+        if edge.specs:
+            edge.weight = sum(
+                spec.evaluate(profile, config) for spec in edge.specs
+            )
+    return graph
+
+
 def build_partition_graph(
     program: ProgramIR,
     call_graph: CallGraph,
@@ -576,7 +661,9 @@ def build_partition_graph(
     profile: ProfileData,
     config: Optional[BuilderConfig] = None,
 ) -> PartitionGraph:
-    """Build the weighted partition graph for ``program``."""
-    return GraphBuilder(
-        program, call_graph, points_to, profile, config
-    ).build()
+    """Build the weighted partition graph for ``program`` (one-shot)."""
+    return reweight_graph(
+        build_graph_structure(program, call_graph, points_to),
+        profile,
+        config,
+    )

@@ -17,7 +17,8 @@ nodes become fixed values; edges touching them fold into linear terms.
 
 from __future__ import annotations
 
-import math
+import hashlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -55,9 +56,28 @@ class PartitioningResult:
     db_load: float
     budget: float
     solver: str
+    # True when the solver actually received a warm-start seed (the
+    # seed mapped onto the problem, was feasible, and the solver
+    # accepts one) -- telemetry for the incremental session.
+    warm_started: bool = False
 
     def placement_of(self, node_id: str) -> Placement:
         return self.assignment[node_id]
+
+    def signature(self) -> str:
+        """Stable content hash of the assignment.
+
+        Two results with the same signature place every node
+        identically, so all downstream artifacts (sync plan, compiled
+        blocks) are interchangeable -- the partitioning service keys
+        its PyxIL cache on this.
+        """
+        digest = hashlib.sha1()
+        for node_id in sorted(self.assignment):
+            digest.update(node_id.encode())
+            digest.update(b"=1" if self.assignment[node_id] is Placement.DB
+                          else b"=0")
+        return digest.hexdigest()
 
     def fraction_on_db(self) -> float:
         if not self.assignment:
@@ -220,18 +240,74 @@ def build_ilp(graph: PartitionGraph, budget: float) -> ILPProblem:
 
 
 # A solver maps a problem to variable values (one 0/1 per free group).
+# Solvers may additionally accept a ``warm_start`` keyword (a seed
+# value list) -- ``resolve`` passes one only when the signature allows.
 Solver = Callable[[ILPProblem], list[int]]
 
 
-def solve_partitioning(
+def warm_start_values(
+    problem: ILPProblem, previous: PartitioningResult
+) -> Optional[list[int]]:
+    """Map a previous assignment onto the problem's free variables.
+
+    Returns one 0/1 seed per variable group (by the placement of the
+    group's nodes in ``previous``), or ``None`` when the previous
+    assignment does not cover this graph or is infeasible under the
+    new budget (a seed must always be a valid starting point).
+    """
+    values: list[int] = []
+    for group in problem.var_groups:
+        placements = {previous.assignment.get(nid) for nid in group}
+        placements.discard(None)
+        if not placements:
+            return None
+        # Groups are placement-uniform in any valid result; if the
+        # previous solve used different groups, fall back to majority.
+        votes = sum(
+            1
+            for nid in group
+            if previous.assignment.get(nid) is Placement.DB
+        )
+        values.append(1 if 2 * votes >= len(group) else 0)
+    if not problem.feasible(values):
+        return None
+    return values
+
+
+def _accepts_warm_start(solver: Solver) -> bool:
+    try:
+        return "warm_start" in inspect.signature(solver).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
+def resolve(
     graph: PartitionGraph,
     budget: float,
     solver: Solver,
     solver_name: str = "custom",
+    warm_start: Optional[PartitioningResult] = None,
 ) -> PartitioningResult:
-    """Convenience wrapper: build, solve, expand and validate."""
+    """Incremental entry point: build, seed from ``warm_start``, solve.
+
+    ``warm_start`` is a previous :class:`PartitioningResult` for the
+    same graph structure (typically the last solve at this budget, or
+    an adjacent budget rung).  Solvers that accept a ``warm_start``
+    keyword (greedy: extra hill-climbing start; branch-and-bound:
+    initial incumbent) are seeded with the mapped variable values; the
+    exact MILP backend ignores seeds and stays exact.
+    """
     problem = build_ilp(graph, budget)
-    values = solver(problem)
+    seed = (
+        warm_start_values(problem, warm_start)
+        if warm_start is not None
+        else None
+    )
+    warm_used = seed is not None and _accepts_warm_start(solver)
+    if warm_used:
+        values = solver(problem, warm_start=seed)
+    else:
+        values = solver(problem)
     if len(values) != problem.num_vars:
         raise ValueError(
             f"solver returned {len(values)} values for "
@@ -242,4 +318,16 @@ def solve_partitioning(
             f"solver returned an infeasible assignment "
             f"(load {problem.db_load_of(values)} > budget {budget})"
         )
-    return problem.expand(values, solver_name)
+    result = problem.expand(values, solver_name)
+    result.warm_started = warm_used
+    return result
+
+
+def solve_partitioning(
+    graph: PartitionGraph,
+    budget: float,
+    solver: Solver,
+    solver_name: str = "custom",
+) -> PartitioningResult:
+    """Convenience wrapper: build, solve cold, expand and validate."""
+    return resolve(graph, budget, solver, solver_name)

@@ -69,6 +69,11 @@ class Edge:
     kind: EdgeKind
     weight: float = 0.0
     label: str = ""
+    # Weight *recipes* recorded at structure-build time so a new
+    # profile can recompute ``weight`` without re-running analysis
+    # (see repro.core.builder.reweight_graph).  Parallel edges of the
+    # same kind merge by accumulating their specs.
+    specs: list = field(default_factory=list)
 
 
 def stmt_node_id(sid: int) -> str:
@@ -120,6 +125,7 @@ class PartitionGraph:
         kind: EdgeKind,
         weight: float = 0.0,
         label: str = "",
+        spec=None,
     ) -> None:
         """Add an edge; parallel edges of the same kind merge weights."""
         if src not in self.nodes or dst not in self.nodes:
@@ -129,9 +135,14 @@ class PartitionGraph:
         key = (src, dst, kind)
         edge = self._edges.get(key)
         if edge is None:
-            self._edges[key] = Edge(src, dst, kind, weight, label)
+            edge = Edge(src, dst, kind, weight, label)
+            if spec is not None:
+                edge.specs.append(spec)
+            self._edges[key] = edge
         else:
             edge.weight += weight
+            if spec is not None:
+                edge.specs.append(spec)
 
     @property
     def edges(self) -> list[Edge]:

@@ -4,197 +4,46 @@
 -> ILP -> PyxIL -> execution blocks``, producing one compiled
 partitioning per CPU budget.  The runtime then executes any of them
 and can switch dynamically under load.
+
+Since the incremental-service refactor the pipeline *is* a session:
+:class:`Pyxis` is :class:`repro.core.session.PartitionService` under
+its historical name.  One-shot callers behave exactly as before; a
+caller that keeps the object and calls :meth:`partition` again with a
+fresh profile gets the incremental path -- cached static artifacts,
+graph reweighting instead of rebuilding, warm-started solves, and
+PyxIL reuse keyed by assignment hash.
+
+``SOLVERS`` is re-exported from :mod:`repro.core.solvers` (its
+canonical home) for callers -- the CLI derives its ``--solver``
+choices from it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
-
-from repro.analysis.interproc import CallGraph, build_call_graph
-from repro.analysis.points_to import PointsToResult, analyze_points_to
-from repro.core.budgets import DEFAULT_FRACTIONS, budget_ladder
-from repro.core.builder import BuilderConfig, build_partition_graph
-from repro.core.ilp import PartitioningResult, solve_partitioning
-from repro.core.partition_graph import PartitionGraph
-from repro.core.solvers import (
-    solve_branch_and_bound,
-    solve_greedy,
-    solve_with_scipy,
+from repro.core.session import (
+    Partition,
+    PartitionService,
+    PartitionSet,
+    PyxisConfig,
+    SessionStats,
 )
-from repro.db.jdbc import Connection
-from repro.lang.interp import NativeRegistry
-from repro.lang.ir import ProgramIR
-from repro.lang.parser import parse_program, parse_source
-from repro.profiler.instrument import Profiler
-from repro.profiler.profile_data import ProfileData
-from repro.pyxil.blocks import CompiledProgram
-from repro.pyxil.compiler import compile_program
-from repro.pyxil.program import PlacedProgram
-from repro.pyxil.sync_insertion import SyncPlan, compute_sync_plan
-
-SOLVERS = {
-    "scipy": solve_with_scipy,
-    "bnb": solve_branch_and_bound,
-    "greedy": solve_greedy,
-}
+from repro.core.solvers import SOLVERS
 
 
-@dataclass
-class PyxisConfig:
-    """Tunables of the partitioning pipeline."""
+class Pyxis(PartitionService):
+    """Programmatic front door: parse, profile, partition, compile.
 
-    latency: float = 0.001
-    bandwidth: float = 125_000_000.0
-    budget_fractions: Sequence[float] = DEFAULT_FRACTIONS
-    solver: str = "scipy"
-    reorder: bool = True
-
-    def builder_config(self) -> BuilderConfig:
-        return BuilderConfig(latency=self.latency, bandwidth=self.bandwidth)
+    The historical name for :class:`~repro.core.session.
+    PartitionService`; see that class for the incremental behavior.
+    """
 
 
-@dataclass
-class Partition:
-    """One budgeted partitioning with all its artifacts."""
-
-    budget: float
-    result: PartitioningResult
-    placed: PlacedProgram
-    sync_plan: SyncPlan
-    compiled: CompiledProgram
-
-    @property
-    def fraction_on_db(self) -> float:
-        return self.placed.fraction_on_db()
-
-
-@dataclass
-class PartitionSet:
-    """The pipeline's full output: shared analyses + per-budget partitions."""
-
-    program: ProgramIR
-    call_graph: CallGraph
-    points_to: PointsToResult
-    profile: ProfileData
-    graph: PartitionGraph
-    partitions: list[Partition] = field(default_factory=list)
-
-    def lowest(self) -> Partition:
-        """The most APP-heavy partition (smallest budget)."""
-        return min(self.partitions, key=lambda p: p.budget)
-
-    def highest(self) -> Partition:
-        """The most DB-heavy partition (largest budget)."""
-        return max(self.partitions, key=lambda p: p.budget)
-
-    def by_budget(self) -> list[Partition]:
-        return sorted(self.partitions, key=lambda p: p.budget)
-
-
-class Pyxis:
-    """Programmatic front door: parse, profile, partition, compile."""
-
-    def __init__(
-        self,
-        program: ProgramIR,
-        config: Optional[PyxisConfig] = None,
-    ) -> None:
-        self.program = program
-        self.config = config if config is not None else PyxisConfig()
-        self.points_to = analyze_points_to(program)
-        self.call_graph = build_call_graph(program, self.points_to)
-
-    # -- constructors -----------------------------------------------------------
-
-    @classmethod
-    def from_source(
-        cls,
-        source: str,
-        entry_points: Optional[Sequence[tuple[str, str]]] = None,
-        config: Optional[PyxisConfig] = None,
-    ) -> "Pyxis":
-        return cls(parse_source(source, entry_points), config)
-
-    @classmethod
-    def from_classes(
-        cls,
-        *classes: type,
-        entry_points: Optional[Sequence[tuple[str, str]]] = None,
-        config: Optional[PyxisConfig] = None,
-    ) -> "Pyxis":
-        return cls(parse_program(*classes, entry_points=entry_points), config)
-
-    # -- profiling ----------------------------------------------------------------
-
-    def profile_with(
-        self,
-        connection: Connection,
-        workload: Callable[[Profiler], None],
-        natives: Optional[NativeRegistry] = None,
-    ) -> ProfileData:
-        """Run the representative workload under instrumentation."""
-        profiler = Profiler(self.program, connection, natives=natives)
-        workload(profiler)
-        return profiler.data
-
-    # -- partitioning --------------------------------------------------------------
-
-    def partition(
-        self,
-        profile: ProfileData,
-        budgets: Optional[Sequence[float]] = None,
-    ) -> PartitionSet:
-        """Solve the placement BIP for each budget and compile."""
-        graph = build_partition_graph(
-            self.program,
-            self.call_graph,
-            self.points_to,
-            profile,
-            self.config.builder_config(),
-        )
-        if budgets is None:
-            budgets = budget_ladder(profile, self.config.budget_fractions)
-        solver = SOLVERS.get(self.config.solver)
-        if solver is None:
-            raise ValueError(
-                f"unknown solver {self.config.solver!r}; "
-                f"options: {sorted(SOLVERS)}"
-            )
-        out = PartitionSet(
-            program=self.program,
-            call_graph=self.call_graph,
-            points_to=self.points_to,
-            profile=profile,
-            graph=graph,
-        )
-        for budget in budgets:
-            result = solve_partitioning(
-                graph, budget, solver, solver_name=self.config.solver
-            )
-            placed = PlacedProgram(
-                program=self.program,
-                result=result,
-                name=f"budget={budget:.0f}",
-            )
-            sync_plan = compute_sync_plan(
-                placed, self.call_graph, self.points_to
-            )
-            compiled = compile_program(
-                placed,
-                self.call_graph,
-                sync_plan,
-                graph=graph,
-                reorder=self.config.reorder,
-            )
-            compiled.name = placed.name
-            out.partitions.append(
-                Partition(
-                    budget=budget,
-                    result=result,
-                    placed=placed,
-                    sync_plan=sync_plan,
-                    compiled=compiled,
-                )
-            )
-        return out
+__all__ = [
+    "Partition",
+    "PartitionService",
+    "PartitionSet",
+    "Pyxis",
+    "PyxisConfig",
+    "SOLVERS",
+    "SessionStats",
+]

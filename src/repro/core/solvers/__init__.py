@@ -27,7 +27,18 @@ def default_solver(problem):
         return solve_branch_and_bound(problem)
 
 
+# The registry of named solvers the pipeline (and the CLI) selects
+# from.  ``repro.core.pipeline`` re-exports it as ``SOLVERS`` for
+# backwards compatibility.
+SOLVERS = {
+    "scipy": solve_with_scipy,
+    "bnb": solve_branch_and_bound,
+    "greedy": solve_greedy,
+}
+
+
 __all__ = [
+    "SOLVERS",
     "SolverError",
     "solve_with_scipy",
     "solve_branch_and_bound",

@@ -4,9 +4,16 @@ Hill climbing over single-variable flips from two starting points
 (everything on APP; everything that fits on DB), keeping the better
 local optimum.  Used to seed the branch-and-bound incumbent and as a
 fast approximate solver for very large graphs.
+
+An optional ``warm_start`` (a feasible value list, typically mapped
+from a previous solve of the same graph) adds a third starting point,
+so incremental re-solves converge from the old placement instead of
+from scratch.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.core.ilp import ILPProblem
 
@@ -34,9 +41,18 @@ def _improve(problem: ILPProblem, values: list[int], max_rounds: int = 200) -> l
     return current
 
 
-def solve_greedy(problem: ILPProblem) -> list[int]:
+def solve_greedy(
+    problem: ILPProblem, warm_start: Optional[list[int]] = None
+) -> list[int]:
     n = problem.num_vars
     candidates: list[list[int]] = []
+
+    if (
+        warm_start is not None
+        and len(warm_start) == n
+        and problem.feasible(warm_start)
+    ):
+        candidates.append(_improve(problem, warm_start))
 
     all_app = [0] * n
     if problem.feasible(all_app):

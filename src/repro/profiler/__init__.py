@@ -9,9 +9,11 @@ node and edge weights of the partition graph.
 from repro.profiler.sizes import estimate_size
 from repro.profiler.profile_data import ProfileData, SizeStat
 from repro.profiler.instrument import Profiler, profile_program
+from repro.profiler.live import LiveProfiler
 
 __all__ = [
     "estimate_size",
+    "LiveProfiler",
     "ProfileData",
     "SizeStat",
     "Profiler",

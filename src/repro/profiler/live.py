@@ -1,0 +1,131 @@
+"""Windowed live profiling for the serving loop.
+
+The offline :class:`~repro.profiler.instrument.Profiler` interprets
+the IR under instrumentation -- far too slow for the serve path.
+:class:`LiveProfiler` instead folds the cheap per-transaction
+statement counts the compiled-block runtime already produces
+(:meth:`~repro.runtime.entrypoints.PartitionedApp.invoke_profiled`)
+into a bounded ring of buckets, yielding a *windowed*
+:class:`~repro.profiler.profile_data.ProfileData` that tracks the
+current workload mix.
+
+Sizes (assignment/argument/field payloads) cannot be observed from
+block counters, so snapshots inherit them from the offline base
+profile; what the window changes is the statement-count distribution
+-- exactly the signal the partition-graph reweighting needs.
+
+:meth:`drift` quantifies how far the windowed count distribution has
+moved from a reference profile (total-variation distance, 0..1); the
+serve controller uses it to decide when a fresh partitioning is worth
+minting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Mapping, Optional
+
+from repro.profiler.profile_data import ProfileData, SizeStat
+
+
+class LiveProfiler:
+    """Accumulates per-transaction statement counts into a window.
+
+    ``window`` is the number of buckets kept; ``bucket_txns`` is how
+    many transactions fill one bucket before it rotates.  The window
+    therefore spans the last ``window * bucket_txns`` transactions
+    (approximately -- the oldest bucket may be partial), bounding both
+    memory and how long stale mix lingers.
+    """
+
+    def __init__(
+        self,
+        base: Optional[ProfileData] = None,
+        window: int = 8,
+        bucket_txns: int = 32,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if bucket_txns < 1:
+            raise ValueError("bucket_txns must be at least 1")
+        self.base = base
+        self.window = window
+        self.bucket_txns = bucket_txns
+        self._buckets: Deque[dict[int, int]] = deque(maxlen=window)
+        self._bucket_fill = 0
+        self.transactions_total = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def observe(self, sid_counts: Mapping[int, int]) -> None:
+        """Fold one transaction's statement counts into the window."""
+        if not self._buckets or self._bucket_fill >= self.bucket_txns:
+            self._buckets.append({})
+            self._bucket_fill = 0
+        bucket = self._buckets[-1]
+        for sid, count in sid_counts.items():
+            bucket[sid] = bucket.get(sid, 0) + count
+        self._bucket_fill += 1
+        self.transactions_total += 1
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def window_transactions(self) -> int:
+        """Transactions currently inside the window."""
+        full = max(len(self._buckets) - 1, 0) * self.bucket_txns
+        return full + self._bucket_fill
+
+    def window_counts(self) -> dict[int, int]:
+        """Summed statement counts across the window's buckets."""
+        counts: dict[int, int] = {}
+        for bucket in self._buckets:
+            for sid, count in bucket.items():
+                counts[sid] = counts.get(sid, 0) + count
+        return counts
+
+    def snapshot(self) -> ProfileData:
+        """The windowed profile: live counts + base sizes.
+
+        Size statistics are *copied* from the base profile (the dicts
+        are small), so merging other observations into a snapshot --
+        e.g. ``PartitionService.update_profile(..., merge=True)`` on a
+        session whose current profile is a snapshot -- can never
+        mutate the offline base.
+        """
+
+        def copy_stats(src: dict) -> dict:
+            return {
+                key: SizeStat(total=stat.total, samples=stat.samples)
+                for key, stat in src.items()
+            }
+
+        data = ProfileData()
+        data.counts = self.window_counts()
+        data.invocations = self.window_transactions
+        if self.base is not None:
+            data.assign_sizes = copy_stats(self.base.assign_sizes)
+            data.field_sizes = copy_stats(self.base.field_sizes)
+            data.arg_sizes = copy_stats(self.base.arg_sizes)
+            data.result_sizes = copy_stats(self.base.result_sizes)
+            data.db_rows = copy_stats(self.base.db_rows)
+        return data
+
+    def drift(self, reference: Optional[ProfileData]) -> float:
+        """Total-variation distance between the window's statement-
+        count distribution and ``reference``'s (0 = identical mix,
+        1 = disjoint support).  Returns 0.0 while either side is
+        empty: no evidence is not evidence of change."""
+        if reference is None:
+            return 0.0
+        current = self.window_counts()
+        current_total = float(sum(current.values()))
+        ref_total = float(sum(reference.counts.values()))
+        if current_total <= 0 or ref_total <= 0:
+            return 0.0
+        distance = 0.0
+        for sid in set(current) | set(reference.counts):
+            p = current.get(sid, 0) / current_total
+            q = reference.counts.get(sid, 0) / ref_total
+            distance += abs(p - q)
+        return 0.5 * distance

@@ -123,6 +123,11 @@ class CompiledProgram:
     code_cache: Optional[list] = field(
         default=None, init=False, repr=False, compare=False
     )
+    # Lazily computed per-block statement multiplicities (see
+    # sid_multiplicities); blocks are immutable after compilation.
+    _sid_mult: Optional[dict] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def entry_of(self, class_name: str, method: str) -> int:
         return self.entries[f"{class_name}.{method}"]
@@ -137,6 +142,28 @@ class CompiledProgram:
 
     def array_placement(self, alloc_sid: int) -> Placement:
         return self.array_placements.get(alloc_sid, Placement.APP)
+
+    def sid_multiplicities(self) -> dict[int, dict[int, int]]:
+        """``{bid: {sid: ops charged to sid}}`` for live profiling.
+
+        One block execution implies executing each of its ops (plus a
+        branching/calling terminator) once, so per-block execution
+        counts times these multiplicities reconstruct per-statement
+        execution counts without any per-op instrumentation.
+        """
+        if self._sid_mult is None:
+            mult: dict[int, dict[int, int]] = {}
+            for bid, block in self.blocks.items():
+                counts: dict[int, int] = {}
+                for op in block.ops:
+                    counts[op.sid] = counts.get(op.sid, 0) + 1
+                term = block.terminator
+                if isinstance(term, (TBranch, TCall)):
+                    counts[term.sid] = counts.get(term.sid, 0) + 1
+                if counts:
+                    mult[bid] = counts
+            self._sid_mult = mult
+        return self._sid_mult
 
     def stats(self) -> dict[str, int]:
         app = sum(

@@ -350,11 +350,14 @@ class _ProgramCompiler:
         placed: PlacedProgram,
         call_graph: CallGraph,
         sync_plan: SyncPlan,
+        name: Optional[str] = None,
     ) -> None:
         self.placed = placed
         self.call_graph = call_graph
         self.sync_plan = sync_plan
-        self.compiled = CompiledProgram(name=placed.name)
+        self.compiled = CompiledProgram(
+            name=name if name is not None else placed.name
+        )
         self._next_bid = 0
         self.functions = {
             f.qualified_name: f for f in placed.program.functions()
@@ -413,13 +416,15 @@ def compile_program(
     sync_plan: SyncPlan,
     graph=None,
     reorder: bool = True,
+    name: Optional[str] = None,
 ) -> CompiledProgram:
     """Compile a placed program to execution blocks.
 
     When ``reorder`` is true and the partition graph is supplied, the
     dual-queue reordering pass (Section 4.4) runs first on a private
     copy of the IR so other partitionings of the same program are
-    unaffected.
+    unaffected.  ``name`` labels the compiled program (defaults to the
+    placed program's name).
     """
     if reorder and graph is not None:
         placed = PlacedProgram(
@@ -428,4 +433,4 @@ def compile_program(
             name=placed.name,
         )
         reorder_blocks(placed.program, placed.placement_of, graph)
-    return _ProgramCompiler(placed, call_graph, sync_plan).compile()
+    return _ProgramCompiler(placed, call_graph, sync_plan, name=name).compile()

@@ -53,6 +53,34 @@ class PartitionedApp:
         """Invoke and return just the result."""
         return self.invoke_traced(class_name, method, *args).result
 
+    def invoke_profiled(
+        self, class_name: str, method: str, *args: Any
+    ) -> tuple[InvocationOutcome, dict[int, int]]:
+        """Invoke and also return per-statement execution counts.
+
+        Counts come from per-block execution counters times the static
+        op multiplicity of each block -- no per-op instrumentation, so
+        the overhead over :meth:`invoke_traced` is one dict increment
+        per executed block.  Loop-bookkeeping ops charge the loop's
+        sid, so loop counts are slightly inflated relative to the
+        offline profiler; live reweighting only needs relative
+        magnitudes.
+        """
+        counts = self.executor.enable_block_counting()
+        before = dict(counts)
+        outcome = self.invoke_traced(class_name, method, *args)
+        mult = self.compiled.sid_multiplicities()
+        sid_counts: dict[int, int] = {}
+        for bid, total in counts.items():
+            executed = total - before.get(bid, 0)
+            if executed <= 0:
+                continue
+            for sid, per_exec in mult.get(bid, {}).items():
+                sid_counts[sid] = (
+                    sid_counts.get(sid, 0) + executed * per_exec
+                )
+        return outcome, sid_counts
+
     def invoke_traced(
         self, class_name: str, method: str, *args: Any
     ) -> InvocationOutcome:

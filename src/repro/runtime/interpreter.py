@@ -165,6 +165,12 @@ class PyxisExecutor:
             Placement.DB: HeapStore(Placement.DB),
         }
         self.stats = ExecutionStats()
+        # Optional per-block execution counters for live profiling:
+        # None (the default) keeps the hot loop branch-free in spirit
+        # -- a single None check per block.  Enable via
+        # enable_block_counting(); CompiledProgram.sid_multiplicities
+        # converts block counts back to per-statement counts.
+        self.block_counts: Optional[dict[int, int]] = None
         self._oids = itertools.count(1)
         self._native_sites: dict[int, int] = {}
         self.stack: list[_Frame] = []
@@ -193,6 +199,12 @@ class PyxisExecutor:
             self._loop_fn = self._loop
 
     # -- allocation -----------------------------------------------------------
+
+    def enable_block_counting(self) -> dict[int, int]:
+        """Turn on per-block execution counting; returns the live dict."""
+        if self.block_counts is None:
+            self.block_counts = {}
+        return self.block_counts
 
     def new_object(self, class_name: str) -> ObjRef:
         ref = ObjRef(next(self._oids), class_name)
@@ -267,6 +279,8 @@ class PyxisExecutor:
             if block.placement is not self.side:
                 self._control_transfer(block.placement, bid)
                 self.side = block.placement
+            if self.block_counts is not None:
+                self.block_counts[bid] = self.block_counts.get(bid, 0) + 1
             self.stats.blocks += 1
             self._charge(self._cost.block_dispatch_cost)
             frame = self.stack[-1]
@@ -312,6 +326,7 @@ class PyxisExecutor:
         codes = self._codes
         costs = self._block_costs
         stats = self.stats
+        block_counts = self.block_counts
         app = Placement.APP
         heap_app = self.heaps[app]
         heap_db = self.heaps[Placement.DB]
@@ -333,6 +348,8 @@ class PyxisExecutor:
                 if placement is not self.side:
                     self._control_transfer(placement, bid)
                     self.side = placement
+                if block_counts is not None:
+                    block_counts[bid] = block_counts.get(bid, 0) + 1
                 blocks += 1
                 ops += code.n_ops
                 frame = stack[-1]

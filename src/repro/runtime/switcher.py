@@ -101,6 +101,40 @@ class DynamicSwitcher(Generic[T]):
     def high_budget(self) -> T:
         return self.options[-1]
 
+    def add_option(self, option: T, now: Optional[float] = None) -> int:
+        """Register a dynamically minted candidate; returns its index.
+
+        The online repartitioning policy calls this when it solves a
+        fresh partitioning mid-run.  Candidates always *append*: the
+        new option becomes the highest-budget / idle choice, and the
+        positional indices of existing options -- which consumers like
+        the serve engine use as workload option ids -- never shift.
+
+        Appending can change the effective choice immediately (under
+        low load the last option is selected); that change is recorded
+        as a :class:`SwitchEvent` so the headline "traffic moved onto
+        the minted partitioning" is visible in :meth:`summary`.
+        """
+        before = self._index()
+        self.options.append(option)
+        after = self._index()
+        if after != before:
+            when = (
+                now
+                if now is not None
+                else (self._last_poll if self._last_poll is not None else 0.0)
+            )
+            self.switches_total += 1
+            self.switch_events.append(
+                SwitchEvent(
+                    now=when,
+                    level=self.monitor.level,
+                    from_index=before,
+                    to_index=after,
+                )
+            )
+        return len(self.options) - 1
+
     def observe_load(self, now: float, load_percent: float) -> float:
         """Feed a load sample (percent) if the poll interval elapsed."""
         if (

@@ -6,11 +6,21 @@ samples windowed DB-CPU utilization and feeds it to
 :class:`~repro.runtime.switcher.DynamicSwitcher`, whose EWMA decides
 which partitioning every subsequent transaction executes.  Static
 controllers pin one option and provide the baseline curves.
+
+:class:`RepartitionController` goes one step beyond the paper's
+pre-baked ladder: it additionally watches the *live profile* the
+workload layer accumulates, and on a sustained shift of the
+transaction mix asks the incremental
+:class:`~repro.core.session.PartitionService` to mint a fresh
+partitioning online (cached artifacts, reweighted graph, warm-started
+solve), registering the new compiled program with both the live
+workload and the switcher mid-run.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.runtime.switcher import (
     DynamicSwitcher,
@@ -19,7 +29,10 @@ from repro.runtime.switcher import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import Partition, PartitionService
+    from repro.profiler.live import LiveProfiler
     from repro.serve.engine import ServeEngine
+    from repro.serve.workload import LiveWorkload, ProgramOption
 
 
 class Controller:
@@ -92,3 +105,190 @@ class AdaptiveController(Controller):
 
     def summary(self) -> SwitcherSummary:
         return self.switcher.summary()
+
+
+@dataclass
+class RepartitionPolicy:
+    """When to mint a fresh partitioning online.
+
+    Every ``check_interval`` virtual seconds the controller compares
+    the live windowed statement-count distribution against the last
+    reference snapshot (total-variation drift, 0..1).  A drift above
+    ``drift_threshold`` on ``sustain`` consecutive checks -- with at
+    least ``min_window_txns`` transactions in the window, so noise on
+    a thin window never triggers -- mints new partitionings at
+    ``mint_fractions`` of the live profile's statement weight.
+    ``cooldown`` spaces mints apart; ``max_mints`` bounds the number
+    of candidates a long run can accumulate.
+    """
+
+    check_interval: float = 5.0
+    drift_threshold: float = 0.35
+    sustain: int = 2
+    min_window_txns: int = 48
+    mint_fractions: tuple = (0.5, 0.25)
+    cooldown: float = 10.0
+    max_mints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        if not 0.0 < self.drift_threshold <= 1.0:
+            raise ValueError("drift_threshold must be in (0, 1]")
+        if self.sustain < 1:
+            raise ValueError("sustain must be at least 1")
+        if not self.mint_fractions:
+            raise ValueError("need at least one mint fraction")
+
+
+@dataclass(frozen=True)
+class RepartitionEvent:
+    """One partitioning minted online."""
+
+    now: float
+    drift: float
+    budget: float
+    signature: str
+    index: int
+    label: str
+
+
+@dataclass
+class RepartitionSummary:
+    """Switcher summary plus the minting history."""
+
+    switcher: SwitcherSummary
+    checks: int = 0
+    mints: int = 0
+    events: list = field(default_factory=list)
+
+
+class RepartitionController(AdaptiveController):
+    """Adaptive switching plus online repartitioning.
+
+    On top of the DB-CPU-driven choice among the current candidates,
+    a second periodic task watches ``profiler`` (the live workload's
+    :class:`~repro.profiler.live.LiveProfiler`).  The first
+    sufficiently full window becomes the reference; a sustained drift
+    from it re-solves the session on the live profile and hands any
+    assignment the ladder has not seen (by signature) to the workload
+    and the switcher as a new candidate -- appended last, i.e. it
+    becomes the choice under low DB load, while the JDBC-like option
+    0 remains the refuge under pressure.
+    """
+
+    def __init__(
+        self,
+        service: "PartitionService",
+        workload: "LiveWorkload",
+        profiler: "LiveProfiler",
+        make_option: Callable[[str, "Partition"], "ProgramOption"],
+        policy: Optional[RepartitionPolicy] = None,
+        alpha: float = 0.2,
+        poll_interval: float = 10.0,
+        threshold_percent: float = 40.0,
+        history_limit: int = 256,
+    ) -> None:
+        super().__init__(
+            n_options=len(workload.options),
+            alpha=alpha,
+            poll_interval=poll_interval,
+            threshold_percent=threshold_percent,
+            history_limit=history_limit,
+        )
+        self.service = service
+        self.workload = workload
+        self.profiler = profiler
+        self.make_option = make_option
+        self.policy = policy if policy is not None else RepartitionPolicy()
+        self.events: list[RepartitionEvent] = []
+        self.checks = 0
+        # Assignments already represented in the ladder: anything the
+        # session has compiled so far.
+        self._signatures = set(service.known_signatures())
+        self._reference = None
+        self._streak = 0
+        self._last_mint_at: Optional[float] = None
+        self._engine: Optional["ServeEngine"] = None
+
+    def attach(self, engine: "ServeEngine", until: float) -> None:
+        super().attach(engine, until)
+        self._engine = engine
+        engine.loop.schedule_periodic(
+            self.policy.check_interval, self._check, until=until
+        )
+
+    # -- minting ----------------------------------------------------------
+
+    def _check(self) -> None:
+        self.checks += 1
+        policy = self.policy
+        profiler = self.profiler
+        if profiler.window_transactions < policy.min_window_txns:
+            return
+        if self._reference is None:
+            # First full window: the mix the current ladder serves.
+            self._reference = profiler.snapshot()
+            return
+        drift = profiler.drift(self._reference)
+        if drift <= policy.drift_threshold:
+            self._streak = 0
+            return
+        self._streak += 1
+        if self._streak < policy.sustain:
+            return
+        if len(self.events) >= policy.max_mints:
+            return
+        now = self._engine.now if self._engine is not None else 0.0
+        if (
+            self._last_mint_at is not None
+            and now - self._last_mint_at < policy.cooldown
+        ):
+            return
+        self._mint(now, drift)
+
+    def _mint(self, now: float, drift: float) -> None:
+        policy = self.policy
+        snapshot = self.profiler.snapshot()
+        total = float(snapshot.total_statement_weight())
+        self.service.update_profile(snapshot)
+        # Try fractions in the configured (priority) order, solving
+        # one budget at a time and stopping at the first assignment
+        # the ladder has not seen -- never compiling a candidate that
+        # would not be registered.
+        for fraction in policy.mint_fractions:
+            budget = fraction * total
+            pset = self.service.partition(budgets=[budget])
+            part = pset.partitions[0]
+            signature = part.signature
+            if signature in self._signatures:
+                continue
+            label = f"minted@{now:.0f}s"
+            option = self.make_option(label, part)
+            index = self.workload.add_option(option)
+            self.switcher.add_option(index, now=now)
+            self._signatures.add(signature)
+            self.events.append(
+                RepartitionEvent(
+                    now=now,
+                    drift=drift,
+                    budget=budget,
+                    signature=signature,
+                    index=index,
+                    label=label,
+                )
+            )
+            break  # one new candidate per mint
+        # Whether or not a new assignment came out, re-anchor: the
+        # ladder now reflects (or already covered) this mix.
+        self._reference = snapshot
+        self._streak = 0
+        self._last_mint_at = now
+
+    def repartition_summary(self) -> RepartitionSummary:
+        return RepartitionSummary(
+            switcher=self.switcher.summary(),
+            checks=self.checks,
+            mints=len(self.events),
+            events=list(self.events),
+        )

@@ -21,9 +21,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.runtime.entrypoints import PartitionedApp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import Partition, PartitionService
+    from repro.profiler.live import LiveProfiler
+    from repro.profiler.profile_data import ProfileData
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.queueing import SimNetworkParams, TransactionTrace
 from repro.sim.server import CostModel
@@ -95,13 +100,30 @@ class ProgramOption:
 
 
 class LiveWorkload(ServeWorkload):
-    """Execute compiled-block programs, with bounded trace pools."""
+    """Execute compiled-block programs, with bounded trace pools.
+
+    ``profiler`` (a :class:`~repro.profiler.live.LiveProfiler`) closes
+    the observation loop: live executions record per-statement counts
+    through :meth:`~repro.runtime.entrypoints.PartitionedApp.
+    invoke_profiled`, and replayed traces fold in the counts recorded
+    when they were produced, so the windowed live profile keeps
+    tracking the transaction mix even when most draws replay.
+
+    ``method_pools`` makes pooling mix-aware: the per-option trace
+    pool is keyed by entry-point method, and every draw consults the
+    option's ``next_call`` factory, so a workload whose call mix
+    shifts mid-run is served traces of the *current* mix rather than
+    replays of the old one.  Off by default (the factory is then only
+    consulted on live executions, the original behavior).
+    """
 
     def __init__(
         self,
         options: Sequence[ProgramOption],
         pool_size: int = 16,
         refresh_every: int = 0,
+        profiler: Optional["LiveProfiler"] = None,
+        method_pools: bool = False,
     ) -> None:
         if not options:
             raise ValueError("need at least one program option")
@@ -111,15 +133,55 @@ class LiveWorkload(ServeWorkload):
         self.labels = [opt.label for opt in self.options]
         self.pool_size = pool_size
         self.refresh_every = refresh_every
-        self._pools: list[list[TransactionTrace]] = [[] for _ in self.options]
+        self.profiler = profiler
+        self.method_pools = method_pools
+        # Per option: method -> bounded pool of (trace, sid_counts).
+        # Without method_pools a single "" key is used.  Each pool
+        # rotates its replacement slot with its own counter so every
+        # slot is eventually refreshed regardless of how draws
+        # interleave across pools.
+        self._pools: list[dict[str, list[tuple[TransactionTrace, dict]]]] = [
+            {} for _ in self.options
+        ]
+        self._pool_inserts: dict[tuple[int, str], int] = {}
         self._draws = [0] * len(self.options)
         self._live = 0
         self._replays = 0
 
-    def _execute(self, option: int) -> TransactionTrace:
+    def add_option(self, option: ProgramOption) -> int:
+        """Register a dynamically minted partitioning; returns its index.
+
+        The serve controller calls this when online repartitioning
+        produces a fresh compiled program mid-run.
+        """
+        self.options.append(option)
+        self.labels.append(option.label)
+        self._pools.append({})
+        self._draws.append(0)
+        return len(self.options) - 1
+
+    def _observe(self, sid_counts: dict) -> None:
+        if self.profiler is not None and sid_counts:
+            self.profiler.observe(sid_counts)
+
+    def _execute(
+        self,
+        option: int,
+        pool: list,
+        method: Optional[str] = None,
+        args: Optional[tuple] = None,
+    ) -> TransactionTrace:
         opt = self.options[option]
-        method, args = opt.next_call()
-        outcome = opt.app.invoke_traced(opt.class_name, method, *args)
+        pool_key = (option, method if self.method_pools else "")
+        if method is None:
+            method, args = opt.next_call()
+        if self.profiler is not None and hasattr(opt.app, "invoke_profiled"):
+            outcome, sid_counts = opt.app.invoke_profiled(
+                opt.class_name, method, *args
+            )
+        else:
+            outcome = opt.app.invoke_traced(opt.class_name, method, *args)
+            sid_counts = {}
         self._live += 1
         trace = outcome.trace
         if opt.lock_groups:
@@ -127,23 +189,34 @@ class LiveWorkload(ServeWorkload):
                 name=trace.name, stages=trace.stages,
                 lock_groups=opt.lock_groups,
             )
-        pool = self._pools[option]
+        inserts = self._pool_inserts.get(pool_key, 0)
         if len(pool) >= self.pool_size:
-            pool[self._live % self.pool_size] = trace
+            pool[inserts % self.pool_size] = (trace, sid_counts)
         else:
-            pool.append(trace)
+            pool.append((trace, sid_counts))
+        self._pool_inserts[pool_key] = inserts + 1
+        self._observe(sid_counts)
         return trace
 
     def draw(self, option: int, rng: random.Random) -> TransactionTrace:
         self._draws[option] += 1
-        pool = self._pools[option]
+        opt = self.options[option]
+        method: Optional[str] = None
+        args: Optional[tuple] = None
+        key = ""
+        if self.method_pools:
+            method, args = opt.next_call()
+            key = method
+        pool = self._pools[option].setdefault(key, [])
         if len(pool) < self.pool_size or (
             self.refresh_every
             and self._draws[option] % self.refresh_every == 0
         ):
-            return self._execute(option)
+            return self._execute(option, pool, method, args)
         self._replays += 1
-        return pool[rng.randrange(len(pool))]
+        trace, sid_counts = pool[rng.randrange(len(pool))]
+        self._observe(sid_counts)
+        return trace
 
     @property
     def live_executions(self) -> int:
@@ -387,6 +460,227 @@ def make_micro_workload(
     return BuiltWorkload(
         workload=workload,
         network=SimNetworkParams(one_way_latency=latency),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mix-shift workload (online repartitioning scenario)
+# ---------------------------------------------------------------------------
+
+# A storefront with two entry points whose optimal placements differ:
+# ``browse`` is compute-heavy with a single lookup, ``checkout`` runs
+# a per-item query loop plus a compute-heavy receipt digest.  Profiled
+# on browse traffic alone, the budget ladder never needs a partition
+# that splits checkout (its statements are unprofiled); once the mix
+# shifts to checkout, the right placement -- query loop on the
+# database, digest loop on the application server -- only exists if
+# the partitioning service re-solves on the live profile.
+STOREFRONT_SOURCE = '''
+class Storefront:
+    def browse(self, rounds, key):
+        digest = "seed"
+        i = 0
+        while i < rounds:
+            digest = sha1_hex(digest)
+            i = i + 1
+        price = self.db.query_scalar("SELECT v FROM kv WHERE k = ?", key)
+        self.last_price = price
+        return price
+
+    def checkout(self, items, rounds):
+        total = 0.0
+        i = 0
+        while i < items:
+            v = self.db.query_scalar("SELECT v FROM kv WHERE k = ?", i)
+            total = total + v
+            i = i + 1
+        digest = "receipt"
+        j = 0
+        while j < rounds:
+            digest = sha1_hex(digest)
+            j = j + 1
+        self.db.execute("UPDATE carts SET c_total = ? WHERE c_id = ?",
+                        total, 1)
+        self.last_total = total
+        return total
+'''
+
+STOREFRONT_ENTRY_POINTS = [
+    ("Storefront", "browse"),
+    ("Storefront", "checkout"),
+]
+
+# Cheap DB operations, expensive digests (sha1_hex costs 10us on the
+# executing server): the checkout digest loop is what saturates a
+# small database server when everything is pushed there.
+SHIFT_ONE_WAY_LATENCY = 0.001
+SHIFT_COST_MODEL = CostModel(
+    statement_cost=2e-6,
+    block_dispatch_cost=2e-6,
+    db_fixed_cost=30e-6,
+    db_row_cost=5e-6,
+)
+
+
+@dataclass(frozen=True)
+class ShiftScale:
+    """Mix-shift scenario parameters."""
+
+    browse_hashes: int = 150
+    checkout_items: int = 12
+    checkout_hashes: int = 400
+    keys: int = 64
+
+
+class MixShift:
+    """Shared call-mix state read by every option's call factory.
+
+    The serving script flips :meth:`set_phase` mid-run (on the
+    engine's virtual clock) to move all clients from browse traffic
+    to checkout traffic.
+    """
+
+    def __init__(self, scale: ShiftScale, seed: int = 7) -> None:
+        self.scale = scale
+        self.phase = "browse"
+        self._rng = random.Random(seed)
+
+    def set_phase(self, phase: str) -> None:
+        if phase not in ("browse", "checkout"):
+            raise ValueError(f"unknown phase {phase!r}")
+        self.phase = phase
+
+    def next_call(self) -> tuple[str, tuple]:
+        scale = self.scale
+        if self.phase == "browse":
+            return "browse", (
+                scale.browse_hashes, self._rng.randrange(scale.keys)
+            )
+        return "checkout", (scale.checkout_items, scale.checkout_hashes)
+
+
+def make_storefront_database(scale: ShiftScale):
+    from repro.db import Database, connect
+
+    db = Database("storefront")
+    db.create_table(
+        "kv", [("k", "int", False), ("v", "float")], primary_key=["k"]
+    )
+    db.create_table(
+        "carts",
+        [("c_id", "int", False), ("c_total", "float")],
+        primary_key=["c_id"],
+    )
+    conn = connect(db)
+    rng = random.Random(5)
+    for k in range(scale.keys):
+        conn.execute(
+            "INSERT INTO kv (k, v) VALUES (?, ?)",
+            k, round(rng.uniform(1.0, 9.0), 2),
+        )
+    conn.execute("INSERT INTO carts (c_id, c_total) VALUES (?, ?)", 1, 0.0)
+    return db, conn
+
+
+@dataclass
+class ShiftingWorkload:
+    """Everything the repartitioning serve scenario needs.
+
+    ``make_option`` wraps a freshly minted
+    :class:`~repro.core.session.Partition` into a
+    :class:`ProgramOption` on its own database/cluster, reading the
+    same shared :class:`MixShift` -- the repartition controller uses
+    it to register online candidates with the live workload.
+    """
+
+    built: BuiltWorkload
+    service: "PartitionService"
+    profiler: "LiveProfiler"
+    base_profile: "ProfileData"
+    mix: MixShift
+    make_option: Callable[[str, "Partition"], ProgramOption]
+
+
+def make_shifting_workload(
+    db_cores: int = 2,
+    seed: int = 23,
+    pool_size: int = 6,
+    interp: Optional[str] = None,
+    scale: Optional[ShiftScale] = None,
+) -> ShiftingWorkload:
+    """Storefront under a shifting browse/checkout mix.
+
+    Built on the incremental :class:`~repro.core.session.
+    PartitionService`: the initial two-budget ladder is profiled on
+    browse traffic only, a :class:`~repro.profiler.live.LiveProfiler`
+    tracks the mix from live executions, and the returned
+    ``make_option`` lets the serve controller mint new partitionings
+    from the same session mid-run (cached artifacts, warm solves).
+    """
+    from repro.core.session import PartitionService, PyxisConfig
+    from repro.profiler.live import LiveProfiler
+
+    scale = scale if scale is not None else ShiftScale()
+    latency = SHIFT_ONE_WAY_LATENCY
+    service = PartitionService.from_source(
+        STOREFRONT_SOURCE,
+        STOREFRONT_ENTRY_POINTS,
+        PyxisConfig(latency=latency),
+    )
+    _, profile_conn = make_storefront_database(scale)
+    profile_rng = random.Random(seed)
+
+    def profile_run(profiler):
+        for _ in range(6):
+            profiler.invoke(
+                "Storefront", "browse",
+                scale.browse_hashes, profile_rng.randrange(scale.keys),
+            )
+
+    base_profile = service.profile_with(profile_conn, profile_run)
+    pset = service.partition(base_profile, budgets=[0.0, 1e9])
+    low, high = pset.lowest(), pset.highest()
+
+    mix = MixShift(scale, seed=seed + 1)
+    live_profiler = LiveProfiler(
+        base=base_profile, window=6, bucket_txns=16
+    )
+
+    def make_option(label: str, part) -> ProgramOption:
+        _, conn = make_storefront_database(scale)
+        cluster = Cluster(
+            ClusterConfig(
+                app_cores=8, db_cores=db_cores, one_way_latency=latency
+            ),
+            SHIFT_COST_MODEL,
+        )
+        app = PartitionedApp(part.compiled, cluster, conn, interp=interp)
+        return ProgramOption(
+            label=label, class_name="Storefront", app=app,
+            next_call=mix.next_call,
+        )
+
+    workload = LiveWorkload(
+        [make_option("app_like", low), make_option("db_like", high)],
+        pool_size=pool_size,
+        profiler=live_profiler,
+        method_pools=True,
+    )
+    built = BuiltWorkload(
+        workload=workload,
+        network=SimNetworkParams(one_way_latency=latency),
+        notes={"fraction_on_db": {
+            "app_like": low.fraction_on_db,
+            "db_like": high.fraction_on_db,
+        }},
+    )
+    return ShiftingWorkload(
+        built=built,
+        service=service,
+        profiler=live_profiler,
+        base_profile=base_profile,
+        mix=mix,
+        make_option=make_option,
     )
 
 

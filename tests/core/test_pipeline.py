@@ -47,17 +47,22 @@ class TestPartitionSet:
 
 
 class TestConfig:
-    def test_unknown_solver_rejected(self, order_pyxis):
+    def test_unknown_solver_rejected_at_construction(self):
+        # A typo fails before any (expensive) graph build or parse.
+        with pytest.raises(ValueError, match="unknown solver"):
+            PyxisConfig(solver="gurobi")
+
+    def test_solver_mutated_after_construction_still_rejected(self):
+        # PyxisConfig is a plain dataclass; assignment bypasses
+        # __post_init__, so partition() keeps its own guard.
+        pyxis = Pyxis.from_source(ORDER_SOURCE, ORDER_ENTRY_POINTS)
         _, conn = make_order_database()
-        profile = order_pyxis.profile_with(
+        profile = pyxis.profile_with(
             conn, lambda p: p.invoke("Order", "place_order", 7, 0.9)
         )
-        bad = Pyxis.from_source(
-            ORDER_SOURCE, ORDER_ENTRY_POINTS,
-            PyxisConfig(solver="gurobi"),
-        )
+        pyxis.config.solver = "gurobi"
         with pytest.raises(ValueError, match="unknown solver"):
-            bad.partition(profile)
+            pyxis.partition(profile, budgets=[0.0])
 
     def test_all_solvers_produce_valid_partitions(self):
         for solver in ("scipy", "bnb", "greedy"):

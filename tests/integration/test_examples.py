@@ -40,3 +40,16 @@ class TestDynamicSwitchingExample:
         assert "switch(es)" in out
         # The narrative numbers: mix starts proc-like, ends JDBC-like.
         assert "JDBC-like fraction: 0% -> 100%" in out
+
+
+class TestOnlineRepartitioningExample:
+    def test_example_runs_and_mints(self):
+        # The example exits non-zero if no partitioning was minted or
+        # the repartition config lost to the static ladder, so this is
+        # an end-to-end guard on the incremental session + serve loop.
+        proc = run_example("online_repartitioning.py")
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout
+        assert "online repartitioning" in out
+        assert "mint(s)" in out
+        assert "structure build(s)" in out

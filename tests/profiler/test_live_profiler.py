@@ -1,0 +1,98 @@
+"""Windowed live profiling (profiler/live.py)."""
+
+import pytest
+
+from repro.profiler.live import LiveProfiler
+from repro.profiler.profile_data import ProfileData
+
+
+def reference(counts: dict) -> ProfileData:
+    data = ProfileData()
+    data.counts = dict(counts)
+    return data
+
+
+class TestWindowing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveProfiler(window=0)
+        with pytest.raises(ValueError):
+            LiveProfiler(bucket_txns=0)
+
+    def test_counts_accumulate(self):
+        prof = LiveProfiler(window=4, bucket_txns=2)
+        prof.observe({1: 3, 2: 1})
+        prof.observe({1: 1})
+        assert prof.window_counts() == {1: 4, 2: 1}
+        assert prof.window_transactions == 2
+        assert prof.transactions_total == 2
+
+    def test_old_buckets_roll_off(self):
+        prof = LiveProfiler(window=2, bucket_txns=1)
+        prof.observe({1: 10})
+        prof.observe({2: 10})
+        prof.observe({3: 10})  # bucket holding sid 1 rolls off
+        assert prof.window_counts() == {2: 10, 3: 10}
+        assert prof.window_transactions == 2
+        assert prof.transactions_total == 3
+
+    def test_snapshot_inherits_base_sizes(self):
+        base = ProfileData()
+        base.record_assign(5, 64.0)
+        base.record_field("C", "f", 32.0)
+        prof = LiveProfiler(base=base, window=2, bucket_txns=4)
+        prof.observe({5: 2})
+        snap = prof.snapshot()
+        assert snap.counts == {5: 2}
+        assert snap.assign_size(5) == pytest.approx(64.0)
+        assert snap.field_size("C", "f") == pytest.approx(32.0)
+        assert snap.invocations == 1
+
+    def test_snapshot_never_mutates_base(self):
+        # Merging observations into a snapshot (e.g. a session doing
+        # update_profile(merge=True) while its profile is a snapshot)
+        # must not leak into the offline base profile.
+        base = ProfileData()
+        base.record_assign(5, 64.0)
+        prof = LiveProfiler(base=base, window=2, bucket_txns=4)
+        prof.observe({5: 1})
+        snap = prof.snapshot()
+        other = ProfileData()
+        other.record_assign(5, 1000.0)
+        other.record_field("C", "f", 8.0)
+        snap.merge(other)
+        assert base.assign_size(5) == pytest.approx(64.0)
+        assert ("C", "f") not in base.field_sizes
+
+    def test_snapshot_without_base(self):
+        prof = LiveProfiler()
+        prof.observe({1: 1})
+        snap = prof.snapshot()
+        assert snap.counts == {1: 1}
+        assert snap.assign_size(1) == pytest.approx(8.0)  # default
+
+
+class TestDrift:
+    def test_zero_on_identical_mix(self):
+        prof = LiveProfiler(window=2, bucket_txns=8)
+        prof.observe({1: 10, 2: 10})
+        assert prof.drift(reference({1: 5, 2: 5})) == pytest.approx(0.0)
+
+    def test_one_on_disjoint_mix(self):
+        prof = LiveProfiler()
+        prof.observe({1: 10})
+        assert prof.drift(reference({9: 3})) == pytest.approx(1.0)
+
+    def test_partial_shift_in_between(self):
+        prof = LiveProfiler()
+        prof.observe({1: 5, 2: 5})
+        drift = prof.drift(reference({1: 10}))
+        assert 0.0 < drift < 1.0
+        assert drift == pytest.approx(0.5)
+
+    def test_empty_sides_are_not_evidence(self):
+        prof = LiveProfiler()
+        assert prof.drift(reference({1: 1})) == 0.0
+        prof.observe({1: 1})
+        assert prof.drift(None) == 0.0
+        assert prof.drift(reference({})) == 0.0

@@ -1,0 +1,101 @@
+"""ProfileData persistence: JSON round-trips and merge equivalence."""
+
+import pytest
+
+from repro.profiler.profile_data import ProfileData, SizeStat
+
+
+def sample_profile(scale: int = 1) -> ProfileData:
+    data = ProfileData()
+    for sid, count in ((1, 5), (2, 3), (7, 1)):
+        for _ in range(count * scale):
+            data.record_stmt(sid)
+    data.record_assign(1, 16.0 * scale)
+    data.record_assign(1, 24.0 * scale)
+    data.record_assign(2, 8.0)
+    data.record_field("Order", "total_cost", 8.0)
+    data.record_field("Order", "total_cost", 12.0 * scale)
+    data.record_field("Cart", "items", 128.0)
+    data.record_call(2, 40.0, 8.0 * scale)
+    data.record_db(7, 3 * scale)
+    data.invocations = 2 * scale
+    return data
+
+
+def assert_profiles_equal(a: ProfileData, b: ProfileData) -> None:
+    assert a.counts == b.counts
+    assert a.invocations == b.invocations
+    for field_name in (
+        "assign_sizes", "field_sizes", "arg_sizes",
+        "result_sizes", "db_rows",
+    ):
+        left = getattr(a, field_name)
+        right = getattr(b, field_name)
+        assert set(left) == set(right), field_name
+        for key, stat in left.items():
+            assert stat.total == pytest.approx(right[key].total)
+            assert stat.samples == right[key].samples
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = sample_profile()
+        restored = ProfileData.from_json(original.to_json())
+        assert_profiles_equal(original, restored)
+
+    def test_tuple_keyed_field_stats_survive(self):
+        original = sample_profile()
+        restored = ProfileData.from_json(original.to_json())
+        assert ("Order", "total_cost") in restored.field_sizes
+        assert restored.field_size("Order", "total_cost") == pytest.approx(
+            original.field_size("Order", "total_cost")
+        )
+        # Keys must come back as tuples, not joined strings.
+        for key in restored.field_sizes:
+            assert isinstance(key, tuple) and len(key) == 2
+
+    def test_int_keys_restored_as_ints(self):
+        restored = ProfileData.from_json(sample_profile().to_json())
+        for mapping in (
+            restored.counts, restored.assign_sizes,
+            restored.arg_sizes, restored.result_sizes, restored.db_rows,
+        ):
+            for key in mapping:
+                assert isinstance(key, int)
+
+    def test_empty_profile_round_trips(self):
+        restored = ProfileData.from_json(ProfileData().to_json())
+        assert_profiles_equal(ProfileData(), restored)
+
+    def test_double_round_trip_stable(self):
+        original = sample_profile()
+        once = ProfileData.from_json(original.to_json())
+        twice = ProfileData.from_json(once.to_json())
+        assert once.to_json() == twice.to_json()
+
+
+class TestMergeAfterRoundTrip:
+    def test_merge_of_restored_equals_merge_of_originals(self):
+        a, b = sample_profile(), sample_profile(scale=3)
+
+        direct = sample_profile()
+        direct.merge(sample_profile(scale=3))
+
+        restored_a = ProfileData.from_json(a.to_json())
+        restored_b = ProfileData.from_json(b.to_json())
+        restored_a.merge(restored_b)
+
+        assert_profiles_equal(direct, restored_a)
+
+    def test_merged_profile_round_trips(self):
+        merged = sample_profile()
+        merged.merge(sample_profile(scale=2))
+        restored = ProfileData.from_json(merged.to_json())
+        assert_profiles_equal(merged, restored)
+        # Derived queries agree too.
+        assert restored.total_statement_weight() == (
+            merged.total_statement_weight()
+        )
+        assert restored.per_invocation_weight() == pytest.approx(
+            merged.per_invocation_weight()
+        )

@@ -81,3 +81,45 @@ class Q:
         result = app.invoke("Q", "fetch", 2)
         assert isinstance(result, ResultSet)
         assert [r["k"] for r in result] == [2, 3]
+
+
+class TestInvokeProfiled:
+    def test_counts_returned_and_result_intact(self, order_partitions):
+        _, conn = make_order_database()
+        app = PartitionedApp(
+            order_partitions.highest().compiled, Cluster(), conn
+        )
+        outcome, sid_counts = app.invoke_profiled(
+            "Order", "place_order", 7, 0.9
+        )
+        assert outcome.result == pytest.approx(54.0)
+        assert sid_counts
+        assert all(
+            isinstance(sid, int) and count > 0
+            for sid, count in sid_counts.items()
+        )
+        # The loop body executed once per costs row (3 rows loaded).
+        assert max(sid_counts.values()) >= 3
+
+    def test_deltas_are_per_invocation(self, order_partitions):
+        _, conn = make_order_database()
+        app = PartitionedApp(
+            order_partitions.lowest().compiled, Cluster(), conn
+        )
+        _, first = app.invoke_profiled("Order", "place_order", 7, 0.9)
+        conn.execute("DELETE FROM line_item")
+        _, second = app.invoke_profiled("Order", "place_order", 7, 0.9)
+        assert first == second
+
+    def test_both_interpreters_count_identically(self, order_partitions):
+        counts = {}
+        for interp in ("tree", "compiled"):
+            _, conn = make_order_database()
+            app = PartitionedApp(
+                order_partitions.highest().compiled, Cluster(), conn,
+                interp=interp,
+            )
+            _, counts[interp] = app.invoke_profiled(
+                "Order", "place_order", 7, 0.9
+            )
+        assert counts["tree"] == counts["compiled"]

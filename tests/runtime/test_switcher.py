@@ -132,3 +132,31 @@ class TestBoundedHistory:
         assert summary.switches == 0
         assert summary.recent == []
         assert summary.last_sample_at is None
+
+
+class TestAddOption:
+    def test_appended_option_becomes_idle_choice(self):
+        switcher = make_switcher()
+        index = switcher.add_option("minted")
+        assert index == 2
+        assert switcher.high_budget == "minted"
+        # Idle (no samples): the highest-budget option is chosen.
+        assert switcher.choose() == "minted"
+        assert switcher.current_index() == 2
+
+    def test_low_budget_refuge_preserved_under_load(self):
+        switcher = make_switcher(poll_interval=1.0)
+        switcher.add_option("minted")
+        for t in range(6):
+            switcher.observe_load(float(t), 95.0)
+        assert switcher.choose() == "low_budget"
+
+    def test_existing_indices_never_shift(self):
+        # The serve engine uses positional indices as workload option
+        # ids, so appending must be the only growth mode.
+        switcher = make_switcher()
+        switcher.add_option("minted_a")
+        switcher.add_option("minted_b")
+        assert switcher.options == [
+            "low_budget", "high_budget", "minted_a", "minted_b"
+        ]
