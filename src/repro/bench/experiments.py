@@ -534,6 +534,129 @@ def interp_comparison(n: int = 600, repeats: int = 5) -> InterpComparisonResult:
     )
 
 
+@dataclass
+class SqlExecComparisonResult:
+    """Wall-clock timings for the two SQL executors on one mix.
+
+    ``*_seconds`` are medians over the timed passes; ``*_best_seconds``
+    are the fastest passes.  The headline ``speedup`` compares the
+    fastest passes: external noise only ever adds time, so best-of-N
+    is the stable estimator for a ratio guarded by a CI floor (same
+    reasoning as ``timeit``'s min).
+    """
+
+    tree_seconds: float
+    compiled_seconds: float
+    tree_best_seconds: float
+    compiled_best_seconds: float
+    transactions: int
+    statements: int
+    repeats: int
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.tree_best_seconds / self.compiled_best_seconds
+            if self.compiled_best_seconds > 0
+            else float("inf")
+        )
+
+    @property
+    def median_speedup(self) -> float:
+        return (
+            self.tree_seconds / self.compiled_seconds
+            if self.compiled_seconds > 0
+            else float("inf")
+        )
+
+    @property
+    def tree_statements_per_second(self) -> float:
+        return self.statements / self.tree_seconds
+
+    @property
+    def compiled_statements_per_second(self) -> float:
+        return self.statements / self.compiled_seconds
+
+
+def sql_exec_comparison(
+    transactions: int = 50, repeats: int = 7, seed: int = 7
+) -> SqlExecComparisonResult:
+    """The TPC-C new-order statement mix under both SQL executors.
+
+    Prepares the mix's distinct statements once per implementation
+    (plan compilation happens at prepare time, composing with the plan
+    cache), then times executor-level statement execution -- the layer
+    the compilation attacks.  Each timed pass runs inside a transaction
+    that is rolled back afterwards (outside the timed region), so every
+    pass replays the identical statement script against the identical
+    database state; both executors record the same undo stream (bit
+    equality is the differential suite's job, not the benchmark's).
+    Reports the median of ``repeats`` passes per implementation.
+    """
+    import statistics
+
+    from repro.db.jdbc import connect
+    from repro.db.txn import Transaction
+    from repro.workloads.tpcc import (
+        TpccScale,
+        make_tpcc_database,
+        new_order_statement_script,
+    )
+
+    scale = TpccScale()
+    script = new_order_statement_script(
+        scale, transactions=transactions, seed=seed
+    )
+
+    def timed_seconds(mode: str) -> tuple[float, float]:
+        db, _ = make_tpcc_database(scale)
+        conn = connect(db, sql_exec=mode)
+        if mode == "compiled":
+            prepared = [
+                (conn.prepare(sql).compiled.run, params)
+                for sql, params in script
+            ]
+
+            def run_pass(txn: Transaction) -> None:
+                for run, params in prepared:
+                    run(params, txn)
+        else:
+            execute = conn.executor.execute
+            plans = [
+                (conn.prepare(sql).plan, params) for sql, params in script
+            ]
+
+            def run_pass(txn: Transaction) -> None:
+                for plan, params in plans:
+                    execute(plan, params, txn)
+
+        # Warm-up pass: first-touch costs (method caches, branch
+        # warm-up) stay out of the timed samples.
+        warm = Transaction(db, None)
+        run_pass(warm)
+        warm.rollback()
+        samples = []
+        for _ in range(repeats):
+            txn = Transaction(db, None)
+            start = time.perf_counter()
+            run_pass(txn)
+            samples.append(time.perf_counter() - start)
+            txn.rollback()
+        return statistics.median(samples), min(samples)
+
+    tree_median, tree_best = timed_seconds("tree")
+    compiled_median, compiled_best = timed_seconds("compiled")
+    return SqlExecComparisonResult(
+        tree_seconds=tree_median,
+        compiled_seconds=compiled_median,
+        tree_best_seconds=tree_best,
+        compiled_best_seconds=compiled_best,
+        transactions=transactions,
+        statements=len(script),
+        repeats=repeats,
+    )
+
+
 def micro1(n: int = 400, repeats: int = 5) -> Micro1Result:
     """Wall-clock overhead of the block runtime versus native Python.
 

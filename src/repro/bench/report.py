@@ -87,6 +87,19 @@ def format_fig14(result: Fig14Result) -> str:
     return "\n".join(lines)
 
 
+def _plan_cache_line(notes: dict) -> str | None:
+    """One-line summary of the aggregated prepared-plan cache counters."""
+    stats = notes.get("plan_cache")
+    if not stats:
+        return None
+    return (
+        f"plan cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+        f"{stats['evictions']} eviction(s) "
+        f"(hit ratio {stats['hit_ratio']:.2%}); "
+        f"{stats['compiled_plans']} plan(s) compiled to closures"
+    )
+
+
 def format_serve_sweep(result: LoadSweepResult) -> str:
     """Throughput / latency percentiles versus client count."""
     lines = [
@@ -108,6 +121,9 @@ def format_serve_sweep(result: LoadSweepResult) -> str:
                 f"{100 * p.db_util:>6.1f} {p.rejected:>5} {p.switches:>3}"
             )
         lines.append("-" * len(header))
+    cache_line = _plan_cache_line(result.notes)
+    if cache_line is not None:
+        lines.append(cache_line)
     return "\n".join(lines)
 
 
@@ -153,6 +169,9 @@ def format_serve_switching(result: ServeSwitchResult) -> str:
             f"controller: {ctrl.samples} samples, {ctrl.switches} "
             f"switch(es); events: {events}"
         )
+    cache_line = _plan_cache_line(result.notes)
+    if cache_line is not None:
+        lines.append(cache_line)
     return "\n".join(lines)
 
 

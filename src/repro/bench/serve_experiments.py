@@ -52,6 +52,15 @@ ADAPTIVE = "adaptive"
 REPARTITION = "repartition"
 
 
+def _merge_plan_cache(
+    total: Optional[dict], delta: Optional[dict]
+) -> Optional[dict]:
+    """Fold one run's plan-cache delta into the experiment total."""
+    from repro.db.jdbc import PlanCacheStats
+
+    return PlanCacheStats.merge(total, delta)
+
+
 def _controller(label: str, poll_interval: float) -> Controller:
     if label == STATIC_LOW:
         return StaticController(0)
@@ -116,6 +125,7 @@ def serve_load_sweep(
         labels=built.workload.labels,
     )
     controllers: dict[str, list[SwitcherSummary]] = {}
+    plan_cache: Optional[dict] = None
     for label in (STATIC_LOW, STATIC_HIGH, ADAPTIVE):
         points = []
         for clients in counts:
@@ -135,10 +145,13 @@ def serve_load_sweep(
                 name=f"{label}@{clients}",
             )
             points.append(SweepPoint.from_result(run))
+            plan_cache = _merge_plan_cache(plan_cache, run.plan_cache)
             if run.controller is not None:
                 controllers.setdefault(label, []).append(run.controller)
         result.curves[label] = points
     result.notes["controllers"] = controllers
+    if plan_cache is not None:
+        result.notes["plan_cache"] = plan_cache
     return result
 
 
@@ -206,16 +219,20 @@ def serve_dynamic_switching(
         )
         return engine.run(clients=clients, duration=duration, name=label)
 
+    plan_cache: Optional[dict] = None
     for label in (STATIC_LOW, STATIC_HIGH, ADAPTIVE):
         serve_result = run(label)
         result.buckets[label] = serve_result.latency_buckets(bucket)
         result.throughput[label] = serve_result.throughput
+        plan_cache = _merge_plan_cache(plan_cache, serve_result.plan_cache)
         if label == ADAPTIVE:
             result.controller = serve_result.controller
             result.adaptive_mix = [
                 (when, mix.get(0, 0.0))
                 for when, mix in serve_result.option_mix(bucket)
             ]
+    if plan_cache is not None:
+        result.notes["plan_cache"] = plan_cache
     return result
 
 

@@ -125,8 +125,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.bench import serve_experiments as serve_mod
     from repro.bench import report as report_mod
+    from repro.db.sql.compile_plan import SQL_EXEC_ENV_VAR
+
+    if args.sql_exec is not None:
+        # The workload factories open their own connections; the env
+        # var is the process-wide default they all read.
+        os.environ[SQL_EXEC_ENV_VAR] = args.sql_exec
 
     if args.switching and args.repartition:
         print("error: --switching and --repartition are mutually "
@@ -269,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
              "session before rejection (default: unbounded)",
     )
     p_serve.add_argument("--seed", type=int, default=17)
+    p_serve.add_argument(
+        "--sql-exec", default=None, choices=["tree", "compiled"],
+        help="SQL executor for the embedded engine: 'compiled' fuses "
+             "each plan into a closure at prepare time, 'tree' walks "
+             "the operator tree (sets REPRO_SQL_EXEC for the run; "
+             "default: compiled)",
+    )
     p_serve.add_argument(
         "--switching", action="store_true",
         help="run the mid-run load-spike scenario instead of the sweep",

@@ -34,7 +34,21 @@ from repro.db.errors import (
 from repro.db.catalog import Column, ColumnType, TableSchema, Catalog
 from repro.db.index import HashIndex, OrderedIndex
 from repro.db.engine import Database, Table
-from repro.db.jdbc import Connection, PreparedStatement, ResultSet, connect
+from repro.db.jdbc import (
+    Connection,
+    PlanCacheStats,
+    PreparedStatement,
+    ResultSet,
+    connect,
+)
+from repro.db.sql import (
+    DEFAULT_SQL_EXEC,
+    SQL_EXEC_ENV_VAR,
+    SQL_EXEC_MODES,
+    CompiledPlan,
+    compile_plan,
+    resolve_sql_exec_mode,
+)
 from repro.db.txn import LockManager, LockMode, Transaction
 
 __all__ = [
@@ -57,9 +71,16 @@ __all__ = [
     "Database",
     "Table",
     "Connection",
+    "PlanCacheStats",
     "PreparedStatement",
     "ResultSet",
     "connect",
+    "DEFAULT_SQL_EXEC",
+    "SQL_EXEC_ENV_VAR",
+    "SQL_EXEC_MODES",
+    "CompiledPlan",
+    "compile_plan",
+    "resolve_sql_exec_mode",
     "LockManager",
     "LockMode",
     "Transaction",

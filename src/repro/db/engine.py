@@ -10,26 +10,59 @@ layer can roll back.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Sequence
 
-from repro.db.catalog import Catalog, Column, ColumnType, IndexSpec, TableSchema
+from repro.db.catalog import (
+    Catalog,
+    Column,
+    ColumnType,
+    IndexSpec,
+    TableSchema,
+    tuple_getter,
+)
 from repro.db.errors import ExecutionError, IntegrityError, UnknownTableError
 from repro.db.index import HashIndex, OrderedIndex
 
 
-@dataclass(frozen=True)
 class UndoRecord:
     """Inverse of one mutation, applied on rollback.
 
     ``kind`` is one of ``insert`` / ``delete`` / ``update``; the stored
-    payload is whatever is needed to reverse it.
+    payload is whatever is needed to reverse it.  A slotted plain class
+    rather than a (frozen) dataclass: one record is allocated per
+    mutated row, making construction cost part of every write's hot
+    path.  Treat instances as immutable.
     """
 
-    table: str
-    kind: str
-    rowid: int
-    before: Optional[tuple] = None
+    __slots__ = ("table", "kind", "rowid", "before")
+
+    def __init__(
+        self,
+        table: str,
+        kind: str,
+        rowid: int,
+        before: Optional[tuple] = None,
+    ) -> None:
+        self.table = table
+        self.kind = kind
+        self.rowid = rowid
+        self.before = before
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UndoRecord):
+            return NotImplemented
+        return (
+            self.table == other.table
+            and self.kind == other.kind
+            and self.rowid == other.rowid
+            and self.before == other.before
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UndoRecord(table={self.table!r}, kind={self.kind!r}, "
+            f"rowid={self.rowid}, before={self.before!r})"
+        )
 
 
 class Table:
@@ -42,6 +75,11 @@ class Table:
         self.primary_index = HashIndex(f"{schema.name}.pk", unique=True)
         self.secondary: dict[str, HashIndex | OrderedIndex] = {}
         self._index_specs: dict[str, IndexSpec] = {}
+        # Precomputed column offsets / key getters per secondary index:
+        # index maintenance is the engine's hottest loop and must not
+        # resolve column names per row.
+        self._index_offsets: dict[str, tuple[int, ...]] = {}
+        self._index_getters: dict[str, Any] = {}
         for spec in schema.indexes:
             self._add_index(spec)
 
@@ -54,6 +92,8 @@ class Table:
         self.secondary[spec.name] = index
         self._index_specs[spec.name] = spec
         offsets = tuple(self.schema.offset(col) for col in spec.columns)
+        self._index_offsets[spec.name] = offsets
+        self._index_getters[spec.name] = tuple_getter(offsets)
         for rowid, row in self._rows.items():
             index.insert(tuple(row[i] for i in offsets), rowid)
 
@@ -79,9 +119,26 @@ class Table:
     def has_rowid(self, rowid: int) -> bool:
         return rowid in self._rows
 
+    def fetch(self, rowid: int) -> Optional[tuple]:
+        """The row stored under ``rowid``, or None (single dict probe;
+        the compiled executor's combined has_rowid + get)."""
+        return self._rows.get(rowid)
+
+    @property
+    def row_store(self) -> dict[int, tuple]:
+        """The live rowid -> row mapping.  The plan compiler binds this
+        dict's ``get`` in its fused loops; treat it as read-only -- all
+        writes go through insert / update / delete."""
+        return self._rows
+
     def scan(self) -> Iterator[tuple[int, tuple]]:
         """Yield (rowid, row) in insertion order (dict preserves it)."""
         yield from self._rows.items()
+
+    def snapshot(self) -> list[tuple[int, tuple]]:
+        """Materialized (rowid, row) list in insertion order.  Full-scan
+        fast path: safe to iterate while the table is mutated."""
+        return list(self._rows.items())
 
     def rowids(self) -> Iterator[int]:
         yield from self._rows.keys()
@@ -94,13 +151,32 @@ class Table:
         return rowid
 
     def index_key(self, spec_name: str, row: Sequence[Any]) -> tuple:
-        spec = self._index_specs[spec_name]
-        return tuple(row[self.schema.offset(col)] for col in spec.columns)
+        return self._index_getters[spec_name](row)
+
+    def key_column_offsets(self) -> frozenset[int]:
+        """Offsets of every primary-key and secondary-index key column,
+        including indexes added after creation via :meth:`create_index`
+        (the schema's static index list would miss those).  The plan
+        compiler proves updates key-safe against this set."""
+        offsets = set(self.schema.primary_key_offsets())
+        for index_offsets in self._index_offsets.values():
+            offsets.update(index_offsets)
+        return frozenset(offsets)
 
     # -- mutations -----------------------------------------------------------
 
     def insert(self, values: Sequence[Any]) -> tuple[int, UndoRecord]:
         row = self.schema.validate_row(values)
+        return self._insert_row(row)
+
+    def insert_validated(self, row: tuple) -> tuple[int, UndoRecord]:
+        """Insert a full row whose values the caller already validated
+        and coerced (the plan compiler fuses the schema's column
+        validators into its value closures, so re-validating here would
+        do the work twice).  Key and uniqueness checks still apply."""
+        return self._insert_row(row)
+
+    def _insert_row(self, row: tuple) -> tuple[int, UndoRecord]:
         key = self.schema.key_of(row)
         if any(part is None for part in key):
             raise IntegrityError(
@@ -111,14 +187,21 @@ class Table:
                 f"duplicate primary key {key!r} in table {self.schema.name!r}"
             )
         rowid = next(self._next_rowid)
+        if not self.secondary:
+            # No secondary indexes (most tables): the primary insert
+            # cannot half-fail, so skip the rollback bookkeeping.
+            self.primary_index.insert(key, rowid)
+            self._rows[rowid] = row
+            return rowid, UndoRecord(self.schema.name, "insert", rowid)
         # Insert into all indexes first so a uniqueness failure in a
         # secondary index leaves the table unchanged.
         inserted: list[tuple[HashIndex | OrderedIndex, tuple]] = []
+        getters = self._index_getters
         try:
             self.primary_index.insert(key, rowid)
             inserted.append((self.primary_index, key))
             for name, index in self.secondary.items():
-                ikey = self.index_key(name, row)
+                ikey = getters[name](row)
                 index.insert(ikey, rowid)
                 inserted.append((index, ikey))
         except IntegrityError:
@@ -159,6 +242,20 @@ class Table:
             if old_ikey != new_ikey:
                 index.delete(old_ikey, rowid)
                 index.insert(new_ikey, rowid)
+        self._rows[rowid] = after
+        return UndoRecord(self.schema.name, "update", rowid, before=before)
+
+    def replace_nonkey(
+        self, rowid: int, after: tuple, before: Optional[tuple] = None
+    ) -> UndoRecord:
+        """Replace a row whose primary-key and index-key columns are
+        unchanged (the caller proves this statically -- the plan
+        compiler checks assigned offsets against every key's offsets),
+        with values already validated.  Skips all index maintenance:
+        one dict store plus the undo record.  ``before`` lets a caller
+        that already fetched the row skip the second lookup."""
+        if before is None:
+            before = self.get(rowid)
         self._rows[rowid] = after
         return UndoRecord(self.schema.name, "update", rowid, before=before)
 

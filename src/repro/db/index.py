@@ -67,9 +67,22 @@ class HashIndex:
         self._map: dict[Key, set[int]] = {}
         self._entries = 0
 
+    @property
+    def buckets(self) -> dict[Key, set[int]]:
+        """The live key -> row-id-set mapping.  The plan compiler binds
+        this (and probes it directly) in point-lookup closures; treat
+        it as read-only."""
+        return self._map
+
     def insert(self, key: Key, rowid: int) -> None:
-        bucket = self._map.setdefault(key, set())
-        if self.unique and bucket and rowid not in bucket:
+        bucket = self._map.get(key)
+        if bucket is None:
+            # Fresh key: no set allocated until needed (inserts of new
+            # keys are the common case on primary indexes).
+            self._map[key] = {rowid}
+            self._entries += 1
+            return
+        if self.unique and rowid not in bucket:
             raise IntegrityError(
                 f"unique index {self.name!r} already has key {key!r}"
             )
@@ -88,6 +101,22 @@ class HashIndex:
 
     def lookup(self, key: Key) -> frozenset[int]:
         return frozenset(self._map.get(key, frozenset()))
+
+    def lookup_sorted(self, key: Key) -> list[int]:
+        """Row ids for ``key`` as a sorted list (compiled-plan fast path:
+        no intermediate frozenset)."""
+        bucket = self._map.get(key)
+        return sorted(bucket) if bucket else []
+
+    def get_unique(self, key: Key) -> Optional[int]:
+        """The single row id for ``key`` on a unique index (None if
+        absent).  Avoids the frozenset round trip of :meth:`lookup`."""
+        bucket = self._map.get(key)
+        if not bucket:
+            return None
+        for rowid in bucket:
+            return rowid
+        return None  # pragma: no cover - empty buckets are deleted
 
     def contains(self, key: Key) -> bool:
         return key in self._map
@@ -152,8 +181,50 @@ class OrderedIndex:
     def lookup(self, key: Key) -> frozenset[int]:
         return frozenset(self._map.get(key, frozenset()))
 
+    def lookup_sorted(self, key: Key) -> list[int]:
+        """Row ids for ``key`` as a sorted list (compiled-plan fast path:
+        no intermediate frozenset)."""
+        bucket = self._map.get(key)
+        return sorted(bucket) if bucket else []
+
+    def get_unique(self, key: Key) -> Optional[int]:
+        """The single row id for ``key`` on a unique index (None if
+        absent).  Avoids the frozenset round trip of :meth:`lookup`."""
+        bucket = self._map.get(key)
+        if not bucket:
+            return None
+        for rowid in bucket:
+            return rowid
+        return None  # pragma: no cover - empty buckets are deleted
+
     def contains(self, key: Key) -> bool:
         return key in self._map
+
+    def _range_bounds(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> tuple[int, int]:
+        """Resolve [low, high] bounds to a slice of the sorted key list."""
+        if low is None:
+            start = 0
+        else:
+            bound = _sortable(low)
+            if low_inclusive:
+                start = bisect.bisect_left(self._keys, bound, key=lambda e: e[0])
+            else:
+                start = bisect.bisect_right(self._keys, bound, key=lambda e: e[0])
+        if high is None:
+            stop = len(self._keys)
+        else:
+            bound = _sortable(high)
+            if high_inclusive:
+                stop = bisect.bisect_right(self._keys, bound, key=lambda e: e[0])
+            else:
+                stop = bisect.bisect_left(self._keys, bound, key=lambda e: e[0])
+        return start, stop
 
     def range_scan(
         self,
@@ -172,22 +243,9 @@ class OrderedIndex:
         element of ``high`` to make a prefix bound inclusive of all its
         extensions.
         """
-        if low is None:
-            start = 0
-        else:
-            bound = _sortable(low)
-            if low_inclusive:
-                start = bisect.bisect_left(self._keys, bound, key=lambda e: e[0])
-            else:
-                start = bisect.bisect_right(self._keys, bound, key=lambda e: e[0])
-        if high is None:
-            stop = len(self._keys)
-        else:
-            bound = _sortable(high)
-            if high_inclusive:
-                stop = bisect.bisect_right(self._keys, bound, key=lambda e: e[0])
-            else:
-                stop = bisect.bisect_left(self._keys, bound, key=lambda e: e[0])
+        start, stop = self._range_bounds(
+            low, high, low_inclusive, high_inclusive
+        )
         selected = self._keys[start:stop]
         if reverse:
             selected = list(reversed(selected))
@@ -195,6 +253,29 @@ class OrderedIndex:
             # Sort row ids for determinism within duplicate keys.
             for rowid in sorted(self._map[key]):
                 yield rowid
+
+    def range_rowids(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """Materialized :meth:`range_scan` (compiled-plan fast path: one
+        flat list, no generator frames; same order and determinism)."""
+        start, stop = self._range_bounds(
+            low, high, low_inclusive, high_inclusive
+        )
+        rowids: list[int] = []
+        rowmap = self._map
+        for _, key in self._keys[start:stop]:
+            bucket = rowmap[key]
+            if len(bucket) == 1:
+                rowids.extend(bucket)
+            else:
+                rowids.extend(sorted(bucket))
+        return rowids
 
     def keys(self) -> Iterator[Key]:
         return (key for _, key in self._keys)

@@ -18,6 +18,11 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 from repro.db.engine import Database
 from repro.db.errors import ExecutionError, TransactionError
 from repro.db.sql.ast import Insert as InsertStmt, Select as SelectStmt
+from repro.db.sql.compile_plan import (
+    CompiledPlan,
+    maybe_compile_plan,
+    resolve_sql_exec_mode,
+)
 from repro.db.sql.executor import Executor, StatementResult
 from repro.db.sql.parser import parse
 from repro.db.sql.planner import Plan, Planner, SelectPlan
@@ -149,27 +154,96 @@ CallObserver = Callable[[str, str, int, int], None]
 DEFAULT_PLAN_CACHE_SIZE = 256
 
 
+# Counter keys shared by every snapshot/merge/delta of plan-cache
+# stats (serve layer, bench reports).
+PLAN_CACHE_COUNTERS = ("hits", "misses", "evictions", "compiled_plans")
+
+
 @dataclass
 class PlanCacheStats:
-    """ExecutionStats-style counters for the prepared-plan cache."""
+    """ExecutionStats-style counters for the prepared-plan cache.
+
+    ``compiled_plans`` counts statements translated by the plan
+    compiler at prepare time (the remainder run on the tree executor).
+    The class also owns the counter-dict algebra (snapshot / merge /
+    delta) used by the serving layer's reports, so the counter list
+    and hit-ratio formula live in exactly one place.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    compiled_plans: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        return self.with_ratio(
+            {key: getattr(self, key) for key in PLAN_CACHE_COUNTERS}
+        )
+
+    @staticmethod
+    def with_ratio(counters: dict) -> dict:
+        """Attach the recomputed hit ratio to a counter dict."""
+        lookups = counters["hits"] + counters["misses"]
+        counters["hit_ratio"] = (
+            round(counters["hits"] / lookups, 4) if lookups else 0.0
+        )
+        return counters
+
+    @staticmethod
+    def merge(total: Optional[dict], delta: Optional[dict]) -> Optional[dict]:
+        """Fold one counter dict into a running total (None-tolerant)."""
+        if delta is None:
+            return total
+        if total is None:
+            total = {key: 0 for key in PLAN_CACHE_COUNTERS}
+        for key in PLAN_CACHE_COUNTERS:
+            total[key] = total.get(key, 0) + delta.get(key, 0)
+        return PlanCacheStats.with_ratio(total)
+
+    @staticmethod
+    def delta(before: Optional[dict], after: Optional[dict]) -> Optional[dict]:
+        """Counter growth between two snapshots (None-tolerant)."""
+        if after is None:
+            return None
+        if before is None:
+            before = {}
+        grown = {
+            key: after.get(key, 0) - before.get(key, 0)
+            for key in PLAN_CACHE_COUNTERS
+        }
+        if "connections" in after:
+            grown["connections"] = after["connections"]
+        return PlanCacheStats.with_ratio(grown)
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        for key in PLAN_CACHE_COUNTERS:
+            setattr(self, key, 0)
 
 
 class PreparedStatement:
-    """A parsed and planned statement, executable with ``?`` parameters."""
+    """A parsed and planned statement, executable with ``?`` parameters.
 
-    def __init__(self, connection: "Connection", sql: str, plan: Plan) -> None:
+    ``compiled`` holds the closure-compiled form produced at prepare
+    time when the connection runs in ``compiled`` SQL-executor mode;
+    None means the statement executes on the tree executor.
+    """
+
+    def __init__(
+        self,
+        connection: "Connection",
+        sql: str,
+        plan: Plan,
+        compiled: Optional[CompiledPlan] = None,
+    ) -> None:
         self.connection = connection
         self.sql = sql
         self.plan = plan
+        self.compiled = compiled
 
     @property
     def is_query(self) -> bool:
@@ -204,6 +278,7 @@ class Connection:
         *,
         use_locks: bool = False,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        sql_exec: Optional[str] = None,
     ) -> None:
         self.database = database
         self.lock_manager = (
@@ -213,6 +288,9 @@ class Connection:
         )
         self.planner = Planner(database)
         self.executor = Executor(database)
+        # "compiled" translates plans to fused closures at prepare time
+        # (repro.db.sql.compile_plan); "tree" walks the operator tree.
+        self.sql_exec = resolve_sql_exec_mode(sql_exec)
         # LRU: most recently used statements at the end.
         self._plan_cache: OrderedDict[str, PreparedStatement] = OrderedDict()
         self.plan_cache_size = max(1, plan_cache_size)
@@ -236,7 +314,12 @@ class Connection:
         stats.misses += 1
         stmt = parse(sql)
         plan = self.planner.plan(stmt)
-        prepared = PreparedStatement(self, sql, plan)
+        compiled = None
+        if self.sql_exec == "compiled":
+            compiled = maybe_compile_plan(plan, self.database)
+            if compiled is not None:
+                stats.compiled_plans += 1
+        prepared = PreparedStatement(self, sql, plan, compiled)
         cache[sql] = prepared
         if len(cache) > self.plan_cache_size:
             cache.popitem(last=False)
@@ -253,7 +336,10 @@ class Connection:
         if txn is None and self.lock_manager is not None:
             txn = Transaction(self.database, self.lock_manager)
             auto = True
-        result = self.executor.execute(prepared.plan, params, txn)
+        if prepared.compiled is not None:
+            result = prepared.compiled.run(params, txn)
+        else:
+            result = self.executor.execute(prepared.plan, params, txn)
         if auto and txn is not None:
             txn.commit()
         if self.observer is not None:
@@ -336,9 +422,15 @@ def connect(
     *,
     use_locks: bool = False,
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    sql_exec: Optional[str] = None,
 ) -> Connection:
-    """Open a connection to ``database`` (the module-level entry point)."""
+    """Open a connection to ``database`` (the module-level entry point).
+
+    ``sql_exec`` selects the statement executor (``tree`` /
+    ``compiled``); None reads ``REPRO_SQL_EXEC`` (default: compiled).
+    """
     return Connection(
         database, lock_manager,
         use_locks=use_locks, plan_cache_size=plan_cache_size,
+        sql_exec=sql_exec,
     )

@@ -31,6 +31,14 @@ from repro.db.sql.ast import (
 from repro.db.sql.parser import parse
 from repro.db.sql.planner import Planner, Plan
 from repro.db.sql.executor import Executor, StatementResult
+from repro.db.sql.compile_plan import (
+    DEFAULT_SQL_EXEC,
+    SQL_EXEC_ENV_VAR,
+    SQL_EXEC_MODES,
+    CompiledPlan,
+    compile_plan,
+    resolve_sql_exec_mode,
+)
 
 __all__ = [
     "Token",
@@ -55,4 +63,10 @@ __all__ = [
     "Plan",
     "Executor",
     "StatementResult",
+    "DEFAULT_SQL_EXEC",
+    "SQL_EXEC_ENV_VAR",
+    "SQL_EXEC_MODES",
+    "CompiledPlan",
+    "compile_plan",
+    "resolve_sql_exec_mode",
 ]

@@ -30,22 +30,56 @@ if False:  # pragma: no cover - import cycle guard for type checkers
     from repro.db.txn import Transaction
 
 
-@dataclass
 class StatementResult:
-    """Result of executing one statement."""
+    """Result of executing one statement.
 
-    columns: list[str] = field(default_factory=list)
-    rows: list[tuple] = field(default_factory=list)
-    rowcount: int = 0
-    rows_touched: int = 0
+    A slotted plain class rather than a dataclass: one is allocated
+    per statement on the hot path of both executors.
+    """
+
+    __slots__ = ("columns", "rows", "rowcount", "rows_touched")
+
+    def __init__(
+        self,
+        columns: Optional[list[str]] = None,
+        rows: Optional[list[tuple]] = None,
+        rowcount: int = 0,
+        rows_touched: int = 0,
+    ) -> None:
+        self.columns = columns if columns is not None else []
+        self.rows = rows if rows is not None else []
+        self.rowcount = rowcount
+        self.rows_touched = rows_touched
 
     @property
     def is_query(self) -> bool:
         return bool(self.columns)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatementResult):
+            return NotImplemented
+        return (
+            self.columns == other.columns
+            and self.rows == other.rows
+            and self.rowcount == other.rowcount
+            and self.rows_touched == other.rows_touched
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StatementResult(columns={self.columns!r}, "
+            f"rows={len(self.rows)}, rowcount={self.rowcount}, "
+            f"rows_touched={self.rows_touched})"
+        )
+
 
 class _Aggregator:
-    """Accumulates one aggregate function over a group."""
+    """Accumulates one aggregate function over a group.
+
+    Shared between the tree executor (which feeds it via :meth:`add`
+    with a dict environment) and the compiled executor (which evaluates
+    the argument positionally and calls :meth:`add_value` directly).
+    """
 
     def __init__(self, spec: AggregateSpec) -> None:
         self.spec = spec
@@ -59,7 +93,10 @@ class _Aggregator:
         if self.spec.arg is None:
             self.count += 1
             return
-        value = self.spec.arg(env, params)
+        self.add_value(self.spec.arg(env, params))
+
+    def add_value(self, value: Any) -> None:
+        """Fold one already-evaluated argument value (None = SQL NULL)."""
         if value is None:
             return
         if self.spec.distinct:
@@ -97,6 +134,59 @@ def _none_safe_key(value: Any) -> tuple:
     if isinstance(value, (int, float)):
         return (2, "", value, "")
     return (3, type(value).__name__, 0, str(value))
+
+
+def distinct_rows(rows: list[tuple]) -> list[tuple]:
+    """First occurrence of each row, in order (shared DISTINCT helper)."""
+    seen: set = set()
+    unique: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique
+
+
+def hashable_group_key(key: tuple) -> tuple:
+    """GROUP BY key made hashable (unhashable values degrade to str)."""
+    return tuple(
+        (v if isinstance(v, (int, float, str, bool, type(None))) else str(v))
+        for v in key
+    )
+
+
+def sort_result_rows(
+    plan: SelectPlan, rows: list[tuple], hidden: int
+) -> list[tuple]:
+    """Apply ORDER BY to materialized output rows.
+
+    ``hidden`` trailing values hold source-scope sort keys: when
+    nonzero, the row loop appended one trailing slot *per sort key*
+    (None for keys that index an output column), so the k-th sort
+    key's hidden slot sits at ``width + k``.  They are stripped from
+    the returned rows.  Shared by the tree and compiled executors --
+    sorting happens on plain value tuples, so there is nothing
+    environment-specific to specialize.
+    """
+    if not plan.sort_keys:
+        return [row[: len(row) - hidden] for row in rows] if hidden else rows
+    width = len(plan.columns)
+    key_positions: list[int] = []
+    for position, key in enumerate(plan.sort_keys):
+        if key.output_index is not None:
+            key_positions.append(key.output_index)
+        else:
+            key_positions.append(width + position)
+    # Stable multi-key sort: apply keys from last to first.
+    ordered = list(rows)
+    for key, pos in reversed(list(zip(plan.sort_keys, key_positions))):
+        ordered.sort(
+            key=lambda row: _none_safe_key(row[pos]),
+            reverse=key.descending,
+        )
+    if hidden:
+        ordered = [row[:width] for row in ordered]
+    return ordered
 
 
 class Executor:
@@ -226,13 +316,7 @@ class Executor:
             rows = self._sort_rows(plan, rows, hidden=len(plan.sort_keys))
 
         if plan.distinct:
-            seen: set = set()
-            unique: list[tuple] = []
-            for row in rows:
-                if row not in seen:
-                    seen.add(row)
-                    unique.append(row)
-            rows = unique
+            rows = distinct_rows(rows)
 
         if plan.limit is not None:
             limit_value = plan.limit({}, params)
@@ -255,10 +339,7 @@ class Executor:
         order: list[tuple] = []
         for env in self._join_rows(plan.tables, params, touched):
             key = tuple(expr(env, params) for expr in plan.group_exprs)
-            hashable_key = tuple(
-                (v if isinstance(v, (int, float, str, bool, type(None))) else str(v))
-                for v in key
-            )
+            hashable_key = hashable_group_key(key)
             if hashable_key not in groups:
                 groups[hashable_key] = (
                     list(key),
@@ -302,28 +383,7 @@ class Executor:
     def _sort_rows(
         self, plan: SelectPlan, rows: list[tuple], hidden: int
     ) -> list[tuple]:
-        """Apply ORDER BY.  ``hidden`` trailing values hold source sort keys."""
-        if not plan.sort_keys:
-            return [row[: len(row) - hidden] for row in rows] if hidden else rows
-        width = len(plan.columns)
-        hidden_idx = 0
-        key_positions: list[int] = []
-        for key in plan.sort_keys:
-            if key.output_index is not None:
-                key_positions.append(key.output_index)
-            else:
-                key_positions.append(width + hidden_idx)
-                hidden_idx += 1
-        # Stable multi-key sort: apply keys from last to first.
-        ordered = list(rows)
-        for key, pos in reversed(list(zip(plan.sort_keys, key_positions))):
-            ordered.sort(
-                key=lambda row: _none_safe_key(row[pos]),
-                reverse=key.descending,
-            )
-        if hidden:
-            ordered = [row[:width] for row in ordered]
-        return ordered
+        return sort_result_rows(plan, rows, hidden)
 
     # -- mutations ---------------------------------------------------------------
 

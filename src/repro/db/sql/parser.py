@@ -301,12 +301,15 @@ class _Parser:
             negated = self.accept_keyword("not")
             self.expect_keyword("null")
             return IsNull(left, negated=negated)
-        if self.check_keyword("between"):
-            self.advance()
+        if self.check_keyword("between") or (
+            self.check_keyword("not") and self._peek_is_keyword(1, "between")
+        ):
+            negated = self.accept_keyword("not")
+            self.expect_keyword("between")
             low = self.parse_additive()
             self.expect_keyword("and")
             high = self.parse_additive()
-            return Between(left, low, high)
+            return Between(left, low, high, negated=negated)
         if self.check_keyword("in") or (
             self.check_keyword("not") and self._peek_is_keyword(1, "in")
         ):

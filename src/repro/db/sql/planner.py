@@ -268,6 +268,12 @@ class AccessPath:
     ``kind`` is ``pk`` / ``index_eq`` / ``index_range`` / ``scan``.
     Key expressions are compiled against the *outer* scope so that a
     join's inner table can be probed with values from the outer row.
+
+    The ``*_asts`` fields keep the source expressions of the compiled
+    key closures and ``index_width`` the declared column count of the
+    chosen index: the plan compiler (:mod:`repro.db.sql.compile_plan`)
+    recompiles them into positional form and decides the prefix-bound
+    MAX_KEY extension statically.
     """
 
     kind: str
@@ -278,6 +284,10 @@ class AccessPath:
     low_inclusive: bool = True
     high_inclusive: bool = True
     reverse: bool = False
+    key_asts: tuple[Expr, ...] = ()
+    low_asts: tuple[Expr, ...] = ()
+    high_asts: tuple[Expr, ...] = ()
+    index_width: int = 0
 
 
 @dataclass
@@ -288,6 +298,7 @@ class TableAccess:
     binding: str
     access: AccessPath
     residual: Optional[Compiled] = None
+    residual_ast: Optional[Expr] = None
 
 
 @dataclass
@@ -297,6 +308,7 @@ class AggregateSpec:
     func: str  # count/sum/min/max/avg
     arg: Optional[Compiled]  # None for COUNT(*)
     distinct: bool = False
+    arg_ast: Optional[Expr] = None
 
 
 @dataclass
@@ -306,6 +318,7 @@ class OutputColumn:
     name: str
     expr: Optional[Compiled] = None
     aggregate_index: Optional[int] = None
+    ast: Optional[Expr] = None
 
 
 @dataclass
@@ -319,6 +332,7 @@ class SortKey:
     descending: bool
     expr: Optional[Compiled] = None
     output_index: Optional[int] = None
+    ast: Optional[Expr] = None
 
 
 @dataclass
@@ -332,6 +346,9 @@ class SelectPlan:
     distinct: bool
     for_update: bool
     column_names: list[str]
+    group_asts: list[Expr] = field(default_factory=list)
+    limit_ast: Optional[Expr] = None
+    scope: Optional[Scope] = None
 
 
 @dataclass
@@ -339,17 +356,21 @@ class InsertPlan:
     table_name: str
     columns: tuple[str, ...]
     values: list[Compiled]
+    value_asts: list[Expr] = field(default_factory=list)
 
 
 @dataclass
 class UpdatePlan:
     target: TableAccess
     assignments: list[tuple[str, Compiled]]
+    assignment_asts: list[tuple[str, Expr]] = field(default_factory=list)
+    scope: Optional[Scope] = None
 
 
 @dataclass
 class DeletePlan:
     target: TableAccess
+    scope: Optional[Scope] = None
 
 
 Plan = SelectPlan | InsertPlan | UpdatePlan | DeletePlan
@@ -452,6 +473,7 @@ class Planner:
                     binding=ref.binding,
                     access=access,
                     residual=residual,
+                    residual_ast=residual_expr,
                 )
             )
             placed = placed_after
@@ -473,7 +495,11 @@ class Planner:
                     for col in schema.column_names:
                         ref = ColumnRef(column=col, table=binding)
                         columns.append(
-                            OutputColumn(name=col, expr=compile_expr(ref, scope))
+                            OutputColumn(
+                                name=col,
+                                expr=compile_expr(ref, scope),
+                                ast=ref,
+                            )
                         )
                         names.append(col)
                 continue
@@ -488,7 +514,10 @@ class Planner:
                 )
                 aggregates.append(
                     AggregateSpec(
-                        func=agg.name.lower(), arg=arg, distinct=agg.distinct
+                        func=agg.name.lower(), arg=arg, distinct=agg.distinct,
+                        arg_ast=(
+                            agg.args[0] if agg.args and not agg.star else None
+                        ),
                     )
                 )
                 columns.append(
@@ -496,7 +525,11 @@ class Planner:
                 )
             else:
                 columns.append(
-                    OutputColumn(name=name, expr=compile_expr(item.expr, scope))
+                    OutputColumn(
+                        name=name,
+                        expr=compile_expr(item.expr, scope),
+                        ast=item.expr,
+                    )
                 )
             names.append(name)
 
@@ -523,6 +556,9 @@ class Planner:
             distinct=stmt.distinct,
             for_update=stmt.for_update,
             column_names=names,
+            group_asts=list(stmt.group_by),
+            limit_ast=stmt.limit,
+            scope=scope,
         )
 
     def _plan_order_by(
@@ -554,6 +590,7 @@ class Planner:
                 SortKey(
                     descending=item.descending,
                     expr=compile_expr(expr, scope),
+                    ast=expr,
                 )
             )
         return sort_keys
@@ -596,7 +633,17 @@ class Planner:
                 compile_expr(equalities[col][1], scope)
                 for col in schema.primary_key
             )
-            return AccessPath(kind="pk", key_exprs=keys), used
+            return (
+                AccessPath(
+                    kind="pk",
+                    key_exprs=keys,
+                    key_asts=tuple(
+                        equalities[col][1] for col in schema.primary_key
+                    ),
+                    index_width=len(schema.primary_key),
+                ),
+                used,
+            )
 
         # 2. Secondary index equality match (prefer unique, then widest).
         best: Optional[tuple[AccessPath, list[Expr]]] = None
@@ -612,7 +659,13 @@ class Planner:
                     )
                     best = (
                         AccessPath(
-                            kind="index_eq", index_name=spec.name, key_exprs=keys
+                            kind="index_eq",
+                            index_name=spec.name,
+                            key_exprs=keys,
+                            key_asts=tuple(
+                                equalities[col][1] for col in spec.columns
+                            ),
+                            index_width=len(spec.columns),
                         ),
                         used,
                     )
@@ -668,6 +721,9 @@ class Planner:
                     high_exprs=tuple(compile_expr(e, scope) for e in high_exprs),
                     low_inclusive=low_inc,
                     high_inclusive=high_inc,
+                    low_asts=tuple(low_exprs),
+                    high_asts=tuple(high_exprs),
+                    index_width=len(spec.columns),
                 ),
                 used,
             )
@@ -723,7 +779,8 @@ class Planner:
         scope = Scope()  # no tables visible in VALUES
         values = [compile_expr(v, scope) for v in stmt.values]
         return InsertPlan(
-            table_name=stmt.table.name, columns=tuple(columns), values=values
+            table_name=stmt.table.name, columns=tuple(columns), values=values,
+            value_asts=list(stmt.values),
         )
 
     def _plan_target(self, table: TableRef, where: Optional[Expr]) -> tuple[TableAccess, Scope]:
@@ -744,6 +801,7 @@ class Planner:
                 binding=table.binding,
                 access=access,
                 residual=residual,
+                residual_ast=residual_expr,
             ),
             scope,
         )
@@ -757,11 +815,16 @@ class Planner:
             assignments.append(
                 (assign.column, compile_expr(assign.value, scope))
             )
-        return UpdatePlan(target=target, assignments=assignments)
+        return UpdatePlan(
+            target=target,
+            assignments=assignments,
+            assignment_asts=[(a.column, a.value) for a in stmt.assignments],
+            scope=scope,
+        )
 
     def plan_delete(self, stmt: Delete) -> DeletePlan:
-        target, _ = self._plan_target(stmt.table, stmt.where)
-        return DeletePlan(target=target)
+        target, scope = self._plan_target(stmt.table, stmt.where)
+        return DeletePlan(target=target, scope=scope)
 
 
 def _default_name(expr: Expr) -> str:

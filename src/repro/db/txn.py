@@ -266,6 +266,11 @@ class Transaction:
                 f"transaction {self.id} is {self.state.value}, not active"
             )
 
+    def ensure_active(self) -> None:
+        """Public liveness check: the compiled executor verifies once
+        per statement instead of once per lock/undo call."""
+        self._check_active()
+
     def lock_table(self, table: str, *, exclusive: bool = True) -> None:
         self._check_active()
         if self.lock_manager is None:
@@ -293,6 +298,19 @@ class Transaction:
 
     def record_undo(self, record: UndoRecord) -> None:
         self._check_active()
+        self._undo.append(record)
+
+    def record_undo_many(self, records: Iterable[UndoRecord]) -> None:
+        """Append a statement's undo records in one call (the compiled
+        executor batches per statement instead of appending per row)."""
+        self._check_active()
+        self._undo.extend(records)
+
+    def record_undo_unchecked(self, record: UndoRecord) -> None:
+        """Append without the liveness check: the compiled executor
+        calls :meth:`ensure_active` (or acquires a lock, which checks)
+        earlier in the same statement, and the state cannot change
+        mid-statement in this single-threaded runtime."""
         self._undo.append(record)
 
     @property

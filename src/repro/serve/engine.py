@@ -274,6 +274,7 @@ class ServeEngine:
         )
         live0 = self.workload.live_executions
         replays0 = self.workload.trace_replays
+        cache0 = self.workload.plan_cache_snapshot()
         self.controller.attach(self, until=duration)
         for cid in range(clients):
             offset = config.ramp * cid / clients if config.ramp > 0 else 0.0
@@ -290,4 +291,21 @@ class ServeEngine:
         # Workloads may be shared across runs; report this run's share.
         result.live_executions = self.workload.live_executions - live0
         result.trace_replays = self.workload.trace_replays - replays0
+        result.plan_cache = _plan_cache_delta(
+            cache0, self.workload.plan_cache_snapshot()
+        )
         return result
+
+
+def _plan_cache_delta(
+    before: Optional[dict], after: Optional[dict]
+) -> Optional[dict]:
+    """This run's share of the workload's plan-cache counters.
+
+    Workloads (and their connections) may be shared across engine
+    runs, so the run reports the counter growth, with the hit ratio
+    recomputed over the delta.
+    """
+    from repro.db.jdbc import PlanCacheStats
+
+    return PlanCacheStats.delta(before, after)

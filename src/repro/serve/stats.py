@@ -71,6 +71,10 @@ class ServeResult:
     controller: Optional[SwitcherSummary] = None
     live_executions: int = 0
     trace_replays: int = 0
+    # Prepared-plan cache counters accumulated during this run
+    # (hits/misses/evictions/compiled_plans/hit_ratio, summed over the
+    # workload's connections; None when the workload runs no SQL).
+    plan_cache: Optional[dict] = None
     notes: dict = field(default_factory=dict)
 
     @property

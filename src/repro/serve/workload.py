@@ -57,6 +57,12 @@ class ServeWorkload:
     def trace_replays(self) -> int:
         return 0
 
+    def plan_cache_snapshot(self) -> Optional[dict]:
+        """Aggregated prepared-plan cache counters across this
+        workload's database connections (None when the workload has
+        none, e.g. pre-collected traces)."""
+        return None
+
 
 class TraceWorkload(ServeWorkload):
     """Serve pre-collected traces (uniform draw per option)."""
@@ -225,6 +231,29 @@ class LiveWorkload(ServeWorkload):
     @property
     def trace_replays(self) -> int:
         return self._replays
+
+    def plan_cache_snapshot(self) -> Optional[dict]:
+        """Sum the per-connection PlanCacheStats over all options.
+
+        Every live execution runs real SQL through each option's JDBC
+        connection; the compiled-plan count shows how much of the mix
+        the plan compiler covers.
+        """
+        from repro.db.jdbc import PlanCacheStats
+
+        totals: Optional[dict] = None
+        connections = 0
+        for opt in self.options:
+            conn = getattr(opt.app, "connection", None)
+            stats = getattr(conn, "plan_cache_stats", None)
+            if stats is None:
+                continue
+            connections += 1
+            totals = PlanCacheStats.merge(totals, stats.snapshot())
+        if totals is None:
+            return None
+        totals["connections"] = connections
+        return totals
 
 
 # ---------------------------------------------------------------------------

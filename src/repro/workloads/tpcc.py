@@ -371,3 +371,83 @@ def make_tpcc_database(
     create_tpcc_schema(db)
     load_tpcc(db, scale, seed=seed)
     return db, connect(db)
+
+
+def new_order_statement_script(
+    scale: TpccScale | None = None,
+    transactions: int = 50,
+    seed: int = 7,
+) -> list[tuple[str, tuple]]:
+    """The SQL statement mix of ``transactions`` new-order transactions.
+
+    Returns ``(sql, params)`` pairs in execution order -- the exact
+    statement sequence ``TpccTransactions.new_order`` issues, with
+    order ids tracked locally so the script replays deterministically
+    against a freshly loaded database (every district's ``d_next_o_id``
+    starts at 1).  Shared by the SQL performance smoke and the
+    tree/compiled differential tests.
+    """
+    scale = scale if scale is not None else TpccScale()
+    gen = TpccInputGenerator(scale, seed=seed)
+    next_o: dict[tuple[int, int], int] = {}
+    script: list[tuple[str, tuple]] = []
+    for _ in range(transactions):
+        order = gen.new_order(rollback_fraction=0.0)
+        w, d, c = order.w_id, order.d_id, order.c_id
+        o_id = next_o.get((w, d), 1)
+        next_o[(w, d)] = o_id + 1
+        script.append(
+            ("SELECT w_tax FROM warehouse WHERE w_id = ?", (w,))
+        )
+        script.append((
+            "SELECT d_tax, d_next_o_id FROM district "
+            "WHERE d_w_id = ? AND d_id = ?",
+            (w, d),
+        ))
+        script.append((
+            "UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+            "WHERE d_w_id = ? AND d_id = ?",
+            (w, d),
+        ))
+        script.append((
+            "SELECT c_discount, c_last, c_credit FROM customer "
+            "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            (w, d, c),
+        ))
+        script.append((
+            "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, "
+            "o_entry_d, o_ol_cnt, o_all_local) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (o_id, d, w, c, 0, len(order.item_ids), 1),
+        ))
+        script.append((
+            "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) "
+            "VALUES (?, ?, ?)",
+            (o_id, d, w),
+        ))
+        for i, item_id in enumerate(order.item_ids):
+            qty = order.quantities[i]
+            supply_w = order.supply_w_ids[i]
+            script.append(
+                ("SELECT i_price FROM item WHERE i_id = ?", (item_id,))
+            )
+            script.append((
+                "SELECT s_quantity, s_dist_info FROM stock "
+                "WHERE s_w_id = ? AND s_i_id = ?",
+                (supply_w, item_id),
+            ))
+            script.append((
+                "UPDATE stock SET s_quantity = ?, s_ytd = s_ytd + ?, "
+                "s_order_cnt = s_order_cnt + 1, s_remote_cnt = "
+                "s_remote_cnt + ? WHERE s_w_id = ? AND s_i_id = ?",
+                (50 - qty, qty, 0 if supply_w == w else 1, supply_w, item_id),
+            ))
+            script.append((
+                "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, "
+                "ol_number, ol_i_id, ol_supply_w_id, ol_quantity, "
+                "ol_amount, ol_dist_info) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (o_id, d, w, i + 1, item_id, supply_w, qty,
+                 round(qty * 7.5, 2), f"dist-{d}"),
+            ))
+    return script

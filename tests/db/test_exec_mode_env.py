@@ -1,0 +1,94 @@
+"""Fail-fast resolution of the executor-selection environment variables.
+
+``REPRO_INTERP`` (block runtime) and ``REPRO_SQL_EXEC`` (SQL executor)
+must reject unknown values with the allowed choices in the error --
+never silently fall back to a default.
+"""
+
+import pytest
+
+from repro.db import Database, connect
+from repro.db.errors import ExecutionError
+from repro.db.sql.compile_plan import (
+    DEFAULT_SQL_EXEC,
+    SQL_EXEC_ENV_VAR,
+    SQL_EXEC_MODES,
+    resolve_sql_exec_mode,
+)
+from repro.runtime.interpreter import (
+    DEFAULT_INTERP,
+    INTERP_ENV_VAR,
+    INTERP_MODES,
+    RuntimeError_,
+    resolve_interp_mode,
+)
+
+
+class TestSqlExecMode:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(SQL_EXEC_ENV_VAR, raising=False)
+        assert resolve_sql_exec_mode() == DEFAULT_SQL_EXEC == "compiled"
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(SQL_EXEC_ENV_VAR, "")
+        assert resolve_sql_exec_mode() == DEFAULT_SQL_EXEC
+
+    @pytest.mark.parametrize("mode", SQL_EXEC_MODES)
+    def test_valid_env_values(self, monkeypatch, mode):
+        monkeypatch.setenv(SQL_EXEC_ENV_VAR, mode)
+        assert resolve_sql_exec_mode() == mode
+
+    def test_env_value_normalized(self, monkeypatch):
+        monkeypatch.setenv(SQL_EXEC_ENV_VAR, "  Tree \n")
+        assert resolve_sql_exec_mode() == "tree"
+
+    @pytest.mark.parametrize("bad", ["fast", "interp", "COMPILED2", "no"])
+    def test_unknown_env_value_fails_fast(self, monkeypatch, bad):
+        monkeypatch.setenv(SQL_EXEC_ENV_VAR, bad)
+        with pytest.raises(ExecutionError) as err:
+            resolve_sql_exec_mode()
+        # The error names every allowed choice.
+        for mode in SQL_EXEC_MODES:
+            assert mode in str(err.value)
+
+    def test_unknown_argument_fails_fast(self):
+        with pytest.raises(ExecutionError):
+            resolve_sql_exec_mode("turbo")
+
+    def test_connection_rejects_unknown_mode(self):
+        db = Database("t")
+        db.create_table("x", [("id", "int", False)], primary_key=["id"])
+        with pytest.raises(ExecutionError):
+            connect(db, sql_exec="turbo")
+
+    def test_connection_reads_env_at_construction(self, monkeypatch):
+        db = Database("t")
+        db.create_table("x", [("id", "int", False)], primary_key=["id"])
+        monkeypatch.setenv(SQL_EXEC_ENV_VAR, "tree")
+        assert connect(db).sql_exec == "tree"
+        monkeypatch.setenv(SQL_EXEC_ENV_VAR, "definitely-not-a-mode")
+        with pytest.raises(ExecutionError):
+            connect(db)
+
+
+class TestInterpMode:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(INTERP_ENV_VAR, raising=False)
+        assert resolve_interp_mode() == DEFAULT_INTERP == "compiled"
+
+    @pytest.mark.parametrize("mode", INTERP_MODES)
+    def test_valid_env_values(self, monkeypatch, mode):
+        monkeypatch.setenv(INTERP_ENV_VAR, mode)
+        assert resolve_interp_mode() == mode
+
+    @pytest.mark.parametrize("bad", ["fast", "treeee", "closure"])
+    def test_unknown_env_value_fails_fast(self, monkeypatch, bad):
+        monkeypatch.setenv(INTERP_ENV_VAR, bad)
+        with pytest.raises(RuntimeError_) as err:
+            resolve_interp_mode()
+        for mode in INTERP_MODES:
+            assert mode in str(err.value)
+
+    def test_unknown_argument_fails_fast(self):
+        with pytest.raises(RuntimeError_):
+            resolve_interp_mode("turbo")
