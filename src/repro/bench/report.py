@@ -13,6 +13,7 @@ from repro.bench.experiments import (
 from repro.bench.serve_experiments import (
     RepartitionRunResult,
     ServeSwitchResult,
+    ShardSweepResult,
 )
 from repro.serve.stats import LoadSweepResult
 
@@ -124,6 +125,35 @@ def format_serve_sweep(result: LoadSweepResult) -> str:
     cache_line = _plan_cache_line(result.notes)
     if cache_line is not None:
         lines.append(cache_line)
+    return "\n".join(lines)
+
+
+def format_serve_shard_sweep(result: ShardSweepResult) -> str:
+    """Adaptive throughput versus database shard count."""
+    lines = [
+        f"== serve shard sweep: tpcc ({result.clients} clients, "
+        f"{result.db_cores} cores/shard, "
+        f"shard_key={result.shard_key}) =="
+    ]
+    header = (
+        f"{'shards':>6} {'tput/s':>8} {'p95 ms':>8} {'app%':>6} "
+        f"{'db% per shard':<24} {'sw':>3}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in result.points:
+        per_shard = " ".join(
+            f"{100 * u:.0f}" for u in p.db_shard_utilization
+        )
+        lines.append(
+            f"{p.shards:>6} {p.throughput:>8.1f} {p.p95_ms:>8.2f} "
+            f"{100 * p.app_utilization:>6.1f} {per_shard:<24} "
+            f"{p.switches:>3}"
+        )
+    lines.append(
+        f"speedup at {max(p.shards for p in result.points)} shards: "
+        f"{result.speedup:.2f}x over the single-server baseline"
+    )
     return "\n".join(lines)
 
 

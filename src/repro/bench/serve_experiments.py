@@ -37,6 +37,7 @@ from repro.serve.workload import (
     BuiltWorkload,
     ShiftingWorkload,
     make_shifting_workload,
+    make_tpcc_workload,
 )
 
 SWEEP_CLIENTS_FAST = (1, 4, 16, 64)
@@ -72,7 +73,12 @@ def _controller(label: str, poll_interval: float) -> Controller:
 
 
 def _built_workload(
-    workload: str, db_cores: int, seed: int, pool_size: int
+    workload: str,
+    db_cores: int,
+    seed: int,
+    pool_size: int,
+    shards: int = 1,
+    shard_key: str = "warehouse",
 ) -> BuiltWorkload:
     try:
         factory = WORKLOAD_FACTORIES[workload]
@@ -81,7 +87,10 @@ def _built_workload(
             f"unknown workload {workload!r}; "
             f"options: {sorted(WORKLOAD_FACTORIES)}"
         ) from None
-    return factory(db_cores=db_cores, seed=seed, pool_size=pool_size)
+    return factory(
+        db_cores=db_cores, seed=seed, pool_size=pool_size,
+        shards=shards, shard_key=shard_key,
+    )
 
 
 def serve_load_sweep(
@@ -95,12 +104,16 @@ def serve_load_sweep(
     accept_queue_limit: Optional[int] = None,
     seed: int = 17,
     built: Optional[BuiltWorkload] = None,
+    shards: int = 1,
+    shard_key: str = "warehouse",
 ) -> LoadSweepResult:
     """Sweep client counts for static-low/static-high/adaptive configs.
 
     ``built`` lets callers reuse an already-constructed workload (the
     expensive part is partitioning the program and the first live
-    executions that fill the trace pools).
+    executions that fill the trace pools).  ``shards`` > 1 deploys the
+    sharded database tier (TPC-C only): ``db_cores`` then sizes *each*
+    shard server.
     """
     counts = list(
         client_counts
@@ -115,6 +128,7 @@ def serve_load_sweep(
         built = _built_workload(
             workload, db_cores=db_cores, seed=seed,
             pool_size=8 if fast else 24,
+            shards=shards, shard_key=shard_key,
         )
 
     result = LoadSweepResult(workload=workload)
@@ -133,7 +147,8 @@ def serve_load_sweep(
                 built.workload,
                 _controller(label, poll),
                 ServeConfig(
-                    app_cores=8, db_cores=db_cores, network=built.network,
+                    app_cores=8, db_cores=db_cores, db_shards=shards,
+                    network=built.network,
                     think_time=think_time, seed=seed,
                     accept_queue_limit=accept_queue_limit,
                     warmup=min(2 * poll, duration / 4.0),
@@ -152,6 +167,116 @@ def serve_load_sweep(
     result.notes["controllers"] = controllers
     if plan_cache is not None:
         result.notes["plan_cache"] = plan_cache
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Sharded-tier scaling sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardSweepPoint:
+    """Adaptive serving at one shard count."""
+
+    shards: int
+    throughput: float
+    p95_ms: float
+    app_utilization: float
+    db_shard_utilization: list[float] = field(default_factory=list)
+    switches: int = 0
+
+    @property
+    def db_utilization(self) -> float:
+        series = self.db_shard_utilization
+        return sum(series) / len(series) if series else 0.0
+
+
+@dataclass
+class ShardSweepResult:
+    """Adaptive TPC-C throughput versus database shard count."""
+
+    clients: int
+    db_cores: int
+    duration: float
+    shard_key: str
+    points: list[ShardSweepPoint] = field(default_factory=list)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def point(self, shards: int) -> ShardSweepPoint:
+        for point in self.points:
+            if point.shards == shards:
+                return point
+        raise KeyError(f"no point for {shards} shard(s)")
+
+    @property
+    def speedup(self) -> float:
+        """Max-shard-count throughput over the single-server baseline."""
+        if len(self.points) < 2:
+            return 1.0
+        base = self.point(min(p.shards for p in self.points)).throughput
+        top = self.point(max(p.shards for p in self.points)).throughput
+        return top / base if base > 0 else 0.0
+
+
+def serve_shard_sweep(
+    fast: bool = True,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    clients: int = 96,
+    db_cores: int = 2,
+    duration: Optional[float] = None,
+    think_time: float = 0.01,
+    shard_key: str = "warehouse",
+    seed: int = 17,
+) -> ShardSweepResult:
+    """Adaptive TPC-C serving across a growing sharded database tier.
+
+    Every point runs the *same* logical workload (four-warehouse TPC-C
+    new-order, warehouse-affine routing) with ``db_cores`` per shard
+    server; a client population large enough to saturate the
+    single-server baseline shows how far the tier scales throughput.
+    """
+    if not shard_counts or any(s < 1 for s in shard_counts):
+        raise ValueError("shard counts must be positive")
+    duration = duration if duration is not None else (15.0 if fast else 90.0)
+    poll = duration / 10.0
+
+    result = ShardSweepResult(
+        clients=clients, db_cores=db_cores, duration=duration,
+        shard_key=shard_key,
+    )
+    result.notes.update(think_time=think_time, seed=seed)
+    warehouses = max(4, max(shard_counts))
+    for shards in shard_counts:
+        built = make_tpcc_workload(
+            db_cores=db_cores, seed=seed, pool_size=6 if fast else 16,
+            shards=shards, shard_key=shard_key, warehouses=warehouses,
+        )
+        engine = ServeEngine(
+            built.workload,
+            AdaptiveController(n_options=2, poll_interval=poll),
+            ServeConfig(
+                app_cores=8, db_cores=db_cores, db_shards=shards,
+                network=built.network, think_time=think_time, seed=seed,
+                warmup=min(2 * poll, duration / 4.0),
+                ramp=min(think_time, duration / 10.0),
+            ),
+        )
+        run = engine.run(
+            clients=clients, duration=duration, name=f"shards{shards}"
+        )
+        controller = run.controller
+        result.points.append(
+            ShardSweepPoint(
+                shards=shards,
+                throughput=run.throughput,
+                p95_ms=1000.0 * run.percentile(95),
+                app_utilization=run.app_utilization,
+                db_shard_utilization=list(run.db_shard_utilization),
+                switches=controller.switches if controller else 0,
+            )
+        )
+        result.notes.setdefault("warehouses", built.notes.get("warehouses"))
     return result
 
 
@@ -180,6 +305,8 @@ def serve_dynamic_switching(
     accept_queue_limit: Optional[int] = None,
     seed: int = 17,
     built: Optional[BuiltWorkload] = None,
+    shards: int = 1,
+    shard_key: str = "warehouse",
 ) -> ServeSwitchResult:
     """Fixed client population; an external tenant grabs DB cores
     mid-run and the adaptive controller switches partitionings."""
@@ -191,6 +318,7 @@ def serve_dynamic_switching(
         built = _built_workload(
             workload, db_cores=db_cores, seed=seed,
             pool_size=8 if fast else 24,
+            shards=shards, shard_key=shard_key,
         )
 
     result = ServeSwitchResult(
@@ -208,7 +336,8 @@ def serve_dynamic_switching(
             built.workload,
             _controller(label, poll),
             ServeConfig(
-                app_cores=8, db_cores=db_cores, network=built.network,
+                app_cores=8, db_cores=db_cores, db_shards=shards,
+                network=built.network,
                 think_time=think_time, seed=seed,
                 accept_queue_limit=accept_queue_limit,
                 ramp=min(think_time, duration / 10.0),

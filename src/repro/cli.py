@@ -136,10 +136,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # var is the process-wide default they all read.
         os.environ[SQL_EXEC_ENV_VAR] = args.sql_exec
 
-    if args.switching and args.repartition:
-        print("error: --switching and --repartition are mutually "
+    scenarios = [
+        name for name, on in (
+            ("--switching", args.switching),
+            ("--repartition", args.repartition),
+            ("--shard-sweep", args.shard_sweep),
+        ) if on
+    ]
+    if len(scenarios) > 1:
+        print(f"error: {' and '.join(scenarios)} are mutually "
               "exclusive scenarios", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+
+    if args.shard_sweep:
+        if args.workload != "tpcc":
+            print("error: --shard-sweep runs the TPC-C workload; "
+                  f"--workload {args.workload} is not sharded yet",
+                  file=sys.stderr)
+            return 2
+        top = args.shards if args.shards > 1 else 4
+        db_cores = args.db_cores if args.db_cores is not None else 2
+        try:
+            clients = (
+                int(args.clients.split(",")[0]) if args.clients else 96
+            )
+        except ValueError:
+            print(f"error: --clients must be an int for --shard-sweep, "
+                  f"got {args.clients!r}", file=sys.stderr)
+            return 2
+        result = serve_mod.serve_shard_sweep(
+            fast=args.fast,
+            shard_counts=tuple(sorted({1, 2, top})),
+            clients=clients,
+            db_cores=db_cores,
+            duration=args.duration,
+            think_time=args.think if args.think is not None else 0.01,
+            shard_key=args.shard_key,
+            seed=args.seed,
+        )
+        print(report_mod.format_serve_shard_sweep(result))
+        return 0
     if args.clients is None:
         clients = [16] if args.repartition else [1, 4, 16, 64]
     else:
@@ -164,7 +203,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             clients=clients[0],
             db_cores=db_cores,
             duration=args.duration,
-            think_time=args.think,
+            think_time=args.think if args.think is not None else 0.05,
             seed=args.seed,
         )
         print(report_mod.format_serve_repartition(result))
@@ -181,9 +220,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             clients=clients[0],
             db_cores=db_cores,
             duration=args.duration,
-            think_time=args.think,
+            think_time=args.think if args.think is not None else 0.05,
             accept_queue_limit=args.accept_limit,
             seed=args.seed,
+            shards=args.shards,
+            shard_key=args.shard_key,
         )
         print(report_mod.format_serve_switching(result))
         return 0
@@ -195,9 +236,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         client_counts=clients,
         db_cores=db_cores,
         duration=args.duration,
-        think_time=args.think,
+        think_time=args.think if args.think is not None else 0.05,
         accept_queue_limit=args.accept_limit,
         seed=args.seed,
+        shards=args.shards,
+        shard_key=args.shard_key,
     )
     print(report_mod.format_serve_sweep(result))
     return 0
@@ -268,8 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="virtual seconds per run (default: fast presets)",
     )
     p_serve.add_argument(
-        "--think", type=float, default=0.05,
-        help="mean client think time in seconds (default: 0.05)",
+        "--think", type=float, default=None,
+        help="mean client think time in seconds (default: 0.05, "
+             "or 0.01 for --shard-sweep)",
     )
     p_serve.add_argument(
         "--accept-limit", type=int, default=None,
@@ -283,6 +327,23 @@ def build_parser() -> argparse.ArgumentParser:
              "each plan into a closure at prepare time, 'tree' walks "
              "the operator tree (sets REPRO_SQL_EXEC for the run; "
              "default: compiled)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="database shards behind the statement router (TPC-C "
+             "only; default: 1 = the classic single server)",
+    )
+    p_serve.add_argument(
+        "--shard-key", default="warehouse", choices=["warehouse", "hash"],
+        help="shard placement: 'warehouse' routes by warehouse id "
+             "(affine, transactions stay on one shard), 'hash' "
+             "spreads the same keys by stable hash (default: "
+             "warehouse)",
+    )
+    p_serve.add_argument(
+        "--shard-sweep", action="store_true",
+        help="sweep the shard count (1 -> --shards, default 4) at a "
+             "fixed client population and report the scaling curve",
     )
     p_serve.add_argument(
         "--switching", action="store_true",

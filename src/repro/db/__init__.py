@@ -30,6 +30,8 @@ from repro.db.errors import (
     TransactionError,
     DeadlockError,
     LockTimeoutError,
+    ShardError,
+    ShardRoutingError,
 )
 from repro.db.catalog import Column, ColumnType, TableSchema, Catalog
 from repro.db.index import HashIndex, OrderedIndex
@@ -49,7 +51,19 @@ from repro.db.sql import (
     compile_plan,
     resolve_sql_exec_mode,
 )
-from repro.db.txn import LockManager, LockMode, Transaction
+from repro.db.txn import (
+    LockManager,
+    LockMode,
+    ShardedTransaction,
+    Transaction,
+)
+from repro.db.shard import (
+    ShardedConnection,
+    ShardedDatabase,
+    ShardingScheme,
+    TableSharding,
+    connect_sharded,
+)
 
 __all__ = [
     "DatabaseError",
@@ -84,4 +98,12 @@ __all__ = [
     "LockManager",
     "LockMode",
     "Transaction",
+    "ShardError",
+    "ShardRoutingError",
+    "ShardedTransaction",
+    "ShardedConnection",
+    "ShardedDatabase",
+    "ShardingScheme",
+    "TableSharding",
+    "connect_sharded",
 ]

@@ -72,6 +72,9 @@ class Table:
         self.schema = schema
         self._rows: dict[int, tuple] = {}
         self._next_rowid = itertools.count(1)
+        # True while deferred delete-undos have left the row store out
+        # of ascending-rowid order (see ensure_scan_order).
+        self._scan_order_dirty = False
         self.primary_index = HashIndex(f"{schema.name}.pk", unique=True)
         self.secondary: dict[str, HashIndex | OrderedIndex] = {}
         self._index_specs: dict[str, IndexSpec] = {}
@@ -102,6 +105,16 @@ class Table:
         if spec.name in self.secondary:
             raise ExecutionError(f"index {spec.name!r} already exists")
         self._add_index(spec)
+
+    def use_rowid_counter(self, counter: "itertools.count") -> None:
+        """Share a rowid allocator with other tables.
+
+        The sharded database tier gives every partition of one logical
+        table the same counter, so rowids are globally unique and
+        ascend in global insertion order -- that is what lets the
+        statement router merge per-shard scans back into the exact
+        single-server row order."""
+        self._next_rowid = counter
 
     # -- accessors -----------------------------------------------------------
 
@@ -259,8 +272,14 @@ class Table:
         self._rows[rowid] = after
         return UndoRecord(self.schema.name, "update", rowid, before=before)
 
-    def undo(self, record: UndoRecord) -> None:
-        """Reverse a prior mutation (used by transaction rollback)."""
+    def undo(self, record: UndoRecord, *, defer_reorder: bool = False) -> None:
+        """Reverse a prior mutation (used by transaction rollback).
+
+        ``defer_reorder`` postpones the ascending-rowid reordering a
+        delete-undo may require: the transaction layer undoes many
+        records and calls :meth:`ensure_scan_order` once per table,
+        instead of re-sorting the row store per restored row.
+        """
         if record.kind == "insert":
             if not self.has_rowid(record.rowid):  # pragma: no cover - defensive
                 raise ExecutionError(
@@ -274,7 +293,20 @@ class Table:
             self.primary_index.insert(self.schema.key_of(row), rowid)
             for name, index in self.secondary.items():
                 index.insert(self.index_key(name, row), rowid)
-            self._rows[rowid] = row
+            # Restore the row at its original scan position, not at the
+            # dict tail: the row store stays in ascending-rowid order
+            # (inserts always allocate increasing ids), so rollback is
+            # a full identity -- contents *and* scan order.  The shard
+            # router's scatter merge relies on this invariant.
+            rows = self._rows
+            if rows and rowid < next(reversed(rows)):
+                rows[rowid] = row
+                if defer_reorder:
+                    self._scan_order_dirty = True
+                else:
+                    self.ensure_scan_order(force=True)
+            else:
+                rows[rowid] = row
         elif record.kind == "update":
             assert record.before is not None
             after = self._rows[record.rowid]
@@ -288,6 +320,20 @@ class Table:
                 self.update(record.rowid, changes)
         else:  # pragma: no cover - defensive
             raise ExecutionError(f"unknown undo kind {record.kind!r}")
+
+    def ensure_scan_order(self, *, force: bool = False) -> None:
+        """Restore ascending-rowid scan order after delete-undos.
+
+        Rebuilds in place -- compiled plans bind this dict object --
+        and only when a deferred undo actually left it out of order.
+        """
+        if not (force or self._scan_order_dirty):
+            return
+        self._scan_order_dirty = False
+        rows = self._rows
+        ordered = sorted(rows.items())
+        rows.clear()
+        rows.update(ordered)
 
     def truncate(self) -> None:
         self._rows.clear()

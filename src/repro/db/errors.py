@@ -51,6 +51,16 @@ class TransactionError(DatabaseError):
     """Misuse of the transaction API (e.g. operating on a closed txn)."""
 
 
+class ShardError(DatabaseError):
+    """Invalid sharded-database configuration (zero shards, shard key
+    not part of the primary key, unknown shard-key column, ...)."""
+
+
+class ShardRoutingError(ShardError):
+    """The statement cannot be routed against the sharding scheme
+    (cross-shard join, update of a shard-key column, ...)."""
+
+
 class DeadlockError(TransactionError):
     """The lock manager chose this transaction as a deadlock victim."""
 

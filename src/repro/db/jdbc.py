@@ -336,10 +336,19 @@ class Connection:
         if txn is None and self.lock_manager is not None:
             txn = Transaction(self.database, self.lock_manager)
             auto = True
-        if prepared.compiled is not None:
-            result = prepared.compiled.run(params, txn)
-        else:
-            result = self.executor.execute(prepared.plan, params, txn)
+        try:
+            if prepared.compiled is not None:
+                result = prepared.compiled.run(params, txn)
+            else:
+                result = self.executor.execute(prepared.plan, params, txn)
+        except BaseException:
+            if auto and txn is not None:
+                # A failed autocommit statement must not strand its
+                # locks (later statements would time out forever) or
+                # leave a half-applied mutation with live undo records
+                # nobody will ever replay.
+                txn.rollback()
+            raise
         if auto and txn is not None:
             txn.commit()
         if self.observer is not None:

@@ -10,7 +10,7 @@ converts into CPU cost for the database server.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from repro.db.engine import Database, Table
 from repro.db.errors import ExecutionError
@@ -189,6 +189,108 @@ def sort_result_rows(
     return ordered
 
 
+def project_envs(
+    plan: SelectPlan, envs: "Iterator[dict] | Iterable[dict]",
+    params: Sequence[Any],
+) -> list[tuple]:
+    """Project a non-aggregate env stream and apply ORDER BY.
+
+    Hidden sort values (one trailing slot per sort key) are appended
+    per row and stripped by :func:`sort_result_rows`.  Shared by the
+    tree executor and the shard router's scatter-gather path, which
+    feeds it a cross-shard merged env stream.
+    """
+    rows: list[tuple] = []
+    for env in envs:
+        values = tuple(
+            col.expr(env, params) if col.expr is not None else None
+            for col in plan.columns
+        )
+        sort_values = tuple(
+            key.expr(env, params) if key.expr is not None else None
+            for key in plan.sort_keys
+        )
+        rows.append(values + sort_values)
+    return sort_result_rows(plan, rows, hidden=len(plan.sort_keys))
+
+
+def aggregate_envs(
+    plan: SelectPlan, envs: "Iterator[dict] | Iterable[dict]",
+    params: Sequence[Any],
+) -> list[tuple]:
+    """Aggregate an env stream (GROUP BY / whole-input) and sort.
+
+    Group emission order is first appearance in the stream -- the
+    reason the shard router must merge per-shard streams back into
+    global scan order before aggregating.
+    """
+    groups: dict[tuple, tuple[list[Any], list[_Aggregator]]] = {}
+    order: list[tuple] = []
+    for env in envs:
+        key = tuple(expr(env, params) for expr in plan.group_exprs)
+        hashable_key = hashable_group_key(key)
+        if hashable_key not in groups:
+            groups[hashable_key] = (
+                list(key),
+                [_Aggregator(spec) for spec in plan.aggregates],
+            )
+            order.append(hashable_key)
+        entry = groups[hashable_key]
+        for agg in entry[1]:
+            agg.add(env, params)
+        # For non-aggregate output columns, remember first row values.
+        if any(
+            col.aggregate_index is None and col.expr is not None
+            for col in plan.columns
+        ):
+            if len(entry[0]) == len(plan.group_exprs):
+                for col in plan.columns:
+                    if col.aggregate_index is None and col.expr is not None:
+                        entry[0].append(col.expr(env, params))
+
+    if not plan.group_exprs and not groups:
+        # Aggregates over empty input still yield one row.
+        groups[()] = ([], [_Aggregator(spec) for spec in plan.aggregates])
+        order.append(())
+
+    rows: list[tuple] = []
+    for key in order:
+        group_values, aggregators = groups[key]
+        extras = group_values[len(plan.group_exprs):]
+        extra_iter = iter(extras)
+        values: list[Any] = []
+        for col in plan.columns:
+            if col.aggregate_index is not None:
+                values.append(aggregators[col.aggregate_index].result())
+            elif col.expr is not None:
+                values.append(next(extra_iter, None))
+            else:  # pragma: no cover - defensive
+                values.append(None)
+        rows.append(tuple(values))
+    return sort_result_rows(plan, rows, hidden=0)
+
+
+def select_output_rows(
+    plan: SelectPlan, envs: "Iterator[dict] | Iterable[dict]",
+    params: Sequence[Any],
+) -> list[tuple]:
+    """The full SELECT tail over an env stream: project or aggregate,
+    then DISTINCT and LIMIT.  The env stream's order is the output
+    order (before ORDER BY), so callers that merge multiple sources
+    must merge into single-server order first."""
+    if plan.aggregates or plan.group_exprs:
+        rows = aggregate_envs(plan, envs, params)
+    else:
+        rows = project_envs(plan, envs, params)
+    if plan.distinct:
+        rows = distinct_rows(rows)
+    if plan.limit is not None:
+        limit_value = plan.limit({}, params)
+        if limit_value is not None:
+            rows = rows[: int(limit_value)]
+    return rows
+
+
 class Executor:
     """Executes plans against a :class:`Database`."""
 
@@ -253,6 +355,16 @@ class Executor:
             return
         raise ExecutionError(f"unknown access kind {access.kind!r}")
 
+    def candidate_rowids(
+        self,
+        table: Table,
+        access: AccessPath,
+        env: dict,
+        params: Sequence[Any],
+    ) -> Iterator[int]:
+        """Public access-path row source (shard router scatter path)."""
+        return self._candidate_rowids(table, access, env, params)
+
     def _iter_table(
         self,
         table_access: TableAccess,
@@ -282,6 +394,21 @@ class Executor:
         params: Sequence[Any],
         touched: list[int],
     ) -> Iterator[dict]:
+        yield from self.join_envs(tables, params, touched)
+
+    def join_envs(
+        self,
+        tables: list[TableAccess],
+        params: Sequence[Any],
+        touched: list[int],
+        start: int = 0,
+        env: Optional[dict] = None,
+    ) -> Iterator[dict]:
+        """Nested-loop join starting at table ``start`` with ``env``
+        already bound.  The shard router uses the seeded form to join
+        a sharded outer row against that shard's replicated inner
+        tables."""
+
         def recurse(idx: int, env: dict) -> Iterator[dict]:
             if idx >= len(tables):
                 yield env
@@ -289,7 +416,7 @@ class Executor:
             for new_env in self._iter_table(tables[idx], env, params, touched):
                 yield from recurse(idx + 1, new_env)
 
-        yield from recurse(0, {})
+        yield from recurse(start, env if env is not None else {})
 
     # -- SELECT ------------------------------------------------------------------
 
@@ -298,92 +425,13 @@ class Executor:
     ) -> StatementResult:
         touched = [0]
         result = StatementResult(columns=list(plan.column_names))
-        rows: list[tuple] = []
-
-        if plan.aggregates or plan.group_exprs:
-            rows = self._execute_aggregate(plan, params, touched)
-        else:
-            for env in self._join_rows(plan.tables, params, touched):
-                values = tuple(
-                    col.expr(env, params) if col.expr is not None else None
-                    for col in plan.columns
-                )
-                sort_values = tuple(
-                    key.expr(env, params) if key.expr is not None else None
-                    for key in plan.sort_keys
-                )
-                rows.append(values + sort_values)
-            rows = self._sort_rows(plan, rows, hidden=len(plan.sort_keys))
-
-        if plan.distinct:
-            rows = distinct_rows(rows)
-
-        if plan.limit is not None:
-            limit_value = plan.limit({}, params)
-            if limit_value is not None:
-                rows = rows[: int(limit_value)]
-
+        envs = self._join_rows(plan.tables, params, touched)
+        rows = select_output_rows(plan, envs, params)
         result.rows = rows
         result.rowcount = len(rows)
         result.rows_touched = touched[0]
         self.database.notify("select", plan.tables[0].table_name, touched[0])
         return result
-
-    def _execute_aggregate(
-        self,
-        plan: SelectPlan,
-        params: Sequence[Any],
-        touched: list[int],
-    ) -> list[tuple]:
-        groups: dict[tuple, tuple[list[Any], list[_Aggregator]]] = {}
-        order: list[tuple] = []
-        for env in self._join_rows(plan.tables, params, touched):
-            key = tuple(expr(env, params) for expr in plan.group_exprs)
-            hashable_key = hashable_group_key(key)
-            if hashable_key not in groups:
-                groups[hashable_key] = (
-                    list(key),
-                    [_Aggregator(spec) for spec in plan.aggregates],
-                )
-                order.append(hashable_key)
-            entry = groups[hashable_key]
-            for agg in entry[1]:
-                agg.add(env, params)
-            # For non-aggregate output columns, remember first row values.
-            if any(
-                col.aggregate_index is None and col.expr is not None
-                for col in plan.columns
-            ):
-                if len(entry[0]) == len(plan.group_exprs):
-                    for col in plan.columns:
-                        if col.aggregate_index is None and col.expr is not None:
-                            entry[0].append(col.expr(env, params))
-
-        if not plan.group_exprs and not groups:
-            # Aggregates over empty input still yield one row.
-            groups[()] = ([], [_Aggregator(spec) for spec in plan.aggregates])
-            order.append(())
-
-        rows: list[tuple] = []
-        for key in order:
-            group_values, aggregators = groups[key]
-            extras = group_values[len(plan.group_exprs):]
-            extra_iter = iter(extras)
-            values: list[Any] = []
-            for col in plan.columns:
-                if col.aggregate_index is not None:
-                    values.append(aggregators[col.aggregate_index].result())
-                elif col.expr is not None:
-                    values.append(next(extra_iter, None))
-                else:  # pragma: no cover - defensive
-                    values.append(None)
-            rows.append(tuple(values))
-        return self._sort_rows(plan, rows, hidden=0)
-
-    def _sort_rows(
-        self, plan: SelectPlan, rows: list[tuple], hidden: int
-    ) -> list[tuple]:
-        return sort_result_rows(plan, rows, hidden)
 
     # -- mutations ---------------------------------------------------------------
 

@@ -20,7 +20,7 @@ import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Optional
+from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.db.engine import Database, UndoRecord
 from repro.db.errors import DeadlockError, LockTimeoutError, TransactionError
@@ -230,6 +230,7 @@ class LockManager:
 
 class TxnState(enum.Enum):
     ACTIVE = "active"
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -319,17 +320,48 @@ class Transaction:
 
     # -- outcome ---------------------------------------------------------------------
 
-    def commit(self) -> None:
+    def _check_resolvable(self) -> None:
+        if self.state not in (TxnState.ACTIVE, TxnState.PREPARED):
+            raise TransactionError(
+                f"transaction {self.id} is {self.state.value}, "
+                "not active or prepared"
+            )
+
+    def prepare(self) -> None:
+        """Vote yes in a two-phase commit: freeze the branch.
+
+        A prepared branch keeps all its locks and its undo log -- it
+        can still commit or roll back, but accepts no new work (every
+        mutation path checks for ACTIVE).  Conflicting writers on this
+        branch's shard therefore stay blocked until the coordinator
+        resolves the transaction; other shards are unaffected.
+        Idempotent on an already-prepared branch.
+        """
+        if self.state is TxnState.PREPARED:
+            return
         self._check_active()
+        self.state = TxnState.PREPARED
+
+    def commit(self) -> None:
+        self._check_resolvable()
         self._undo.clear()
         self.state = TxnState.COMMITTED
         if self.lock_manager is not None:
             self.lock_manager.release_all(self.id)
 
     def rollback(self) -> None:
-        self._check_active()
+        self._check_resolvable()
+        touched: dict[str, Any] = {}
         for record in reversed(self._undo):
-            self.database.table(record.table).undo(record)
+            table = touched.get(record.table)
+            if table is None:
+                table = self.database.table(record.table)
+                touched[record.table] = table
+            # Deferred reorder: restoring k deleted rows re-sorts each
+            # table once, not once per row.
+            table.undo(record, defer_reorder=True)
+        for table in touched.values():
+            table.ensure_scan_order()
         self._undo.clear()
         self.state = TxnState.ABORTED
         if self.lock_manager is not None:
@@ -340,6 +372,161 @@ class Transaction:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+
+
+class ShardedTransaction:
+    """Two-phase commit coordinator over per-shard branch transactions.
+
+    The statement router opens one logical transaction; a branch
+    :class:`Transaction` is minted lazily on the first statement that
+    touches a shard, so single-shard transactions pay nothing for the
+    shards they never visit.  Each branch keeps its own undo log and
+    holds locks in its shard's lock manager.
+
+    ``commit`` runs the classic protocol on the coordinator's virtual
+    clock: a transaction that touched one shard commits directly
+    (one-phase fast path); a cross-shard transaction first sends
+    PREPARE to every touched shard and, once all vote yes, sends
+    COMMIT -- two message rounds, each costing one network round trip
+    when a clock is attached.  The ``timeline`` records every protocol
+    event with its virtual timestamp for tests and reports.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        databases: "list[Database]",
+        lock_managers: Optional["list[Optional[LockManager]]"] = None,
+        *,
+        wait_for_locks: bool = False,
+        clock=None,
+        one_way_latency: float = 0.0,
+    ) -> None:
+        if not databases:
+            raise TransactionError("a sharded transaction needs shards")
+        self.id = next(ShardedTransaction._ids)
+        self.databases = databases
+        self.lock_managers = lock_managers
+        self.wait_for_locks = wait_for_locks
+        self.clock = clock
+        self.one_way_latency = one_way_latency
+        self.state = TxnState.ACTIVE
+        self._branches: dict[int, Transaction] = {}
+        self.timeline: list[tuple[float, str]] = []
+
+    # -- branches ---------------------------------------------------------------
+
+    def branch(self, shard: int) -> Transaction:
+        """The branch transaction for ``shard`` (created on first use)."""
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"sharded transaction {self.id} is {self.state.value}, "
+                "not active"
+            )
+        existing = self._branches.get(shard)
+        if existing is not None:
+            return existing
+        if not 0 <= shard < len(self.databases):
+            raise TransactionError(f"unknown shard {shard}")
+        manager = (
+            self.lock_managers[shard]
+            if self.lock_managers is not None
+            else None
+        )
+        branch = Transaction(
+            self.databases[shard], manager,
+            wait_for_locks=self.wait_for_locks,
+        )
+        self._branches[shard] = branch
+        self._record(f"begin shard {shard}")
+        return branch
+
+    def touched_shards(self) -> list[int]:
+        return sorted(self._branches)
+
+    @property
+    def undo_depth(self) -> int:
+        return sum(b.undo_depth for b in self._branches.values())
+
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    def _record(self, event: str) -> None:
+        self.timeline.append((self._now(), event))
+
+    def _advance_round_trip(self) -> None:
+        if self.clock is not None and self.one_way_latency > 0:
+            self.clock.advance(2.0 * self.one_way_latency)
+
+    # -- protocol ---------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Phase 1: freeze every touched branch (coordinator-driven).
+
+        Exposed separately so tests (and a future failure injector)
+        can hold the transaction in the prepared-but-unresolved window
+        where branch locks still block conflicting writers.
+        """
+        if self.state is TxnState.PREPARED:
+            return
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"sharded transaction {self.id} is {self.state.value}, "
+                "not active"
+            )
+        self._record("prepare sent")
+        self._advance_round_trip()
+        for shard in self.touched_shards():
+            self._branches[shard].prepare()
+            self._record(f"prepared shard {shard}")
+        self.state = TxnState.PREPARED
+
+    def commit(self) -> None:
+        if self.state not in (TxnState.ACTIVE, TxnState.PREPARED):
+            raise TransactionError(
+                f"sharded transaction {self.id} is {self.state.value}, "
+                "not active or prepared"
+            )
+        shards = self.touched_shards()
+        if len(shards) <= 1 and self.state is TxnState.ACTIVE:
+            # One-phase fast path: a single participant needs no vote.
+            for shard in shards:
+                self._branches[shard].commit()
+                self._record(f"committed shard {shard} (1pc)")
+            self.state = TxnState.COMMITTED
+            return
+        if self.state is TxnState.ACTIVE:
+            self.prepare()
+        self._record("commit sent")
+        self._advance_round_trip()
+        for shard in shards:
+            self._branches[shard].commit()
+            self._record(f"committed shard {shard}")
+        self.state = TxnState.COMMITTED
+
+    def rollback(self) -> None:
+        if self.state not in (TxnState.ACTIVE, TxnState.PREPARED):
+            raise TransactionError(
+                f"sharded transaction {self.id} is {self.state.value}, "
+                "not active or prepared"
+            )
+        for shard in self.touched_shards():
+            branch = self._branches[shard]
+            if branch.state in (TxnState.ACTIVE, TxnState.PREPARED):
+                branch.rollback()
+            self._record(f"rolled back shard {shard}")
+        self.state = TxnState.ABORTED
+
+    def __enter__(self) -> "ShardedTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state in (TxnState.ACTIVE, TxnState.PREPARED):
             if exc_type is None:
                 self.commit()
             else:

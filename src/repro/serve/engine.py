@@ -52,6 +52,7 @@ class ServeConfig:
 
     app_cores: int = 8
     db_cores: int = 16
+    db_shards: int = 1
     network: Optional[SimNetworkParams] = None
     think_time: float = 0.0
     session_pool_size: Optional[int] = None
@@ -68,6 +69,8 @@ class ServeConfig:
             raise ValueError("retry_backoff must be positive")
         if self.warmup < 0 or self.ramp < 0:
             raise ValueError("warmup and ramp must be non-negative")
+        if self.db_shards < 1:
+            raise ValueError("db_shards must be at least 1")
 
 
 class ServeEngine:
@@ -91,8 +94,16 @@ class ServeEngine:
         )
         self.loop = EventLoop(VirtualClock())
         self.app = CorePool("app", self.config.app_cores)
-        self.db = CorePool("db", self.config.db_cores)
-        self.locks = LockTable()
+        shards = self.config.db_shards
+        # One run queue and one row-group lock table per database
+        # shard: the sharded tier's servers queue independently.
+        self.dbs = [
+            CorePool("db" if shards == 1 else f"db{i}", self.config.db_cores)
+            for i in range(shards)
+        ]
+        self.db = self.dbs[0]
+        self.lock_tables = [LockTable() for _ in range(shards)]
+        self.locks = self.lock_tables[0]
         self.rng = random.Random(self.config.seed)
         self.pool: Optional[SessionPool] = None
         self._result: Optional[ServeResult] = None
@@ -110,16 +121,27 @@ class ServeEngine:
         self.loop.schedule(delay, action)
 
     def db_utilization_window(self) -> float:
-        """DB utilization since the last call (adaptive controller feed)."""
-        return self.db.window_utilization(self.now)
+        """DB-tier utilization since the last call (adaptive controller
+        feed): the mean across shard servers, so the controller keeps
+        seeing one load signal whatever the shard count."""
+        now = self.now
+        return sum(
+            pool.window_utilization(now) for pool in self.dbs
+        ) / len(self.dbs)
 
     def set_db_external_load(self, fraction: float) -> None:
-        """Reserve a fraction of DB cores for external work, effective now."""
+        """Reserve a fraction of DB cores for external work, effective
+        now (applied uniformly across the shard servers)."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("external load fraction must be in [0, 1]")
-        reserved = int(round(fraction * self.db.cores))
-        self.db.set_reserved(self.now, reserved)
-        self.db.drain(self.now)
+        now = self.now
+        for pool in self.dbs:
+            reserved = int(round(fraction * pool.cores))
+            pool.set_reserved(now, reserved)
+            pool.drain(now)
+
+    def _lock_table_for(self, group: int) -> LockTable:
+        return self.lock_tables[group % len(self.lock_tables)]
 
     # -- client lifecycle -------------------------------------------------
 
@@ -171,7 +193,7 @@ class ServeEngine:
             def begin() -> None:
                 self._run_stage(trace, 0, cid, session, arrived, option, group)
 
-            self.locks.acquire(group, begin)
+            self._lock_table_for(group).acquire(group, begin)
         else:
             self._run_stage(trace, 0, cid, session, arrived, option, None)
 
@@ -187,12 +209,16 @@ class ServeEngine:
     ) -> None:
         if idx >= len(trace.stages):
             if lock_group is not None:
-                self.locks.release(lock_group)
+                self._lock_table_for(lock_group).release(lock_group)
             self._complete(trace, cid, session, arrived, option)
             return
         stage = trace.stages[idx]
         if stage.is_cpu:
-            pool = self.app if stage.kind == StageKind.APP_CPU else self.db
+            if stage.kind == StageKind.APP_CPU:
+                pool = self.app
+            else:
+                dbs = self.dbs
+                pool = dbs[stage.shard] if stage.shard < len(dbs) else dbs[0]
 
             def occupy() -> None:
                 def finish() -> None:
@@ -284,7 +310,12 @@ class ServeEngine:
         result = self._result
         end = max(self.now, duration)
         result.app_utilization = self.app.utilization(end)
-        result.db_utilization = self.db.utilization(end)
+        result.db_shard_utilization = [
+            pool.utilization(end) for pool in self.dbs
+        ]
+        result.db_utilization = sum(result.db_shard_utilization) / len(
+            result.db_shard_utilization
+        )
         result.rejected = sum(c.rejected for c in self._clients)
         result.pool = self.pool.stats
         result.controller = self.controller.summary()

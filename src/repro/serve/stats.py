@@ -67,6 +67,9 @@ class ServeResult:
     per_client: list[ClientStats] = field(default_factory=list)
     app_utilization: float = 0.0
     db_utilization: float = 0.0
+    # Per-shard DB server utilization (one entry in the classic
+    # single-server deployment; db_utilization is their mean).
+    db_shard_utilization: list[float] = field(default_factory=list)
     pool: Optional[PoolStats] = None
     controller: Optional[SwitcherSummary] = None
     live_executions: int = 0

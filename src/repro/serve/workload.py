@@ -96,13 +96,22 @@ class TraceWorkload(ServeWorkload):
 
 @dataclass
 class ProgramOption:
-    """One partitioning of one application, ready to execute."""
+    """One partitioning of one application, ready to execute.
+
+    ``pool_key`` (optional) buckets the option's bounded trace pool by
+    a property of the drawn call -- e.g. the TPC-C warehouse, so that
+    replayed traces preserve the live mix's shard affinity instead of
+    whatever shards the first few live executions happened to hit.
+    When set, every draw consults ``next_call`` (like
+    ``method_pools``).
+    """
 
     label: str
     class_name: str
     app: PartitionedApp
     next_call: CallFactory
     lock_groups: Optional[int] = None
+    pool_key: Optional[Callable[[str, tuple], str]] = None
 
 
 class LiveWorkload(ServeWorkload):
@@ -176,9 +185,10 @@ class LiveWorkload(ServeWorkload):
         pool: list,
         method: Optional[str] = None,
         args: Optional[tuple] = None,
+        key: str = "",
     ) -> TransactionTrace:
         opt = self.options[option]
-        pool_key = (option, method if self.method_pools else "")
+        pool_key = (option, key)
         if method is None:
             method, args = opt.next_call()
         if self.profiler is not None and hasattr(opt.app, "invoke_profiled"):
@@ -210,15 +220,19 @@ class LiveWorkload(ServeWorkload):
         method: Optional[str] = None
         args: Optional[tuple] = None
         key = ""
-        if self.method_pools:
+        if self.method_pools or opt.pool_key is not None:
             method, args = opt.next_call()
-            key = method
+            key = (
+                opt.pool_key(method, args)
+                if opt.pool_key is not None
+                else method
+            )
         pool = self._pools[option].setdefault(key, [])
         if len(pool) < self.pool_size or (
             self.refresh_every
             and self._draws[option] % self.refresh_every == 0
         ):
-            return self._execute(option, pool, method, args)
+            return self._execute(option, pool, method, args, key)
         self._replays += 1
         trace, sid_counts = pool[rng.randrange(len(pool))]
         self._observe(sid_counts)
@@ -307,17 +321,36 @@ def make_tpcc_workload(
     seed: int = 31,
     pool_size: int = 16,
     interp: Optional[str] = None,
+    shards: int = 1,
+    shard_key: str = "warehouse",
+    warehouses: Optional[int] = None,
 ) -> BuiltWorkload:
-    """TPC-C new-order under two partitionings (JDBC-like, proc-like)."""
+    """TPC-C new-order under two partitionings (JDBC-like, proc-like).
+
+    ``shards`` > 1 deploys the sharded database tier: every option
+    runs against a :class:`~repro.db.shard.ShardedDatabase` of that
+    many single-``db_cores`` servers through the statement router,
+    with ``shard_key`` choosing warehouse-affine or hashed placement.
+    ``warehouses`` overrides the scale (the shard sweep pins it so a
+    1 -> 4 shard comparison runs the same logical workload at every
+    point); by default a sharded tier gets at least four.
+    """
     from repro.workloads.tpcc import (
         TPCC_ENTRY_POINTS,
         TPCC_SOURCE,
         TpccInputGenerator,
         TpccScale,
+        make_sharded_tpcc_database,
         make_tpcc_database,
     )
 
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
     scale = TpccScale()
+    if warehouses is not None:
+        scale = TpccScale(warehouses=max(warehouses, shards))
+    elif shards > 1:
+        scale = TpccScale(warehouses=max(4, scale.warehouses, shards))
     lock_groups = scale.warehouses * scale.districts_per_warehouse
     latency = SERVE_TPCC_ONE_WAY_LATENCY
 
@@ -341,13 +374,20 @@ def make_tpcc_workload(
     )
 
     def make_option(label: str, part) -> ProgramOption:
-        _, conn = make_tpcc_database(scale)
         cluster = Cluster(
             ClusterConfig(
-                app_cores=8, db_cores=db_cores, one_way_latency=latency
+                app_cores=8, db_cores=db_cores, one_way_latency=latency,
+                db_shards=shards,
             ),
             SERVE_TPCC_COST_MODEL,
         )
+        if shards > 1:
+            sdb, conn = make_sharded_tpcc_database(
+                scale, shards=shards, shard_key=shard_key
+            )
+            cluster.attach_sharded_database(sdb)
+        else:
+            _, conn = make_tpcc_database(scale)
         gen = TpccInputGenerator(scale, seed=seed + 1)
 
         def next_call() -> tuple[str, tuple]:
@@ -358,9 +398,17 @@ def make_tpcc_workload(
             )
 
         app = PartitionedApp(part.compiled, cluster, conn, interp=interp)
+        # With a sharded tier, pool replayed traces per warehouse:
+        # each trace is pinned to the shard it executed on, so the
+        # replay mix must preserve the warehouse distribution for the
+        # load to spread across shard servers.
+        pool_key = (
+            (lambda method, args: f"w{args[0]}") if shards > 1 else None
+        )
         return ProgramOption(
             label=label, class_name="TpccTransactions", app=app,
             next_call=next_call, lock_groups=lock_groups,
+            pool_key=pool_key,
         )
 
     workload = LiveWorkload(
@@ -371,6 +419,9 @@ def make_tpcc_workload(
         workload=workload,
         network=SimNetworkParams(one_way_latency=latency),
         notes={"lock_groups": lock_groups,
+               "shards": shards,
+               "shard_key": shard_key if shards > 1 else None,
+               "warehouses": scale.warehouses,
                "fraction_on_db": {
                    "jdbc_like": low.fraction_on_db,
                    "proc_like": high.fraction_on_db,
@@ -378,13 +429,24 @@ def make_tpcc_workload(
     )
 
 
+def _reject_shards(workload: str, shards: int) -> None:
+    if shards != 1:
+        raise ValueError(
+            f"workload {workload!r} does not support a sharded database "
+            "tier yet; use --workload tpcc with --shards"
+        )
+
+
 def make_tpcw_workload(
     db_cores: int = 16,
     seed: int = 41,
     pool_size: int = 16,
     interp: Optional[str] = None,
+    shards: int = 1,
+    shard_key: str = "warehouse",
 ) -> BuiltWorkload:
     """TPC-W browsing mix under two partitionings."""
+    _reject_shards("tpcw", shards)
     from repro.workloads.tpcw import (
         TPCW_ENTRY_POINTS,
         TPCW_SOURCE,
@@ -448,8 +510,11 @@ def make_micro_workload(
     seed: int = 11,
     pool_size: int = 4,
     interp: Optional[str] = None,
+    shards: int = 1,
+    shard_key: str = "warehouse",
 ) -> BuiltWorkload:
     """Three-phase microbenchmark under two partitionings (APP, DB)."""
+    _reject_shards("micro", shards)
     from repro.workloads.micro import (
         THREE_PHASE_ENTRY_POINTS,
         THREE_PHASE_SOURCE,

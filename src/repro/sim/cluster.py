@@ -24,7 +24,10 @@ class ClusterConfig:
 
     Paper defaults: 8-core application server, 16-core database server,
     2 ms round-trip network.  The limited-CPU experiments use
-    ``db_cores=3``.
+    ``db_cores=3``.  ``db_shards`` > 1 models a horizontally sharded
+    database tier: N independent database servers of ``db_cores``
+    each, with DB work attributed to the shard the statement router
+    last executed on.
     """
 
     app_cores: int = 8
@@ -32,6 +35,11 @@ class ClusterConfig:
     one_way_latency: float = 0.001
     bandwidth: float = 125_000_000.0
     per_message_overhead: int = 64
+    db_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.db_shards < 1:
+            raise ValueError("a cluster needs at least one database shard")
 
     def network_params(self) -> SimNetworkParams:
         return SimNetworkParams(
@@ -59,7 +67,19 @@ class Cluster:
         model = cost_model if cost_model is not None else CostModel()
         self.clock = VirtualClock()
         self.app = Server("app", cores=self.config.app_cores, cost_model=model)
-        self.db = Server("db", cores=self.config.db_cores, cost_model=model)
+        shards = self.config.db_shards
+        self.db_servers = [
+            Server(
+                "db" if shards == 1 else f"db{i}",
+                cores=self.config.db_cores,
+                cost_model=model,
+            )
+            for i in range(shards)
+        ]
+        # The classic single-server handle; with shards it names the
+        # first database server (callers wanting the tier use
+        # ``db_servers``).
+        self.db = self.db_servers[0]
         self.network = NetworkModel(
             one_way_latency=self.config.one_way_latency,
             bandwidth=self.config.bandwidth,
@@ -69,17 +89,68 @@ class Cluster:
         # CPU accumulates lazily per server and is flushed into a Stage
         # when a message interleaves (or the trace ends); this keeps
         # per-operation accounting cheap on the runtime's hot path.
-        self._pending_cpu: dict[str, float] = {"app": 0.0, "db": 0.0}
+        # Keys are "app" and "db:<shard>".
+        self._pending_cpu: dict[str, float] = {"app": 0.0, "db:0": 0.0}
         self._last_cpu_side: str = "app"
+        # Which database shard the router last executed a statement on
+        # -- "db" CPU charges from the runtime land there.
+        self._statement_shard = 0
+
+    @property
+    def db_shards(self) -> int:
+        return len(self.db_servers)
 
     def server(self, name: str) -> Server:
         if name == "app":
             return self.app
         if name == "db":
             return self.db
+        if name.startswith("db"):
+            try:
+                return self.db_servers[int(name[2:])]
+            except (ValueError, IndexError):
+                pass
         raise KeyError(f"unknown server {name!r}")
 
+    # -- shard attribution ---------------------------------------------------
+
+    def set_statement_shard(self, shard: int) -> None:
+        """Attribute subsequent "db" CPU to ``shard``.
+
+        The sharded workload wiring hooks every shard database's
+        observer to this, so the runtime's per-statement DB charges
+        (and DB-placed block execution, which stays co-located with
+        the data it just touched) land on the server that did the
+        work.
+        """
+        if not 0 <= shard < len(self.db_servers):
+            raise ValueError(f"unknown database shard {shard}")
+        self._statement_shard = shard
+
+    def attach_sharded_database(self, sharded_db) -> None:
+        """Wire a :class:`~repro.db.shard.ShardedDatabase`'s per-shard
+        observers so statement execution steers DB-CPU attribution."""
+        if len(sharded_db.shards) != len(self.db_servers):
+            raise ValueError(
+                f"database has {len(sharded_db.shards)} shard(s) but the "
+                f"cluster has {len(self.db_servers)} database server(s)"
+            )
+        for index, shard_db in enumerate(sharded_db.shards):
+            shard_db.observer = (
+                lambda op, table, rows, index=index:
+                self.set_statement_shard(index)
+            )
+
     # -- trace recording ----------------------------------------------------
+
+    def _cpu_key(self, server: str) -> str:
+        if server == "app":
+            return "app"
+        if server == "db":
+            return f"db:{self._statement_shard}"
+        if server.startswith("db"):
+            return f"db:{int(server[2:] or 0)}"
+        raise KeyError(f"unknown server {server!r}")
 
     def record_cpu(self, server: str, seconds: float) -> None:
         """Charge CPU time on ``server`` and extend the current trace."""
@@ -87,32 +158,40 @@ class Cluster:
             if seconds < 0:
                 raise ValueError("cannot charge negative CPU time")
             return
-        if server != self._last_cpu_side and self._pending_cpu[
+        key = self._cpu_key(server)
+        if key != self._last_cpu_side and self._pending_cpu.get(
             self._last_cpu_side
-        ]:
+        ):
             self._flush_cpu(self._last_cpu_side)
-        self._last_cpu_side = server
-        self._pending_cpu[server] += seconds
+        self._last_cpu_side = key
+        self._pending_cpu[key] = self._pending_cpu.get(key, 0.0) + seconds
 
-    def _flush_cpu(self, server: str) -> None:
-        seconds = self._pending_cpu[server]
+    def _flush_cpu(self, key: str) -> None:
+        seconds = self._pending_cpu.get(key, 0.0)
         if seconds <= 0:
             return
-        self._pending_cpu[server] = 0.0
-        kind = StageKind.APP_CPU if server == "app" else StageKind.DB_CPU
-        self.clock.advance(seconds)
-        if self._stages and self._stages[-1].kind == kind:
-            prev = self._stages[-1]
-            self._stages[-1] = Stage(kind, prev.duration + seconds, prev.nbytes)
+        self._pending_cpu[key] = 0.0
+        if key == "app":
+            kind, shard = StageKind.APP_CPU, 0
         else:
-            self._stages.append(Stage(kind, seconds))
+            kind, shard = StageKind.DB_CPU, int(key.split(":", 1)[1])
+        self.clock.advance(seconds)
+        if self._stages:
+            prev = self._stages[-1]
+            if prev.kind == kind and prev.shard == shard:
+                self._stages[-1] = Stage(
+                    kind, prev.duration + seconds, prev.nbytes, shard
+                )
+                return
+        self._stages.append(Stage(kind, seconds, shard=shard))
 
     def _flush_all_cpu(self) -> None:
-        # Preserve causal order: the side that ran first flushes first.
-        first = self._last_cpu_side
-        other = "db" if first == "app" else "app"
-        self._flush_cpu(other)
-        self._flush_cpu(first)
+        # Preserve causal order: the side that ran last flushes last.
+        last = self._last_cpu_side
+        for key in sorted(self._pending_cpu):
+            if key != last:
+                self._flush_cpu(key)
+        self._flush_cpu(last)
 
     def record_message(self, nbytes: int, *, to_db: bool) -> float:
         """Record a one-way message; returns its delivery delay."""
@@ -136,7 +215,9 @@ class Cluster:
     def reset(self) -> None:
         self.clock.reset()
         self.app.reset()
-        self.db.reset()
+        for server in self.db_servers:
+            server.reset()
         self.network.reset_stats()
         self._stages = []
-        self._pending_cpu = {"app": 0.0, "db": 0.0}
+        self._pending_cpu = {"app": 0.0, "db:0": 0.0}
+        self._statement_shard = 0

@@ -41,12 +41,15 @@ class Stage:
 
     ``duration`` is CPU seconds for CPU stages and is ignored for
     network stages (their delay is computed from ``nbytes`` and the
-    network model).
+    network model).  ``shard`` identifies which database server of a
+    sharded tier a DB_CPU stage occupies (0 in the classic
+    single-server deployment).
     """
 
     kind: StageKind
     duration: float = 0.0
     nbytes: int = 0
+    shard: int = 0
 
     def __post_init__(self) -> None:
         if self.duration < 0:

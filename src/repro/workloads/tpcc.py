@@ -124,45 +124,52 @@ def customer_last_name(number: int) -> str:
     )
 
 
-def load_tpcc(db: Database, scale: TpccScale, seed: int = 42) -> None:
-    """Populate the database (direct engine inserts for speed)."""
-    rng = random.Random(seed)
-    warehouse = db.table("warehouse")
-    district = db.table("district")
-    customer = db.table("customer")
-    item = db.table("item")
-    stock = db.table("stock")
+def tpcc_rows(scale: TpccScale, seed: int = 42):
+    """Yield ``(table, values)`` in deterministic load order.
 
+    One row stream feeds both loaders: direct engine inserts into a
+    single :class:`Database` and routed inserts into a
+    :class:`~repro.db.shard.ShardedDatabase` see identical rows in
+    identical order (which keeps rowids -- and therefore scan order --
+    comparable between the two deployments).
+    """
+    rng = random.Random(seed)
     for i_id in range(1, scale.items + 1):
-        item.insert(
-            (i_id, f"item-{i_id}", round(rng.uniform(1.0, 100.0), 2),
-             f"data-{i_id}")
+        yield "item", (
+            i_id, f"item-{i_id}", round(rng.uniform(1.0, 100.0), 2),
+            f"data-{i_id}",
         )
     for w_id in range(1, scale.warehouses + 1):
-        warehouse.insert(
-            (w_id, f"wh-{w_id}", round(rng.uniform(0.0, 0.2), 4), 0.0)
+        yield "warehouse", (
+            w_id, f"wh-{w_id}", round(rng.uniform(0.0, 0.2), 4), 0.0
         )
         for i_id in range(1, scale.items + 1):
-            stock.insert(
-                (i_id, w_id, rng.randint(10, 100), 0.0, 0, 0,
-                 f"dist-{w_id}-{i_id % 10}")
+            yield "stock", (
+                i_id, w_id, rng.randint(10, 100), 0.0, 0, 0,
+                f"dist-{w_id}-{i_id % 10}",
             )
         for d_id in range(1, scale.districts_per_warehouse + 1):
-            district.insert(
-                (d_id, w_id, f"dist-{d_id}",
-                 round(rng.uniform(0.0, 0.2), 4), 0.0, 1)
+            yield "district", (
+                d_id, w_id, f"dist-{d_id}",
+                round(rng.uniform(0.0, 0.2), 4), 0.0, 1,
             )
             for c_id in range(1, scale.customers_per_district + 1):
                 credit = "BC" if rng.random() < 0.1 else "GC"
-                customer.insert(
-                    (c_id, d_id, w_id, f"first-{c_id}",
-                     customer_last_name(
-                         nurand(rng, 255, 0, 999)
-                         if c_id > 1000 else c_id % 1000
-                     ),
-                     credit, round(rng.uniform(0.0, 0.5), 4),
-                     -10.0, 10.0, 1)
+                yield "customer", (
+                    c_id, d_id, w_id, f"first-{c_id}",
+                    customer_last_name(
+                        nurand(rng, 255, 0, 999)
+                        if c_id > 1000 else c_id % 1000
+                    ),
+                    credit, round(rng.uniform(0.0, 0.5), 4),
+                    -10.0, 10.0, 1,
                 )
+
+
+def load_tpcc(db: Database, scale: TpccScale, seed: int = 42) -> None:
+    """Populate the database (direct engine inserts for speed)."""
+    for table, values in tpcc_rows(scale, seed):
+        db.table(table).insert(values)
 
 
 def nurand(rng: random.Random, a: int, x: int, y: int, c: int = 7) -> int:
@@ -371,6 +378,72 @@ def make_tpcc_database(
     create_tpcc_schema(db)
     load_tpcc(db, scale, seed=seed)
     return db, connect(db)
+
+
+# Warehouse column per sharded table.  ``item`` is a read-mostly
+# dimension table replicated to every shard; ``history`` has no
+# warehouse component in its primary key, so it shards by ``h_id``.
+TPCC_WAREHOUSE_COLUMNS = {
+    "warehouse": ("w_id",),
+    "district": ("d_w_id",),
+    "customer": ("c_w_id",),
+    "stock": ("s_w_id",),
+    "orders": ("o_w_id",),
+    "new_order": ("no_w_id",),
+    "order_line": ("ol_w_id",),
+}
+
+TPCC_SHARD_KEYS = ("warehouse", "hash")
+
+
+def tpcc_sharding_scheme(shard_key: str = "warehouse"):
+    """The TPC-C sharding scheme.
+
+    ``warehouse`` is the affine placement (warehouse id modulo shard
+    count -- a transaction's statements stay on one shard except the
+    ~1% remote-stock order lines); ``hash`` spreads the same keys by
+    stable hash instead, which breaks warehouse affinity and exists
+    mostly as the uncooperative baseline.
+    """
+    from repro.db.shard import ShardingScheme, TableSharding
+
+    if shard_key not in TPCC_SHARD_KEYS:
+        raise ValueError(
+            f"unknown TPC-C shard key {shard_key!r}; "
+            f"options: {TPCC_SHARD_KEYS}"
+        )
+    strategy = "mod" if shard_key == "warehouse" else "hash"
+    tables: dict = {
+        table: TableSharding(columns, strategy=strategy)
+        for table, columns in TPCC_WAREHOUSE_COLUMNS.items()
+    }
+    tables["history"] = TableSharding(("h_id",), strategy="hash")
+    tables["item"] = None  # replicated
+    return ShardingScheme(tables)
+
+
+def make_sharded_tpcc_database(
+    scale: TpccScale | None = None,
+    shards: int = 2,
+    shard_key: str = "warehouse",
+    seed: int = 42,
+    sql_exec: str | None = None,
+):
+    """Create, load and connect to a sharded TPC-C database.
+
+    Returns ``(ShardedDatabase, ShardedConnection)``; the loader
+    routes the same deterministic row stream as :func:`load_tpcc`.
+    """
+    from repro.db.shard import ShardedDatabase, connect_sharded
+
+    scale = scale if scale is not None else TpccScale()
+    sdb = ShardedDatabase(
+        "tpcc", shards=shards, scheme=tpcc_sharding_scheme(shard_key)
+    )
+    create_tpcc_schema(sdb)
+    for table, values in tpcc_rows(scale, seed):
+        sdb.insert(table, values)
+    return sdb, connect_sharded(sdb, sql_exec=sql_exec)
 
 
 def new_order_statement_script(

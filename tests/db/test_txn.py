@@ -193,3 +193,276 @@ class TestTransaction:
         txn2.lock_table("acct", exclusive=False)
         txn1.commit()
         txn2.commit()
+
+
+# ---------------------------------------------------------------------------
+# Two-phase commit over shards
+# ---------------------------------------------------------------------------
+
+
+def _sharded_fixture(shards=2):
+    from repro.db import ShardedDatabase, ShardingScheme, TableSharding
+
+    scheme = ShardingScheme({"acct": TableSharding(("id",), "mod")})
+    sdb = ShardedDatabase("bank", shards=shards, scheme=scheme)
+    sdb.create_table(
+        "acct", [("id", "int", False), ("bal", "float")], primary_key=["id"]
+    )
+    for i in range(6):
+        sdb.insert("acct", (i, 100.0))
+    managers = [LockManager() for _ in range(shards)]
+    return sdb, managers
+
+
+class TestTransactionPrepare:
+    def test_prepare_freezes_new_work_but_allows_resolution(self, db):
+        txn = Transaction(db)
+        _, undo = db.table("acct").insert((3, 1.0))
+        txn.record_undo(undo)
+        txn.prepare()
+        with pytest.raises(TransactionError):
+            txn.record_undo(undo)
+        txn.prepare()  # idempotent
+        txn.rollback()
+        assert db.table("acct").lookup_pk((3,)) is None
+
+    def test_prepared_transaction_can_commit(self, db):
+        txn = Transaction(db)
+        txn.prepare()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.prepare()
+
+
+class TestShardedTransaction:
+    def test_cross_shard_abort_releases_all_shard_locks(self):
+        from repro.db import ShardedTransaction
+
+        sdb, managers = _sharded_fixture()
+        txn = ShardedTransaction(sdb.shards, managers)
+        txn.branch(0).lock_row("acct", 1)
+        txn.branch(1).lock_row("acct", 2)
+        assert managers[0].held_by(txn.branch(0).id)
+        assert managers[1].held_by(txn.branch(1).id)
+        branch_ids = [txn.branch(0).id, txn.branch(1).id]
+        txn.rollback()
+        for manager, branch_id in zip(managers, branch_ids):
+            assert not manager.held_by(branch_id)
+            assert not manager.wait_for_edges()
+
+    def test_prepared_shard_blocks_conflicting_writers_only_there(self):
+        from repro.db import ShardedTransaction
+
+        sdb, managers = _sharded_fixture()
+        txn = ShardedTransaction(sdb.shards, managers)
+        txn.branch(0).lock_row("acct", 1)
+        txn.prepare()
+        # Conflicting writer on the prepared shard stays blocked.
+        rival_same = Transaction(sdb.shards[0], managers[0],
+                                 wait_for_locks=True)
+        granted = managers[0].acquire(
+            rival_same.id, ("row", "acct", 1), LockMode.EXCLUSIVE
+        )
+        assert not granted  # queued behind the prepared branch
+        # A writer on the untouched shard proceeds immediately.
+        rival_other = Transaction(sdb.shards[1], managers[1])
+        rival_other.lock_row("acct", 2)
+        rival_other.commit()
+        # Resolution unblocks the queued rival.
+        txn.commit()
+        holders = managers[0].holders(("row", "acct", 1))
+        assert holders == {rival_same.id: LockMode.EXCLUSIVE}
+
+    def test_single_shard_commit_is_one_phase(self):
+        from repro.db import ShardedTransaction
+        from repro.sim.clock import VirtualClock
+
+        sdb, managers = _sharded_fixture()
+        clock = VirtualClock()
+        txn = ShardedTransaction(
+            sdb.shards, managers, clock=clock, one_way_latency=0.001
+        )
+        branch = txn.branch(0)
+        _, undo = sdb.shards[0].table("acct").insert((10, 5.0))
+        branch.record_undo(undo)
+        txn.commit()
+        assert clock.now == 0.0  # no prepare round for one participant
+        assert any("1pc" in event for _, event in txn.timeline)
+
+    def test_cross_shard_commit_costs_two_round_trips(self):
+        from repro.db import ShardedTransaction
+        from repro.sim.clock import VirtualClock
+
+        sdb, managers = _sharded_fixture()
+        clock = VirtualClock()
+        txn = ShardedTransaction(
+            sdb.shards, managers, clock=clock, one_way_latency=0.001
+        )
+        txn.branch(0).lock_row("acct", 0)
+        txn.branch(1).lock_row("acct", 1)
+        txn.commit()
+        assert abs(clock.now - 0.004) < 1e-12  # prepare + commit rounds
+        events = [event for _, event in txn.timeline]
+        assert "prepare sent" in events and "commit sent" in events
+        prepared = [e for e in events if e.startswith("prepared shard")]
+        committed = [e for e in events if e.startswith("committed shard")]
+        assert len(prepared) == len(committed) == 2
+        # Phase 1 strictly precedes phase 2.
+        assert events.index("commit sent") > max(
+            events.index(e) for e in prepared
+        )
+
+    def test_cross_shard_rollback_undoes_every_branch(self):
+        from repro.db import ShardedTransaction, connect_sharded
+
+        sdb, managers = _sharded_fixture()
+        conn = connect_sharded(sdb, sql_exec="compiled")
+        before = sdb.logical_rows("acct")
+        txn = conn.begin()
+        conn.execute("UPDATE acct SET bal = bal + ? WHERE id = ?", 1.0, 0)
+        conn.execute("UPDATE acct SET bal = bal + ? WHERE id = ?", 1.0, 1)
+        conn.execute("INSERT INTO acct (id, bal) VALUES (?, ?)", 11, 1.0)
+        assert len(txn.touched_shards()) == 2
+        assert txn.undo_depth == 3
+        conn.rollback()
+        assert sdb.logical_rows("acct") == before
+
+    def test_resolved_transaction_rejects_new_branches(self):
+        from repro.db import ShardedTransaction
+
+        sdb, managers = _sharded_fixture()
+        txn = ShardedTransaction(sdb.shards, managers)
+        txn.branch(0)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.branch(1)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+
+class TestShardConfigurationFailFast:
+    def test_zero_shards_rejected(self):
+        from repro.db import ShardedDatabase, ShardError
+
+        with pytest.raises(ShardError):
+            ShardedDatabase("bad", shards=0)
+
+    def test_unknown_shard_key_column_rejected(self):
+        from repro.db import ShardedDatabase, ShardError, ShardingScheme
+
+        sdb = ShardedDatabase(
+            "bad", shards=2,
+            scheme=ShardingScheme({"acct": ("missing",)}),
+        )
+        with pytest.raises(ShardError, match="missing"):
+            sdb.create_table(
+                "acct", [("id", "int", False)], primary_key=["id"]
+            )
+
+    def test_shard_key_outside_primary_key_rejected(self):
+        from repro.db import ShardedDatabase, ShardError, ShardingScheme
+
+        sdb = ShardedDatabase(
+            "bad", shards=2,
+            scheme=ShardingScheme({"acct": ("bal",)}),
+        )
+        with pytest.raises(ShardError, match="primary key"):
+            sdb.create_table(
+                "acct", [("id", "int", False), ("bal", "float")],
+                primary_key=["id"],
+            )
+
+    def test_updating_shard_key_rejected_at_prepare(self):
+        from repro.db import ShardRoutingError, connect_sharded
+
+        sdb, _ = _sharded_fixture()
+        conn = connect_sharded(sdb)
+        with pytest.raises(ShardRoutingError, match="shard key"):
+            conn.prepare("UPDATE acct SET id = id + 1 WHERE bal > 0")
+
+    def test_unroutable_cross_shard_join_rejected(self):
+        from repro.db import (
+            ShardRoutingError,
+            ShardedDatabase,
+            ShardingScheme,
+            connect_sharded,
+        )
+
+        scheme = ShardingScheme({"a": ("id",), "b": ("id",)})
+        sdb = ShardedDatabase("bad", shards=2, scheme=scheme)
+        sdb.create_table("a", [("id", "int", False)], primary_key=["id"])
+        sdb.create_table("b", [("id", "int", False)], primary_key=["id"])
+        conn = connect_sharded(sdb)
+        with pytest.raises(ShardRoutingError):
+            conn.prepare(
+                "SELECT a.id FROM a a JOIN b b ON a.id < b.id"
+            )
+
+    def test_unknown_strategy_rejected(self):
+        from repro.db import ShardError, TableSharding
+
+        with pytest.raises(ShardError, match="strategy"):
+            TableSharding(("id",), "roundrobin")
+
+
+class TestShardRoutingRegressions:
+    def test_numerically_equal_keys_route_to_one_shard(self):
+        """1, 1.0 and True are the same key to the engine, so the
+        router must send them to the same shard (repr-hash would not)."""
+        from repro.db import (
+            ShardedDatabase,
+            ShardingScheme,
+            TableSharding,
+            connect_sharded,
+        )
+
+        for strategy in ("hash", "mod"):
+            scheme = ShardingScheme(
+                {"kv": TableSharding(("k",), strategy)}
+            )
+            sdb = ShardedDatabase("t", shards=3, scheme=scheme)
+            sdb.create_table(
+                "kv", [("k", "int", False), ("v", "int")],
+                primary_key=["k"],
+            )
+            conn = connect_sharded(sdb)
+            conn.execute("INSERT INTO kv (k, v) VALUES (?, ?)", 1, 10)
+            assert conn.query_scalar(
+                "SELECT v FROM kv WHERE k = ?", 1.0
+            ) == 10, strategy
+            assert conn.query_scalar(
+                "SELECT v FROM kv WHERE k = ?", True
+            ) == 10, strategy
+
+    def test_failed_autocommit_statement_releases_locks(self):
+        """A failed autocommit statement rolls its implicit transaction
+        back on both deployments -- no stranded locks, no abandoned
+        cross-shard undo."""
+        from repro.db import (
+            Database,
+            ShardedDatabase,
+            ShardingScheme,
+            connect,
+            connect_sharded,
+        )
+        from repro.db.errors import IntegrityError
+
+        scheme = ShardingScheme({"kv": ("k",)})
+        sdb = ShardedDatabase("t", shards=2, scheme=scheme)
+        sdb.create_table(
+            "kv", [("k", "int", False), ("v", "int")], primary_key=["k"]
+        )
+        sharded_conn = connect_sharded(sdb, use_locks=True)
+        single_db = Database("s")
+        single_db.create_table(
+            "kv", [("k", "int", False), ("v", "int")], primary_key=["k"]
+        )
+        single_conn = connect(single_db, use_locks=True)
+        for conn in (sharded_conn, single_conn):
+            conn.execute("INSERT INTO kv (k, v) VALUES (?, ?)", 1, 1)
+            with pytest.raises(IntegrityError):
+                conn.execute("INSERT INTO kv (k, v) VALUES (?, ?)", 1, 2)
+            # The table lock of the failed statement must be gone.
+            assert conn.execute(
+                "INSERT INTO kv (k, v) VALUES (?, ?)", 2, 2
+            ) == 1

@@ -42,6 +42,19 @@ class TestDynamicSwitchingExample:
         assert "JDBC-like fraction: 0% -> 100%" in out
 
 
+class TestShardedTierExample:
+    def test_example_runs_identical_and_scales(self):
+        # Exits non-zero if the sharded deployment's results diverge
+        # from the single server, the demo transaction fails to cross
+        # shards, or the 1 -> 4 shard sweep fails to scale throughput.
+        proc = run_example("sharded_tier.py")
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout
+        assert "0 mismatch(es)" in out
+        assert "2PC took" in out
+        assert "speedup" in out
+
+
 class TestOnlineRepartitioningExample:
     def test_example_runs_and_mints(self):
         # The example exits non-zero if no partitioning was minted or
