@@ -84,8 +84,8 @@ def main() -> int:
     commit_ms = 1000.0 * (clock.now - t0)
     print(f"cross-shard commit touched shards {touched}; "
           f"2PC took {commit_ms:.1f} ms on the virtual clock:")
-    for when, event in txn.timeline:
-        print(f"  t={1000.0 * when:8.1f} ms  {event}")
+    for when, phase, event in txn.timeline:
+        print(f"  t={1000.0 * when:8.1f} ms  [{phase}] {event}")
 
     # Serve-engine scaling: the same workload at 1 and 4 shards.
     from repro.bench.serve_experiments import serve_shard_sweep

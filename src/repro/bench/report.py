@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     Micro1Result,
 )
 from repro.bench.serve_experiments import (
+    FailoverRunResult,
     RepartitionRunResult,
     ServeSwitchResult,
     ShardSweepResult,
@@ -153,6 +154,54 @@ def format_serve_shard_sweep(result: ShardSweepResult) -> str:
     lines.append(
         f"speedup at {max(p.shards for p in result.points)} shards: "
         f"{result.speedup:.2f}x over the single-server baseline"
+    )
+    return "\n".join(lines)
+
+
+def _two_pc_line(two_pc: dict | None, aborted: int, retries: int) -> str:
+    """The 2PC abort/retry summary line of a replicated serve run."""
+    parts = []
+    if two_pc:
+        parts.append(
+            f"2PC: {two_pc.get('commits', 0)} commit(s), "
+            f"{two_pc.get('aborts', 0)} abort(s)"
+        )
+    parts.append(f"txn aborts: {aborted}, retries: {retries}")
+    return "; ".join(parts)
+
+
+def format_serve_failover(result: FailoverRunResult) -> str:
+    """Fault-injected run: recovery time and throughput on both sides."""
+    lines = [
+        f"== serve failover: tpcc ({result.clients} clients, "
+        f"{result.shards} shard(s) x (primary + {result.replicas} "
+        f"replica(s))) =="
+    ]
+    lines.append("faults fired:")
+    for when, label in result.faults_fired:
+        lines.append(f"  t={when:6.2f}s  {label}")
+    for event in result.failovers:
+        lines.append(
+            f"failover: shard {event.shard} -> replica "
+            f"{event.chosen_replica} (replayed {event.replayed_entries} "
+            f"log entr(ies), generation {event.generation}); detected "
+            f"+{event.detected_at - event.crashed_at:.2f}s, promoted "
+            f"+{event.recovery_time:.2f}s after the crash"
+        )
+    if not result.failovers:
+        lines.append("failover: none (no promotion happened)")
+    lines.append(
+        f"throughput: {result.throughput:.1f} txn/s overall; "
+        f"pre-fault {result.pre_fault_throughput:.1f}, post-failover "
+        f"{result.post_failover_throughput:.1f} "
+        f"({100 * result.recovered_fraction:.0f}% recovered)"
+    )
+    lines.append(_two_pc_line(result.two_pc, result.aborted,
+                              result.txn_retries))
+    lines.append(
+        "replica groups: "
+        + ("bit-identical after catch-up"
+           if result.replicas_consistent else "DIVERGED")
     )
     return "\n".join(lines)
 

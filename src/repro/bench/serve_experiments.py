@@ -31,7 +31,12 @@ from repro.serve.controller import (
     StaticController,
 )
 from repro.serve.engine import ServeConfig, ServeEngine
-from repro.serve.stats import LoadSweepResult, ServeResult, SweepPoint
+from repro.serve.stats import (
+    FailoverEvent,
+    LoadSweepResult,
+    ServeResult,
+    SweepPoint,
+)
 from repro.serve.workload import (
     WORKLOAD_FACTORIES,
     BuiltWorkload,
@@ -79,6 +84,7 @@ def _built_workload(
     pool_size: int,
     shards: int = 1,
     shard_key: str = "warehouse",
+    replicas: int = 0,
 ) -> BuiltWorkload:
     try:
         factory = WORKLOAD_FACTORIES[workload]
@@ -89,7 +95,7 @@ def _built_workload(
         ) from None
     return factory(
         db_cores=db_cores, seed=seed, pool_size=pool_size,
-        shards=shards, shard_key=shard_key,
+        shards=shards, shard_key=shard_key, replicas=replicas,
     )
 
 
@@ -106,6 +112,7 @@ def serve_load_sweep(
     built: Optional[BuiltWorkload] = None,
     shards: int = 1,
     shard_key: str = "warehouse",
+    replicas: int = 0,
 ) -> LoadSweepResult:
     """Sweep client counts for static-low/static-high/adaptive configs.
 
@@ -128,7 +135,7 @@ def serve_load_sweep(
         built = _built_workload(
             workload, db_cores=db_cores, seed=seed,
             pool_size=8 if fast else 24,
-            shards=shards, shard_key=shard_key,
+            shards=shards, shard_key=shard_key, replicas=replicas,
         )
 
     result = LoadSweepResult(workload=workload)
@@ -280,6 +287,143 @@ def serve_shard_sweep(
     return result
 
 
+# ---------------------------------------------------------------------------
+# Replicated tier: fault injection and automatic failover
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FailoverRunResult:
+    """One fault-injected serve run against the replicated shard tier."""
+
+    clients: int
+    duration: float
+    shards: int
+    replicas: int
+    fault_specs: list[str] = field(default_factory=list)
+    faults_fired: list[tuple[float, str]] = field(default_factory=list)
+    failovers: list[FailoverEvent] = field(default_factory=list)
+    throughput: float = 0.0
+    pre_fault_throughput: float = 0.0
+    post_failover_throughput: float = 0.0
+    aborted: int = 0
+    txn_retries: int = 0
+    two_pc: Optional[dict] = None
+    replicas_consistent: bool = False
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def recovery_time(self) -> float:
+        """Crash-to-promotion gap of the first failover (0 if none)."""
+        return self.failovers[0].recovery_time if self.failovers else 0.0
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Post-failover throughput relative to the pre-fault window."""
+        if self.pre_fault_throughput <= 0:
+            return 0.0
+        return self.post_failover_throughput / self.pre_fault_throughput
+
+
+def _window_throughput(
+    result: ServeResult, start: float, end: float
+) -> float:
+    width = max(end - start, 1e-12)
+    return sum(
+        1 for s in result.samples if start <= s.when <= end
+    ) / width
+
+
+def serve_failover(
+    fast: bool = True,
+    clients: int = 96,
+    shards: int = 2,
+    replicas: int = 2,
+    db_cores: int = 2,
+    duration: Optional[float] = None,
+    think_time: float = 0.01,
+    fault_specs: Optional[Sequence[str]] = None,
+    seed: int = 17,
+    built: Optional[BuiltWorkload] = None,
+) -> FailoverRunResult:
+    """Kill a primary mid-run and measure the automatic failover.
+
+    A saturating client population drives adaptive TPC-C against the
+    replicated shard tier while a :class:`~repro.sim.cluster.
+    FaultInjector` fires the given fault specs (default: crash shard
+    ``shards - 1``'s primary at 40% of the run).  The replica
+    supervisor detects the dead primary, promotes the most caught-up
+    replica, and traffic resumes; the result captures the recovery
+    time, the throughput on either side of the fault, the abort/retry
+    counts, and a final bit-identity check across every replica group.
+    """
+    from repro.sim.cluster import FaultInjector, parse_fault_spec
+
+    if replicas < 1:
+        raise ValueError("serve_failover needs at least one replica")
+    duration = duration if duration is not None else (15.0 if fast else 60.0)
+    poll = duration / 10.0
+    if fault_specs is None:
+        fault_specs = (f"crash:db{shards - 1}@{0.4 * duration:g}",)
+    events = [parse_fault_spec(spec) for spec in fault_specs]
+    if not events:
+        raise ValueError("serve_failover needs at least one fault spec")
+    if built is None:
+        built = make_tpcc_workload(
+            db_cores=db_cores, seed=seed, pool_size=6 if fast else 16,
+            shards=shards, shard_key="warehouse", replicas=replicas,
+        )
+
+    engine = ServeEngine(
+        built.workload,
+        AdaptiveController(n_options=2, poll_interval=poll),
+        ServeConfig(
+            app_cores=8, db_cores=db_cores, db_shards=shards,
+            network=built.network, think_time=think_time, seed=seed,
+            warmup=min(2 * poll, duration / 4.0),
+            ramp=min(think_time, duration / 10.0),
+        ),
+    )
+    engine.attach_backends(built.databases, built.clusters)
+    injector = FaultInjector(events)
+    engine.inject_faults(injector)
+    run = engine.run(clients=clients, duration=duration, name="failover")
+
+    result = FailoverRunResult(
+        clients=clients, duration=duration, shards=shards,
+        replicas=replicas, fault_specs=list(fault_specs),
+        faults_fired=list(injector.fired),
+        failovers=list(run.failovers),
+        throughput=run.throughput,
+        aborted=run.aborted, txn_retries=run.txn_retries,
+        two_pc=run.two_pc,
+    )
+    first_fault = min(e.at for e in events)
+    result.pre_fault_throughput = _window_throughput(
+        run, run.warmup, first_fault
+    )
+    if run.failovers:
+        recovered_at = run.failovers[0].promoted_at
+    else:
+        # No promotion (e.g. slow/partition-only faults): measure from
+        # the moment the last transient fault lifts.
+        recovered_at = max(
+            e.until if e.until is not None else e.at for e in events
+        )
+    result.post_failover_throughput = _window_throughput(
+        run, recovered_at, duration
+    )
+    for sdb in built.databases:
+        sdb.assert_replica_groups_consistent()
+    result.replicas_consistent = True
+    result.notes.update(
+        db_cores=db_cores, think_time=think_time, seed=seed,
+        warehouses=built.notes.get("warehouses"),
+        completed=run.completed, rejected=run.rejected,
+    )
+    return result
+
+
 @dataclass
 class ServeSwitchResult:
     """Latency time series per configuration plus the adaptive mix."""
@@ -307,6 +451,7 @@ def serve_dynamic_switching(
     built: Optional[BuiltWorkload] = None,
     shards: int = 1,
     shard_key: str = "warehouse",
+    replicas: int = 0,
 ) -> ServeSwitchResult:
     """Fixed client population; an external tenant grabs DB cores
     mid-run and the adaptive controller switches partitionings."""
@@ -318,7 +463,7 @@ def serve_dynamic_switching(
         built = _built_workload(
             workload, db_cores=db_cores, seed=seed,
             pool_size=8 if fast else 24,
-            shards=shards, shard_key=shard_key,
+            shards=shards, shard_key=shard_key, replicas=replicas,
         )
 
     result = ServeSwitchResult(

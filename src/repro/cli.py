@@ -141,6 +141,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ("--switching", args.switching),
             ("--repartition", args.repartition),
             ("--shard-sweep", args.shard_sweep),
+            ("--inject", bool(args.inject)),
         ) if on
     ]
     if len(scenarios) > 1:
@@ -150,6 +151,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
+    if args.replicas < 0:
+        print("error: --replicas must be non-negative", file=sys.stderr)
+        return 2
+    if args.replicas and args.shards < 2:
+        print("error: --replicas rides on the sharded tier; use "
+              "--shards >= 2", file=sys.stderr)
+        return 2
+    if (args.replicas or args.inject) and args.workload != "tpcc":
+        print("error: --replicas/--inject need the TPC-C workload "
+              f"(--workload {args.workload} is not replicated yet)",
+              file=sys.stderr)
+        return 2
+    if args.inject and not args.replicas:
+        print("error: --inject needs --replicas so the tier can fail "
+              "over (e.g. --shards 2 --replicas 2)", file=sys.stderr)
+        return 2
+
+    if args.inject:
+        db_cores = args.db_cores if args.db_cores is not None else 2
+        try:
+            clients = (
+                int(args.clients.split(",")[0]) if args.clients else 96
+            )
+        except ValueError:
+            print(f"error: --clients must be an int for --inject, "
+                  f"got {args.clients!r}", file=sys.stderr)
+            return 2
+        try:
+            result = serve_mod.serve_failover(
+                fast=args.fast,
+                clients=clients,
+                shards=args.shards,
+                replicas=args.replicas,
+                db_cores=db_cores,
+                duration=args.duration,
+                think_time=args.think if args.think is not None else 0.01,
+                fault_specs=args.inject,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report_mod.format_serve_failover(result))
+        return 0
 
     if args.shard_sweep:
         if args.workload != "tpcc":
@@ -225,6 +270,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             shards=args.shards,
             shard_key=args.shard_key,
+            replicas=args.replicas,
         )
         print(report_mod.format_serve_switching(result))
         return 0
@@ -241,6 +287,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         shards=args.shards,
         shard_key=args.shard_key,
+        replicas=args.replicas,
     )
     print(report_mod.format_serve_sweep(result))
     return 0
@@ -339,6 +386,18 @@ def build_parser() -> argparse.ArgumentParser:
              "(affine, transactions stay on one shard), 'hash' "
              "spreads the same keys by stable hash (default: "
              "warehouse)",
+    )
+    p_serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="log-shipped replicas per shard primary (TPC-C with "
+             "--shards >= 2 only; default: 0 = unreplicated)",
+    )
+    p_serve.add_argument(
+        "--inject", action="append", default=None, metavar="SPEC",
+        help="inject a fault and report the automatic failover "
+             "(repeatable; kind:db<shard>@<t>[x<factor>][:until=<t>] "
+             "with kind in crash/slow/partition, e.g. crash:db1@5 or "
+             "slow:db0@3x4:until=8; needs --replicas)",
     )
     p_serve.add_argument(
         "--shard-sweep", action="store_true",

@@ -32,6 +32,8 @@ from repro.db.errors import (
     LockTimeoutError,
     ShardError,
     ShardRoutingError,
+    ShardDownError,
+    TwoPhaseAbortError,
 )
 from repro.db.catalog import Column, ColumnType, TableSchema, Catalog
 from repro.db.index import HashIndex, OrderedIndex
@@ -56,6 +58,14 @@ from repro.db.txn import (
     LockMode,
     ShardedTransaction,
     Transaction,
+)
+from repro.db.replica import (
+    CommitLog,
+    LogEntry,
+    PromotionReport,
+    RedoOp,
+    Replica,
+    ReplicaGroup,
 )
 from repro.db.shard import (
     ShardedConnection,
@@ -100,6 +110,14 @@ __all__ = [
     "Transaction",
     "ShardError",
     "ShardRoutingError",
+    "ShardDownError",
+    "TwoPhaseAbortError",
+    "CommitLog",
+    "LogEntry",
+    "PromotionReport",
+    "RedoOp",
+    "Replica",
+    "ReplicaGroup",
     "ShardedTransaction",
     "ShardedConnection",
     "ShardedDatabase",

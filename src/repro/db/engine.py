@@ -321,6 +321,46 @@ class Table:
         else:  # pragma: no cover - defensive
             raise ExecutionError(f"unknown undo kind {record.kind!r}")
 
+    # -- redo application (replica apply path) -------------------------------
+
+    def apply_insert(self, rowid: int, row: tuple) -> None:
+        """Install ``row`` under an explicit ``rowid`` (log shipping).
+
+        Replicas never allocate rowids -- the primary's commit log
+        carries them -- so the shared-counter invariant the scatter
+        merge depends on is preserved byte-for-byte.  Commit order may
+        interleave rowids out of ascending order, so the scan-order
+        flag is raised when the insert lands below the current tail.
+        """
+        key = self.schema.key_of(row)
+        self.primary_index.insert(key, rowid)
+        for name, index in self.secondary.items():
+            index.insert(self.index_key(name, row), rowid)
+        rows = self._rows
+        if rows and rowid < next(reversed(rows)):
+            self._scan_order_dirty = True
+        rows[rowid] = row
+
+    def apply_update(self, rowid: int, after: tuple) -> None:
+        """Replace the row under ``rowid`` with its after-image."""
+        before = self.get(rowid)
+        old_key = self.schema.key_of(before)
+        new_key = self.schema.key_of(after)
+        if old_key != new_key:
+            self.primary_index.delete(old_key, rowid)
+            self.primary_index.insert(new_key, rowid)
+        for name, index in self.secondary.items():
+            old_ikey = self.index_key(name, before)
+            new_ikey = self.index_key(name, after)
+            if old_ikey != new_ikey:
+                index.delete(old_ikey, rowid)
+                index.insert(new_ikey, rowid)
+        self._rows[rowid] = after
+
+    def apply_delete(self, rowid: int) -> None:
+        """Remove the row under ``rowid`` (log shipping)."""
+        self.delete(rowid)
+
     def ensure_scan_order(self, *, force: bool = False) -> None:
         """Restore ascending-rowid scan order after delete-undos.
 
@@ -352,6 +392,12 @@ class Database:
         # Observer invoked as (operation, table, rows_touched); the
         # cluster simulator hooks this to charge CPU per DB operation.
         self.observer: Optional[Callable[[str, str, int], None]] = None
+        # When this database is the primary of a replica group, the
+        # group installs a collector here; the transaction layer then
+        # captures after-images alongside undo records and ships them
+        # on commit.  None on unreplicated databases: the redo path
+        # costs nothing unless replication is on.
+        self.redo_collector: Optional[Callable[[list], int]] = None
 
     def create_table(
         self,

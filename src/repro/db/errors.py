@@ -61,6 +61,28 @@ class ShardRoutingError(ShardError):
     (cross-shard join, update of a shard-key column, ...)."""
 
 
+class ShardDownError(ShardError):
+    """The target shard's primary is crashed and no promotion has
+    happened yet; callers should abort and retry after failover."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        super().__init__(f"shard {shard} primary is down")
+
+
+class TwoPhaseAbortError(TransactionError):
+    """A distributed transaction was aborted because a participant
+    shard failed (crash or failover) before the commit decision."""
+
+    def __init__(self, shard: int, phase: str) -> None:
+        self.shard = shard
+        self.phase = phase
+        super().__init__(
+            f"distributed transaction aborted: shard {shard} failed "
+            f"during {phase}"
+        )
+
+
 class DeadlockError(TransactionError):
     """The lock manager chose this transaction as a deadlock victim."""
 

@@ -1,0 +1,316 @@
+"""Replica groups: log-shipped replication for one shard.
+
+Each shard of a :class:`~repro.db.shard.ShardedDatabase` can be a
+**replica group** -- a primary :class:`~repro.db.engine.Database` plus
+N replicas kept in sync by shipping a per-shard ordered commit log.
+The log is derived from the transaction layer's undo records: at
+mutation time the transaction also captures the *after-image* of each
+touched row (a :class:`RedoOp`), and on commit the batch is appended
+to the group's :class:`CommitLog` and delivered to every connected
+replica.  Replicas apply ops with explicit rowids -- they never
+allocate -- so a promoted replica is bit-identical to the primary,
+including the global-rowid scan order the scatter merge depends on.
+
+Failover: :meth:`ReplicaGroup.crash_primary` marks the primary dead,
+:meth:`ReplicaGroup.promote` picks the most caught-up replica (highest
+applied LSN, lowest index on ties), replays the tail of the commit log
+into it (catch-up recovery), and swaps it in as the new primary under
+a bumped ``generation`` -- routers compare generations to notice the
+swap and refresh any state bound to the dead database object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.db.engine import Database
+from repro.db.errors import ShardError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import NetworkModel
+
+# Wire-size estimate for one shipped redo op (rowid + row payload);
+# only used to charge the replication link's NetworkModel.
+REDO_OP_BYTES = 96
+
+
+class RedoOp:
+    """One replayable mutation: the after-image of a touched row.
+
+    ``kind`` is ``insert`` / ``update`` / ``delete``; ``after`` is the
+    full row tuple (None for deletes).  Slotted like UndoRecord: one is
+    allocated per mutated row on every replicated write.
+    """
+
+    __slots__ = ("table", "kind", "rowid", "after")
+
+    def __init__(
+        self,
+        table: str,
+        kind: str,
+        rowid: int,
+        after: Optional[tuple],
+    ) -> None:
+        self.table = table
+        self.kind = kind
+        self.rowid = rowid
+        self.after = after
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RedoOp(table={self.table!r}, kind={self.kind!r}, "
+            f"rowid={self.rowid}, after={self.after!r})"
+        )
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed transaction's ops, at a log sequence number."""
+
+    lsn: int
+    ops: tuple[RedoOp, ...]
+
+
+class CommitLog:
+    """Ordered, append-only log of committed transactions."""
+
+    def __init__(self) -> None:
+        self.entries: list[LogEntry] = []
+
+    @property
+    def tip(self) -> int:
+        """LSN of the newest entry (0 when empty)."""
+        return len(self.entries)
+
+    def append(self, ops: list[RedoOp]) -> int:
+        entry = LogEntry(len(self.entries) + 1, tuple(ops))
+        self.entries.append(entry)
+        return entry.lsn
+
+    def entries_after(self, lsn: int) -> list[LogEntry]:
+        """Entries with LSN strictly greater than ``lsn``, in order."""
+        return self.entries[lsn:]
+
+
+@dataclass
+class Replica:
+    """One replica: a database plus its replication-stream position."""
+
+    database: Database
+    applied_lsn: int = 0
+    # False while the replication link is partitioned away; the replica
+    # stops applying and falls behind until reconnect + catch-up.
+    connected: bool = True
+    # Optional simulated link the log stream is charged against.
+    link: Optional["NetworkModel"] = None
+
+
+@dataclass(frozen=True)
+class PromotionReport:
+    """What a failover did: who won and how much tail was replayed."""
+
+    group: str
+    chosen: int
+    applied_lsn: int
+    replayed: int
+    generation: int
+
+
+@dataclass
+class ReplicationStats:
+    """Per-group shipping counters (deterministic, test-visible)."""
+
+    entries_shipped: int = 0
+    ops_shipped: int = 0
+    ship_failures: int = 0
+
+
+class ReplicaGroup:
+    """A primary plus its log-shipped replicas for one shard."""
+
+    def __init__(self, primary: Database, n_replicas: int) -> None:
+        if n_replicas < 1:
+            raise ShardError("a replica group needs at least one replica")
+        self.name = primary.name
+        self.primary = primary
+        self.log = CommitLog()
+        self.replicas: list[Replica] = [
+            Replica(Database(f"{primary.name}/replica{i}"))
+            for i in range(n_replicas)
+        ]
+        self.generation = 0
+        self.crashed = False
+        self.stats = ReplicationStats()
+        self.promotions: list[PromotionReport] = []
+        primary.redo_collector = self.commit_redo
+
+    # -- schema / bootstrap --------------------------------------------------
+
+    def mirror_create_table(self, name, columns, primary_key, indexes=()):
+        """Create ``name`` on every replica (DDL is not logged; the
+        sharded tier mirrors it at table-creation time).  Each replica
+        table then shares the *primary's* rowid counter object, so a
+        promoted replica keeps allocating from the globally correct
+        position."""
+        primary_table = self.primary.table(name)
+        for replica in self.replicas:
+            table = replica.database.create_table(
+                name, columns, primary_key, indexes
+            )
+            table.use_rowid_counter(primary_table._next_rowid)
+
+    def share_rowid_counter(self, name: str, counter) -> None:
+        """Re-point every replica copy of ``name`` at ``counter`` (the
+        sharded tier's global allocator for sharded logical tables)."""
+        for replica in self.replicas:
+            replica.database.table(name).use_rowid_counter(counter)
+
+    def bootstrap_insert(self, name: str, rowid: int, row: tuple) -> None:
+        """Propagate an initial-load insert outside the log (bulk load
+        happens before serving starts; logging it would make catch-up
+        replay the whole dataset)."""
+        for replica in self.replicas:
+            replica.database.table(name).apply_insert(rowid, row)
+
+    # -- log shipping --------------------------------------------------------
+
+    def commit_redo(self, ops: list[RedoOp]) -> int:
+        """Append one committed transaction and ship to replicas."""
+        lsn = self.log.append(ops)
+        for replica in self.replicas:
+            self._deliver(replica)
+        return lsn
+
+    def _deliver(self, replica: Replica) -> None:
+        """Apply every log entry the replica has not seen, in order."""
+        if not replica.connected:
+            return
+        from repro.sim.network import NetworkPartitionedError
+
+        for entry in self.log.entries_after(replica.applied_lsn):
+            if replica.link is not None:
+                try:
+                    replica.link.send(
+                        REDO_OP_BYTES * max(1, len(entry.ops)), to_db=True
+                    )
+                except NetworkPartitionedError:
+                    self.stats.ship_failures += 1
+                    return
+            self._apply_entry(replica.database, entry)
+            replica.applied_lsn = entry.lsn
+            self.stats.entries_shipped += 1
+            self.stats.ops_shipped += len(entry.ops)
+
+    @staticmethod
+    def _apply_entry(database: Database, entry: LogEntry) -> None:
+        touched: set[str] = set()
+        for op in entry.ops:
+            table = database.table(op.table)
+            if op.kind == "delete":
+                table.apply_delete(op.rowid)
+            elif op.kind == "insert":
+                table.apply_insert(op.rowid, op.after)
+            else:
+                table.apply_update(op.rowid, op.after)
+            touched.add(op.table)
+        for name in touched:
+            database.table(name).ensure_scan_order()
+
+    def set_replica_connected(self, index: int, connected: bool) -> None:
+        """Partition a replica away from (or back onto) the stream.
+        Reconnection immediately catches the replica up."""
+        replica = self.replicas[index]
+        replica.connected = connected
+        if connected:
+            self._deliver(replica)
+
+    def catch_up(self, index: int) -> int:
+        """Apply any pending tail to one replica; new applied LSN."""
+        replica = self.replicas[index]
+        self._deliver(replica)
+        return replica.applied_lsn
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_replica(self, min_lsn: int) -> Optional[Database]:
+        """A replica safe for read-your-writes at ``min_lsn``, if any.
+
+        Scans in index order so the choice is deterministic; a replica
+        behind the session watermark is skipped rather than waited on.
+        """
+        for replica in self.replicas:
+            if replica.connected and replica.applied_lsn >= min_lsn:
+                return replica.database
+        return None
+
+    def replication_lag(self) -> list[int]:
+        """Entries behind the log tip, per replica."""
+        tip = self.log.tip
+        return [tip - replica.applied_lsn for replica in self.replicas]
+
+    # -- failure / failover --------------------------------------------------
+
+    def crash_primary(self) -> None:
+        """Kill the primary: writes stop, the log stops growing, and
+        the group waits for :meth:`promote`.  Already-appended entries
+        remain shippable -- the log models the durable stream replicas
+        pull from, so catch-up recovery can still drain it."""
+        self.crashed = True
+        self.primary.redo_collector = None
+
+    def promote(self) -> PromotionReport:
+        """Promote the most caught-up replica to primary.
+
+        Choice rule: highest ``applied_lsn`` wins; ties break to the
+        lowest replica index (deterministic under identical seeds).
+        The winner replays the remaining log tail before taking over,
+        and the group's generation is bumped so routers drop state
+        bound to the dead primary.
+        """
+        if not self.replicas:
+            raise ShardError(f"replica group {self.name!r} has no replica left")
+        chosen = max(
+            range(len(self.replicas)),
+            key=lambda i: (self.replicas[i].applied_lsn, -i),
+        )
+        winner = self.replicas.pop(chosen)
+        winner.connected = True
+        behind = self.log.tip - winner.applied_lsn
+        for entry in self.log.entries_after(winner.applied_lsn):
+            self._apply_entry(winner.database, entry)
+            winner.applied_lsn = entry.lsn
+        self.primary.redo_collector = None
+        self.primary = winner.database
+        self.primary.redo_collector = self.commit_redo
+        self.crashed = False
+        self.generation += 1
+        report = PromotionReport(
+            group=self.name,
+            chosen=chosen,
+            applied_lsn=winner.applied_lsn,
+            replayed=behind,
+            generation=self.generation,
+        )
+        self.promotions.append(report)
+        # Surviving replicas keep following the same log.
+        for replica in self.replicas:
+            self._deliver(replica)
+        return report
+
+    # -- verification --------------------------------------------------------
+
+    def assert_replicas_consistent(self) -> None:
+        """After catch-up, every replica must equal the primary
+        bit-for-bit: same rows, same rowids, same scan order."""
+        for index, replica in enumerate(self.replicas):
+            self._deliver(replica)
+            for table in self.primary.tables():
+                name = table.schema.name
+                theirs = list(replica.database.table(name).scan())
+                ours = list(table.scan())
+                if theirs != ours:  # pragma: no cover - failure path
+                    raise AssertionError(
+                        f"replica {index} of {self.name!r} diverged on "
+                        f"table {name!r}"
+                    )

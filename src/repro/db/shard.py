@@ -48,9 +48,11 @@ from repro.db.catalog import Column, IndexSpec, TableSchema
 from repro.db.engine import Database, Table
 from repro.db.errors import (
     ExecutionError,
+    ShardDownError,
     ShardError,
     ShardRoutingError,
     TransactionError,
+    TwoPhaseAbortError,
 )
 from repro.db.index import _sortable
 from repro.db.jdbc import (
@@ -91,7 +93,8 @@ from repro.db.sql.planner import (
     _split_conjuncts,
     compile_expr,
 )
-from repro.db.txn import LockManager, ShardedTransaction
+from repro.db.replica import PromotionReport, ReplicaGroup
+from repro.db.txn import LockManager, ShardedTransaction, TxnState
 
 SHARD_STRATEGIES = ("hash", "mod", "range")
 
@@ -240,12 +243,28 @@ class ShardedDatabase:
         name: str = "main",
         shards: int = 2,
         scheme: Optional[ShardingScheme] = None,
+        replicas: int = 0,
     ) -> None:
         if shards < 1:
             raise ShardError("a sharded database needs at least one shard")
+        if replicas < 0:
+            raise ShardError("replicas must be >= 0")
         self.name = name
         self.shards = [Database(f"{name}/shard{i}") for i in range(shards)]
         self.scheme = scheme if scheme is not None else ShardingScheme()
+        # With replicas > 0 every shard becomes a replica group: the
+        # entry in ``self.shards`` is always the group's *current*
+        # primary (promote() swaps it in place, so routers holding the
+        # shards list see the new primary immediately).
+        self.replicas = replicas
+        self.groups: list[Optional[ReplicaGroup]] = [
+            ReplicaGroup(shard, replicas) if replicas else None
+            for shard in self.shards
+        ]
+
+    @property
+    def replicated(self) -> bool:
+        return self.replicas > 0
 
     @classmethod
     def from_database(
@@ -253,6 +272,7 @@ class ShardedDatabase:
         database: Database,
         shards: int,
         scheme: ShardingScheme,
+        replicas: int = 0,
     ) -> "ShardedDatabase":
         """Shard an existing single-server database.
 
@@ -261,7 +281,9 @@ class ShardedDatabase:
         deployment match the source exactly (the property the
         differential test harness compares against).
         """
-        sharded = cls(database.name, shards=shards, scheme=scheme)
+        sharded = cls(
+            database.name, shards=shards, scheme=scheme, replicas=replicas
+        )
         for table in database.tables():
             schema = table.schema
             sharded.create_table(
@@ -333,6 +355,13 @@ class ShardedDatabase:
             counter = itertools.count(1)
             for table in tables:
                 table.use_rowid_counter(counter)
+        # DDL is not logged: mirror it onto every replica now.  The
+        # mirror runs after counter sharing so replica tables pick up
+        # the live allocator (global for sharded tables) and a
+        # promoted replica keeps allocating from the right position.
+        for group in self.groups:
+            if group is not None:
+                group.mirror_create_table(name, columns, primary_key, indexes)
 
     def create_index(self, table_name: str, spec: IndexSpec) -> None:
         sharding = self.scheme.sharding(table_name)
@@ -340,10 +369,18 @@ class ShardedDatabase:
             self._validate_unique_index(table_name, sharding, spec)
         for shard in self.shards:
             shard.table(table_name).create_index(spec)
+        for group in self.groups:
+            if group is not None:
+                for replica in group.replicas:
+                    replica.database.table(table_name).create_index(spec)
 
     def drop_table(self, name: str) -> None:
         for shard in self.shards:
             shard.drop_table(name)
+        for group in self.groups:
+            if group is not None:
+                for replica in group.replicas:
+                    replica.database.drop_table(name)
 
     def has_table(self, name: str) -> bool:
         return self.shards[0].has_table(name)
@@ -366,12 +403,65 @@ class ShardedDatabase:
         """Route one direct engine insert (bulk-loader fast path)."""
         if self.scheme.sharding(table_name) is None:
             rowid = 0
-            for shard in self.shards:
-                rowid, _ = shard.table(table_name).insert(values)
+            for index, shard in enumerate(self.shards):
+                table = shard.table(table_name)
+                rowid, _ = table.insert(values)
+                group = self.groups[index]
+                if group is not None:
+                    group.bootstrap_insert(
+                        table_name, rowid, table.fetch(rowid)
+                    )
             return rowid
         shard = self.shard_for_row(table_name, values)
-        rowid, _ = self.shards[shard].table(table_name).insert(values)
+        table = self.shards[shard].table(table_name)
+        rowid, _ = table.insert(values)
+        group = self.groups[shard]
+        if group is not None:
+            group.bootstrap_insert(table_name, rowid, table.fetch(rowid))
         return rowid
+
+    # -- replication / failover ----------------------------------------------
+
+    def generation(self, shard: int) -> int:
+        """The replica group's promotion generation (0 unreplicated).
+        Routers compare this against a cached value to notice that a
+        promotion replaced the shard's database object."""
+        group = self.groups[shard]
+        return group.generation if group is not None else 0
+
+    def is_down(self, shard: int) -> bool:
+        group = self.groups[shard]
+        return group.crashed if group is not None else False
+
+    def crash_primary(self, shard: int) -> None:
+        """Kill ``shard``'s primary; routing there fails with
+        :class:`ShardDownError` until :meth:`promote`."""
+        group = self.groups[shard]
+        if group is None:
+            raise ShardError(
+                f"shard {shard} has no replicas; cannot survive a crash"
+            )
+        group.crash_primary()
+
+    def promote(self, shard: int) -> PromotionReport:
+        """Fail ``shard`` over to its most caught-up replica."""
+        group = self.groups[shard]
+        if group is None:
+            raise ShardError(f"shard {shard} is not replicated")
+        report = group.promote()
+        self.shards[shard] = group.primary
+        return report
+
+    def replication_lag(self, shard: int) -> list[int]:
+        group = self.groups[shard]
+        return group.replication_lag() if group is not None else []
+
+    def assert_replica_groups_consistent(self) -> None:
+        """Catch every replica up, then require bit-identity with its
+        primary (the tentpole's zero-divergence check)."""
+        for group in self.groups:
+            if group is not None:
+                group.assert_replicas_consistent()
 
     # -- introspection --------------------------------------------------------
 
@@ -568,7 +658,11 @@ class ShardPreparedStatement:
         self.sql = sql
         self.plan = plan
         self.route = route
-        self._compiled: dict[int, Optional[CompiledPlan]] = {}
+        # Keyed by shard; the value remembers the replica-group
+        # generation the plan was compiled under, because a compiled
+        # plan binds the primary's table/index objects and must be
+        # re-minted after a failover swaps the primary.
+        self._compiled: dict[int, tuple[int, Optional[CompiledPlan]]] = {}
 
     @property
     def is_query(self) -> bool:
@@ -577,14 +671,17 @@ class ShardPreparedStatement:
     def compiled_for(self, shard: int) -> Optional[CompiledPlan]:
         if self.connection.sql_exec != "compiled":
             return None
-        if shard not in self._compiled:
-            compiled = maybe_compile_plan(
-                self.plan, self.connection.database.shards[shard]
-            )
-            if compiled is not None:
-                self.connection.plan_cache_stats.compiled_plans += 1
-            self._compiled[shard] = compiled
-        return self._compiled[shard]
+        generation = self.connection.database.generation(shard)
+        cached = self._compiled.get(shard)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        compiled = maybe_compile_plan(
+            self.plan, self.connection.database.shards[shard]
+        )
+        if compiled is not None:
+            self.connection.plan_cache_stats.compiled_plans += 1
+        self._compiled[shard] = (generation, compiled)
+        return compiled
 
     def query(self, *params: Any) -> ResultSet:
         if not self.is_query:
@@ -621,12 +718,25 @@ class ShardedConnection:
         sql_exec: Optional[str] = None,
         clock=None,
         one_way_latency: float = 0.0,
+        replica_reads: bool = False,
     ) -> None:
         self.database = database
         self.scheme = database.scheme
         self.planner = Planner(database.shards[0])
         self.executors = [Executor(shard) for shard in database.shards]
         self.sql_exec = resolve_sql_exec_mode(sql_exec)
+        # Replication state: per-shard generation each Executor was
+        # built against, read-your-writes session watermarks (highest
+        # commit LSN this connection produced per shard), and cached
+        # executors over replica databases for watermark-safe reads.
+        self._executor_gens = [database.generation(i) for i in range(database.n_shards)]
+        self.replica_reads = replica_reads and database.replicated
+        self._watermarks: dict[int, int] = {}
+        self._replica_executors: dict[int, tuple[Any, Executor]] = {}
+        self.replica_read_count = 0
+        # 2PC outcome counters surfaced by serve reports.
+        self.two_pc_aborts = 0
+        self.two_pc_commits = 0
         self.lock_managers: Optional[list[Optional[LockManager]]] = (
             [LockManager() for _ in database.shards] if use_locks else None
         )
@@ -675,21 +785,39 @@ class ShardedConnection:
         self.calls += 1
         auto = False
         txn = self._txn
-        if txn is None and self.lock_managers is not None:
+        if txn is None and (
+            self.lock_managers is not None
+            or (self.database.replicated and not prepared.is_query)
+        ):
+            # With locks off, a replicated tier still needs an implicit
+            # transaction around mutations: redo capture and commit-time
+            # log shipping hang off the transaction layer.
             txn = self._new_transaction()
             auto = True
         try:
             result = self._execute_routed(prepared, params, txn)
         except BaseException:
             if auto and txn is not None:
-                # Statement atomicity for the implicit transaction: a
-                # failed autocommit statement must not strand branch
-                # locks (wedging the shard) or abandon partial
-                # cross-shard mutations with their undo discarded.
-                txn.rollback()
+                if self.lock_managers is not None:
+                    # Statement atomicity for the implicit transaction:
+                    # a failed autocommit statement must not strand
+                    # branch locks (wedging the shard) or abandon
+                    # partial cross-shard mutations with their undo
+                    # discarded.
+                    txn.rollback()
+                else:
+                    # No locks: the single server persists a failed
+                    # statement's partial mutations, so the replicated
+                    # tier must ship them too or replicas diverge from
+                    # their primary.
+                    try:
+                        self._commit_auto(txn)
+                    except TransactionError:
+                        if txn.state in (TxnState.ACTIVE, TxnState.PREPARED):
+                            txn.rollback()
             raise
         if auto and txn is not None:
-            txn.commit()
+            self._commit_auto(txn)
         if self.observer is not None:
             kind = "query" if prepared.is_query else "update"
             self.observer(
@@ -705,10 +833,43 @@ class ShardedConnection:
             self.lock_managers,
             clock=self.clock,
             one_way_latency=self.one_way_latency,
+            groups=self.database.groups if self.database.replicated else None,
         )
+
+    def _commit_auto(self, txn: ShardedTransaction) -> None:
+        try:
+            txn.commit()
+        except TwoPhaseAbortError:
+            self.two_pc_aborts += 1
+            raise
+        self.two_pc_commits += 1
+        self._absorb_watermarks(txn)
+
+    def _absorb_watermarks(self, txn: ShardedTransaction) -> None:
+        for shard, lsn in txn.commit_lsns.items():
+            if lsn > self._watermarks.get(shard, 0):
+                self._watermarks[shard] = lsn
 
     def _branch(self, txn: Optional[ShardedTransaction], shard: int):
         return txn.branch(shard) if txn is not None else None
+
+    def _shard_ready(self, shard: int) -> None:
+        """Refuse a down shard; refresh state bound to a dead primary.
+
+        Tree plans are name-based and survive promotion untouched, but
+        each shard's :class:`Executor` holds the database object it was
+        built on -- a generation bump means a promotion swapped the
+        primary, so the executor is re-minted over the new one.
+        """
+        if not self.database.replicated:
+            return
+        group = self.database.groups[shard]
+        if group.crashed:
+            raise ShardDownError(shard)
+        generation = group.generation
+        if generation != self._executor_gens[shard]:
+            self.executors[shard] = Executor(self.database.shards[shard])
+            self._executor_gens[shard] = generation
 
     def _execute_routed(
         self,
@@ -721,8 +882,16 @@ class ShardedConnection:
         if route.mode == "single":
             shard = self._resolve_single_shard(route, params)
             self._affinity = shard
+            if self._can_read_replica(prepared, txn):
+                result = self._run_on_replica(prepared, shard, params)
+                if result is not None:
+                    return result
             return self._run_on_shard(prepared, shard, params, txn)
         if route.mode == "pinned":
+            if self._can_read_replica(prepared, txn):
+                result = self._run_on_replica(prepared, self._affinity, params)
+                if result is not None:
+                    return result
             return self._run_on_shard(prepared, self._affinity, params, txn)
         if route.mode == "broadcast":
             return self._run_broadcast(prepared, params, txn)
@@ -752,6 +921,35 @@ class ShardedConnection:
             )
         return shards.pop()
 
+    def _can_read_replica(
+        self,
+        prepared: ShardPreparedStatement,
+        txn: Optional[ShardedTransaction],
+    ) -> bool:
+        """Read-your-writes replica offload applies to plain reads
+        only: a query outside any transaction (open transactions must
+        see their own uncommitted branch state on the primary)."""
+        return self.replica_reads and txn is None and prepared.is_query
+
+    def _run_on_replica(
+        self,
+        prepared: ShardPreparedStatement,
+        shard: int,
+        params: Sequence[Any],
+    ) -> Optional[StatementResult]:
+        """Serve a read from a caught-up replica, or None to fall back
+        to the primary (every replica behind the session watermark)."""
+        group = self.database.groups[shard]
+        replica_db = group.read_replica(self._watermarks.get(shard, 0))
+        if replica_db is None:
+            return None
+        cached = self._replica_executors.get(shard)
+        if cached is None or cached[0] is not replica_db:
+            cached = (replica_db, Executor(replica_db))
+            self._replica_executors[shard] = cached
+        self.replica_read_count += 1
+        return cached[1].execute(prepared.plan, params, None)
+
     def _run_on_shard(
         self,
         prepared: ShardPreparedStatement,
@@ -759,6 +957,7 @@ class ShardedConnection:
         params: Sequence[Any],
         txn: Optional[ShardedTransaction],
     ) -> StatementResult:
+        self._shard_ready(shard)
         branch = self._branch(txn, shard)
         compiled = prepared.compiled_for(shard)
         if compiled is not None:
@@ -781,6 +980,11 @@ class ShardedConnection:
         """
         first_result: Optional[StatementResult] = None
         first_error: Optional[BaseException] = None
+        for shard in range(self.database.n_shards):
+            # Refuse up front: a down shard must not leave the other
+            # copies mutated (the no-locks autocommit path would commit
+            # that partial broadcast and the copies would diverge).
+            self._shard_ready(shard)
         for shard in range(self.database.n_shards):
             branch = self._branch(txn, shard)
             try:
@@ -825,6 +1029,7 @@ class ShardedConnection:
     ) -> Iterator[tuple[tuple, int, tuple]]:
         """Yield (order_key, rowid, row) for one shard's share of the
         scatter target, counting touched rows like the executor."""
+        self._shard_ready(shard)
         executor = self.executors[shard]
         table = self.database.shards[shard].table(target.table_name)
         access = target.access
@@ -1022,8 +1227,10 @@ class ShardedConnection:
     def commit(self) -> None:
         if self._txn is None:
             raise TransactionError("no open transaction to commit")
-        self._txn.commit()
-        self._txn = None
+        try:
+            self._commit_auto(self._txn)
+        finally:
+            self._txn = None
 
     def rollback(self) -> None:
         if self._txn is None:
@@ -1058,13 +1265,16 @@ def connect_sharded(
     sql_exec: Optional[str] = None,
     clock=None,
     one_way_latency: float = 0.0,
+    replica_reads: bool = False,
 ) -> ShardedConnection:
     """Open a router connection to ``database``.
 
     ``sql_exec`` selects the statement executor for single-shard /
     broadcast statements (``tree`` / ``compiled``); scatter-gather
     statements always merge at the router.  None reads
-    ``REPRO_SQL_EXEC`` (default: compiled).
+    ``REPRO_SQL_EXEC`` (default: compiled).  ``replica_reads`` lets
+    out-of-transaction point reads run on a replica that has caught up
+    to this session's commit watermark (read-your-writes).
     """
     return ShardedConnection(
         database,
@@ -1073,4 +1283,5 @@ def connect_sharded(
         sql_exec=sql_exec,
         clock=clock,
         one_way_latency=one_way_latency,
+        replica_reads=replica_reads,
     )

@@ -23,7 +23,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.db.engine import Database, UndoRecord
-from repro.db.errors import DeadlockError, LockTimeoutError, TransactionError
+from repro.db.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    ShardDownError,
+    TransactionError,
+    TwoPhaseAbortError,
+)
+from repro.db.replica import RedoOp
 
 
 class LockMode(enum.Enum):
@@ -258,6 +265,13 @@ class Transaction:
         self.wait_for_locks = wait_for_locks
         self.state = TxnState.ACTIVE
         self._undo: list[UndoRecord] = []
+        # Redo capture is on only when the database is a replica-group
+        # primary (its group installed a collector); unreplicated
+        # databases pay nothing for the replication path.
+        self._redo: Optional[list[RedoOp]] = (
+            [] if database.redo_collector is not None else None
+        )
+        self.last_commit_lsn: Optional[int] = None
 
     # -- lock helpers ------------------------------------------------------------
 
@@ -300,12 +314,20 @@ class Transaction:
     def record_undo(self, record: UndoRecord) -> None:
         self._check_active()
         self._undo.append(record)
+        if self._redo is not None:
+            self._capture_redo(record)
 
     def record_undo_many(self, records: Iterable[UndoRecord]) -> None:
         """Append a statement's undo records in one call (the compiled
         executor batches per statement instead of appending per row)."""
         self._check_active()
+        if self._redo is None:
+            self._undo.extend(records)
+            return
+        records = list(records)
         self._undo.extend(records)
+        for record in records:
+            self._capture_redo(record)
 
     def record_undo_unchecked(self, record: UndoRecord) -> None:
         """Append without the liveness check: the compiled executor
@@ -313,6 +335,21 @@ class Transaction:
         earlier in the same statement, and the state cannot change
         mid-statement in this single-threaded runtime."""
         self._undo.append(record)
+        if self._redo is not None:
+            self._capture_redo(record)
+
+    def _capture_redo(self, record: UndoRecord) -> None:
+        """Capture the after-image of the mutation ``record`` undoes.
+
+        Runs at mutation time (the row's current value *is* the
+        after-image), which stays correct for insert-then-delete
+        sequences where a commit-time fetch would find nothing.
+        """
+        if record.kind == "delete":
+            self._redo.append(RedoOp(record.table, "delete", record.rowid, None))
+        else:
+            after = self.database.table(record.table).fetch(record.rowid)
+            self._redo.append(RedoOp(record.table, record.kind, record.rowid, after))
 
     @property
     def undo_depth(self) -> int:
@@ -344,6 +381,16 @@ class Transaction:
 
     def commit(self) -> None:
         self._check_resolvable()
+        if self._redo:
+            # Ship this transaction's redo batch to the replica group.
+            # The collector is gone if the primary crashed after our
+            # last mutation; the coordinator aborts such transactions
+            # before reaching here, so losing the ship is correct
+            # (presumed abort).
+            collector = self.database.redo_collector
+            if collector is not None:
+                self.last_commit_lsn = collector(self._redo)
+            self._redo = []
         self._undo.clear()
         self.state = TxnState.COMMITTED
         if self.lock_manager is not None:
@@ -351,6 +398,8 @@ class Transaction:
 
     def rollback(self) -> None:
         self._check_resolvable()
+        if self._redo is not None:
+            self._redo = []
         touched: dict[str, Any] = {}
         for record in reversed(self._undo):
             table = touched.get(record.table)
@@ -406,6 +455,7 @@ class ShardedTransaction:
         wait_for_locks: bool = False,
         clock=None,
         one_way_latency: float = 0.0,
+        groups=None,
     ) -> None:
         if not databases:
             raise TransactionError("a sharded transaction needs shards")
@@ -415,9 +465,19 @@ class ShardedTransaction:
         self.wait_for_locks = wait_for_locks
         self.clock = clock
         self.one_way_latency = one_way_latency
+        # Per-shard ReplicaGroups (or None entries) when the database
+        # tier is replicated: the coordinator snapshots each group's
+        # generation at branch time and aborts on crash/promotion.
+        self.groups = groups
+        self._generations: dict[int, int] = {}
         self.state = TxnState.ACTIVE
         self._branches: dict[int, Transaction] = {}
-        self.timeline: list[tuple[float, str]] = []
+        # (virtual time, protocol phase, event) triples; phases are
+        # begin / prepare / commit / rollback / recovery.
+        self.timeline: list[tuple[float, str, str]] = []
+        # Per-shard commit LSNs (replicated tier): the router feeds
+        # these into its read-your-writes session watermarks.
+        self.commit_lsns: dict[int, int] = {}
 
     # -- branches ---------------------------------------------------------------
 
@@ -433,6 +493,11 @@ class ShardedTransaction:
             return existing
         if not 0 <= shard < len(self.databases):
             raise TransactionError(f"unknown shard {shard}")
+        group = self.groups[shard] if self.groups is not None else None
+        if group is not None:
+            if group.crashed:
+                raise ShardDownError(shard)
+            self._generations[shard] = group.generation
         manager = (
             self.lock_managers[shard]
             if self.lock_managers is not None
@@ -443,7 +508,7 @@ class ShardedTransaction:
             wait_for_locks=self.wait_for_locks,
         )
         self._branches[shard] = branch
-        self._record(f"begin shard {shard}")
+        self._record("begin", f"begin shard {shard}")
         return branch
 
     def touched_shards(self) -> list[int]:
@@ -456,12 +521,46 @@ class ShardedTransaction:
     def _now(self) -> float:
         return self.clock.now if self.clock is not None else 0.0
 
-    def _record(self, event: str) -> None:
-        self.timeline.append((self._now(), event))
+    def _record(self, phase: str, event: str) -> None:
+        self.timeline.append((self._now(), phase, event))
 
     def _advance_round_trip(self) -> None:
         if self.clock is not None and self.one_way_latency > 0:
             self.clock.advance(2.0 * self.one_way_latency)
+
+    # -- failover (coordinator recovery) ----------------------------------------
+
+    def _failover_check(self, phase: str) -> None:
+        """Presumed abort: if any touched shard's primary crashed or
+        was promoted since we branched there, no prepared work can
+        survive (redo ships only at commit, and the dead primary's
+        memory is gone), so the whole transaction aborts cleanly --
+        every branch rolls back, releasing its locks."""
+        if self.groups is None:
+            return
+        for shard in self.touched_shards():
+            group = self.groups[shard]
+            if group is None:
+                continue
+            snapshot = self._generations.get(shard, group.generation)
+            if group.crashed or group.generation != snapshot:
+                self._abort_for_failover(shard, phase)
+
+    def _abort_for_failover(self, shard: int, phase: str) -> None:
+        self._record(
+            "recovery", f"abort: shard {shard} failed during {phase}"
+        )
+        for touched in self.touched_shards():
+            branch = self._branches[touched]
+            if branch.state in (TxnState.ACTIVE, TxnState.PREPARED):
+                # Undo applied to a dead primary is harmless (the
+                # object is unreachable after promotion); what matters
+                # is releasing the branch's locks, which live in the
+                # connection-level lock managers, not the database.
+                branch.rollback()
+            self._record("rollback", f"rolled back shard {touched}")
+        self.state = TxnState.ABORTED
+        raise TwoPhaseAbortError(shard, phase)
 
     # -- protocol ---------------------------------------------------------------
 
@@ -479,11 +578,12 @@ class ShardedTransaction:
                 f"sharded transaction {self.id} is {self.state.value}, "
                 "not active"
             )
-        self._record("prepare sent")
+        self._failover_check("prepare")
+        self._record("prepare", "prepare sent")
         self._advance_round_trip()
         for shard in self.touched_shards():
             self._branches[shard].prepare()
-            self._record(f"prepared shard {shard}")
+            self._record("prepare", f"prepared shard {shard}")
         self.state = TxnState.PREPARED
 
     def commit(self) -> None:
@@ -495,18 +595,29 @@ class ShardedTransaction:
         shards = self.touched_shards()
         if len(shards) <= 1 and self.state is TxnState.ACTIVE:
             # One-phase fast path: a single participant needs no vote.
+            self._failover_check("commit")
             for shard in shards:
-                self._branches[shard].commit()
-                self._record(f"committed shard {shard} (1pc)")
+                branch = self._branches[shard]
+                branch.commit()
+                self._record("commit", f"committed shard {shard} (1pc)")
+                if branch.last_commit_lsn is not None:
+                    self.commit_lsns[shard] = branch.last_commit_lsn
             self.state = TxnState.COMMITTED
             return
         if self.state is TxnState.ACTIVE:
             self.prepare()
-        self._record("commit sent")
+        # A primary lost in the prepared window is detected here: the
+        # coordinator recovery path aborts every branch instead of
+        # committing a transaction whose shard can no longer apply it.
+        self._failover_check("commit")
+        self._record("commit", "commit sent")
         self._advance_round_trip()
         for shard in shards:
-            self._branches[shard].commit()
-            self._record(f"committed shard {shard}")
+            branch = self._branches[shard]
+            branch.commit()
+            self._record("commit", f"committed shard {shard}")
+            if branch.last_commit_lsn is not None:
+                self.commit_lsns[shard] = branch.last_commit_lsn
         self.state = TxnState.COMMITTED
 
     def rollback(self) -> None:
@@ -519,7 +630,7 @@ class ShardedTransaction:
             branch = self._branches[shard]
             if branch.state in (TxnState.ACTIVE, TxnState.PREPARED):
                 branch.rollback()
-            self._record(f"rolled back shard {shard}")
+            self._record("rollback", f"rolled back shard {shard}")
         self.state = TxnState.ABORTED
 
     def __enter__(self) -> "ShardedTransaction":

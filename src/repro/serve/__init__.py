@@ -25,10 +25,11 @@ from repro.serve.controller import (
     Controller,
     StaticController,
 )
-from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.engine import ReplicaSupervisor, ServeConfig, ServeEngine
 from repro.serve.session import Session, SessionPool
 from repro.serve.stats import (
     ClientStats,
+    FailoverEvent,
     LoadSweepResult,
     PoolStats,
     ServeResult,
@@ -51,11 +52,13 @@ __all__ = [
     "AdaptiveController",
     "Controller",
     "StaticController",
+    "ReplicaSupervisor",
     "ServeConfig",
     "ServeEngine",
     "Session",
     "SessionPool",
     "ClientStats",
+    "FailoverEvent",
     "LoadSweepResult",
     "PoolStats",
     "ServeResult",

@@ -20,9 +20,15 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.db.errors import ShardDownError, TwoPhaseAbortError
 from repro.serve.controller import Controller, StaticController
 from repro.serve.session import Session, SessionPool
-from repro.serve.stats import ClientStats, ServeResult, TxnSample
+from repro.serve.stats import (
+    ClientStats,
+    FailoverEvent,
+    ServeResult,
+    TxnSample,
+)
 from repro.serve.workload import ServeWorkload
 from repro.sim.clock import EventLoop, VirtualClock
 from repro.sim.queueing import (
@@ -109,6 +115,16 @@ class ServeEngine:
         self._result: Optional[ServeResult] = None
         self._clients: list[ClientStats] = []
         self._horizon = 0.0
+        # Fault-injection state: a down shard aborts transactions that
+        # touch it until the supervisor promotes a replica; a slowdown
+        # factor stretches that shard's DB stage durations.
+        self.shard_down = [False] * shards
+        self.shard_slowdowns = [1.0] * shards
+        self.failovers: list[FailoverEvent] = []
+        self._crash_times: dict[int, float] = {}
+        self._databases: list = []
+        self._clusters: list = []
+        self._supervisor: Optional["ReplicaSupervisor"] = None
 
     # -- clock and monitoring hooks --------------------------------------
 
@@ -142,6 +158,70 @@ class ServeEngine:
 
     def _lock_table_for(self, group: int) -> LockTable:
         return self.lock_tables[group % len(self.lock_tables)]
+
+    # -- fault injection and failover --------------------------------------
+
+    def attach_backends(self, databases, clusters=()) -> None:
+        """Register the workload's sharded databases (one per partition
+        option) and their clusters so injected faults and failovers hit
+        every live-execution backend, not just the queueing model."""
+        self._databases = list(databases)
+        self._clusters = list(clusters)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < len(self.dbs):
+            raise ValueError(f"unknown database shard {shard}")
+
+    def crash_shard(self, shard: int) -> None:
+        """Kill ``shard``'s primary: the router raises
+        :class:`ShardDownError` there and queued stage work aborts
+        until the supervisor fails over."""
+        self._check_shard(shard)
+        if not self.shard_down[shard]:
+            self._crash_times[shard] = self.now
+        self.shard_down[shard] = True
+        for sdb in self._databases:
+            sdb.crash_primary(shard)
+
+    def set_shard_slowdown(self, shard: int, factor: float) -> None:
+        """Inflate (or with 1.0 restore) one shard's DB service time."""
+        self._check_shard(shard)
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.shard_slowdowns[shard] = factor
+        for cluster in self._clusters:
+            cluster.set_shard_slowdown(shard, factor)
+
+    def set_shard_partition(self, shard: int, down: bool) -> None:
+        """Partition (or heal) ``shard``'s replication links: replicas
+        stop receiving the primary's commit log and fall behind;
+        healing triggers catch-up delivery."""
+        self._check_shard(shard)
+        for sdb in self._databases:
+            group = sdb.groups[shard] if shard < len(sdb.groups) else None
+            if group is None:
+                continue
+            for idx in range(len(group.replicas)):
+                group.set_replica_connected(idx, not down)
+
+    def inject_faults(self, injector) -> None:
+        """Arm a :class:`~repro.sim.cluster.FaultInjector`'s schedule
+        against this engine's shard tier."""
+        injector.schedule(
+            lambda when, action: self.loop.schedule_at(
+                max(when, self.now), action
+            ),
+            crash_shard=self.crash_shard,
+            set_shard_slowdown=self.set_shard_slowdown,
+            set_shard_partition=self.set_shard_partition,
+        )
+
+    def enable_failover(self, **kwargs) -> "ReplicaSupervisor":
+        """Install (and return) the replica supervisor explicitly;
+        :meth:`run` starts one automatically when the attached
+        databases are replicated."""
+        self._supervisor = ReplicaSupervisor(self, **kwargs)
+        return self._supervisor
 
     # -- client lifecycle -------------------------------------------------
 
@@ -177,9 +257,38 @@ class ServeEngine:
                 self.config.retry_backoff, lambda: self._submit(cid)
             )
 
+    def _abort_txn(
+        self,
+        cid: int,
+        session: Session,
+        lock_group: Optional[int] = None,
+    ) -> None:
+        """A shard failure aborted this transaction: release whatever
+        it holds, count the abort, and resubmit after the backoff (the
+        same retry loop a rejected admission uses)."""
+        if lock_group is not None:
+            self._lock_table_for(lock_group).release(lock_group)
+        result = self._result
+        assert result is not None and self.pool is not None
+        result.aborted += 1
+        self._clients[cid].aborted += 1
+        self.pool.release(session)
+        if self.now < self._horizon:
+            result.txn_retries += 1
+            self.loop.schedule(
+                self.config.retry_backoff, lambda: self._submit(cid)
+            )
+
     def _begin_txn(self, cid: int, session: Session, arrived: float) -> None:
         option = self.controller.choose_index(self.workload.n_options)
-        trace = self.workload.draw(option, self.rng)
+        try:
+            trace = self.workload.draw(option, self.rng)
+        except (ShardDownError, TwoPhaseAbortError):
+            # A live execution hit the dead primary (directly or via an
+            # in-flight two-phase branch).  The router already rolled
+            # the transaction back; the client backs off and retries.
+            self._abort_txn(cid, session)
+            return
         if not trace.stages and self.config.think_time <= 0:
             # A stage-less transaction with no think time would loop
             # forever without advancing virtual time.
@@ -214,11 +323,19 @@ class ServeEngine:
             return
         stage = trace.stages[idx]
         if stage.is_cpu:
+            duration = stage.duration
             if stage.kind == StageKind.APP_CPU:
                 pool = self.app
             else:
                 dbs = self.dbs
-                pool = dbs[stage.shard] if stage.shard < len(dbs) else dbs[0]
+                shard = stage.shard if stage.shard < len(dbs) else 0
+                if self.shard_down[shard]:
+                    # Replayed trace pinned to a dead primary: the
+                    # server is gone, so the transaction aborts here.
+                    self._abort_txn(cid, session, lock_group)
+                    return
+                pool = dbs[shard]
+                duration *= self.shard_slowdowns[shard]
 
             def occupy() -> None:
                 def finish() -> None:
@@ -228,7 +345,7 @@ class ServeEngine:
                         lock_group,
                     )
 
-                self.loop.schedule(stage.duration, finish)
+                self.loop.schedule(duration, finish)
 
             pool.acquire(self.now, occupy)
         else:
@@ -301,7 +418,14 @@ class ServeEngine:
         live0 = self.workload.live_executions
         replays0 = self.workload.trace_replays
         cache0 = self.workload.plan_cache_snapshot()
+        two_pc0 = self._two_pc_snapshot()
         self.controller.attach(self, until=duration)
+        if self._supervisor is None and any(
+            getattr(sdb, "replicated", False) for sdb in self._databases
+        ):
+            self._supervisor = ReplicaSupervisor(self)
+        if self._supervisor is not None:
+            self._supervisor.start(until=duration)
         for cid in range(clients):
             offset = config.ramp * cid / clients if config.ramp > 0 else 0.0
             self.loop.schedule(offset, lambda cid=cid: self._client_next(cid))
@@ -325,7 +449,96 @@ class ServeEngine:
         result.plan_cache = _plan_cache_delta(
             cache0, self.workload.plan_cache_snapshot()
         )
+        result.failovers = list(self.failovers)
+        two_pc1 = self._two_pc_snapshot()
+        if two_pc1 is not None:
+            base = two_pc0 if two_pc0 is not None else {}
+            result.two_pc = {
+                key: value - base.get(key, 0)
+                for key, value in two_pc1.items()
+            }
         return result
+
+    def _two_pc_snapshot(self) -> Optional[dict]:
+        snapshot = getattr(self.workload, "two_pc_snapshot", None)
+        return snapshot() if callable(snapshot) else None
+
+
+class ReplicaSupervisor:
+    """Failure detector + failover controller on the engine's clock.
+
+    A heartbeat probes the shard tier every ``heartbeat`` virtual
+    seconds; a primary seen down for ``misses`` consecutive probes is
+    declared failed, and a promotion is scheduled after a delay
+    proportional to the commit-log tail the most caught-up replica must
+    replay (``base_delay + per_entry_delay * entries``).  The promotion
+    installs the winner in every attached database copy, clears the
+    engine's down flag -- re-opening the shard to traffic -- and
+    records a :class:`~repro.serve.stats.FailoverEvent`.
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        heartbeat: float = 0.25,
+        misses: int = 2,
+        base_delay: float = 0.05,
+        per_entry_delay: float = 0.0005,
+    ) -> None:
+        if heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
+        if misses < 1:
+            raise ValueError("need at least one missed heartbeat")
+        self.engine = engine
+        self.heartbeat = heartbeat
+        self.misses = misses
+        self.base_delay = base_delay
+        self.per_entry_delay = per_entry_delay
+        self._missed: dict[int, int] = {}
+        self._promoting: set[int] = set()
+
+    def start(self, until: Optional[float] = None) -> None:
+        self.engine.loop.schedule_periodic(
+            self.heartbeat, self._probe, until=until
+        )
+
+    def _probe(self) -> None:
+        engine = self.engine
+        for shard, down in enumerate(engine.shard_down):
+            if not down or shard in self._promoting:
+                continue
+            self._missed[shard] = self._missed.get(shard, 0) + 1
+            if self._missed[shard] < self.misses:
+                continue
+            self._promoting.add(shard)
+            detected_at = engine.now
+            entries = 0
+            for sdb in engine._databases:
+                lags = sdb.replication_lag(shard)
+                if lags:
+                    entries += min(lags)
+            delay = self.base_delay + self.per_entry_delay * entries
+            engine.loop.schedule(
+                delay, lambda s=shard, t=detected_at: self._promote(s, t)
+            )
+
+    def _promote(self, shard: int, detected_at: float) -> None:
+        engine = self.engine
+        reports = [sdb.promote(shard) for sdb in engine._databases]
+        engine.shard_down[shard] = False
+        self._promoting.discard(shard)
+        self._missed.pop(shard, None)
+        engine.failovers.append(
+            FailoverEvent(
+                shard=shard,
+                crashed_at=engine._crash_times.get(shard, detected_at),
+                detected_at=detected_at,
+                promoted_at=engine.now,
+                chosen_replica=reports[0].chosen if reports else -1,
+                replayed_entries=sum(r.replayed for r in reports),
+                generation=reports[0].generation if reports else 0,
+            )
+        )
 
 
 def _plan_cache_delta(

@@ -26,6 +26,31 @@ class TxnSample:
     option: int
 
 
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One automatic shard failover observed during a serve run.
+
+    The supervisor detects the dead primary on its heartbeat
+    (``detected_at``), waits out a catch-up-proportional promotion
+    delay, and installs the most caught-up replica as the new primary
+    at ``promoted_at``.  ``replayed_entries`` sums the commit-log tail
+    replayed across the workload's database copies (one per partition
+    option)."""
+
+    shard: int
+    crashed_at: float
+    detected_at: float
+    promoted_at: float
+    chosen_replica: int
+    replayed_entries: int
+    generation: int
+
+    @property
+    def recovery_time(self) -> float:
+        """Crash-to-promotion gap in virtual seconds."""
+        return self.promoted_at - self.crashed_at
+
+
 @dataclass
 class ClientStats:
     """Per-client latency histogram and admission counters."""
@@ -33,6 +58,7 @@ class ClientStats:
     client_id: int
     completed: int = 0
     rejected: int = 0
+    aborted: int = 0
     latencies: list[float] = field(default_factory=list)
 
     def summary(self) -> Optional[Summary]:
@@ -62,6 +88,13 @@ class ServeResult:
     warmup: float = 0.0
     completed: int = 0
     rejected: int = 0
+    # Transactions aborted by a shard failure (dead primary or an
+    # in-flight two-phase branch caught by a failover) and the retries
+    # those aborts triggered; failovers lists the supervisor's
+    # promotions in event order.
+    aborted: int = 0
+    txn_retries: int = 0
+    failovers: list[FailoverEvent] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
     samples: list[TxnSample] = field(default_factory=list)
     per_client: list[ClientStats] = field(default_factory=list)
@@ -78,6 +111,10 @@ class ServeResult:
     # (hits/misses/evictions/compiled_plans/hit_ratio, summed over the
     # workload's connections; None when the workload runs no SQL).
     plan_cache: Optional[dict] = None
+    # Two-phase-commit counters accumulated during this run
+    # ({"commits": n, "aborts": n}, summed over the workload's sharded
+    # connections; None when the workload has no replicated tier).
+    two_pc: Optional[dict] = None
     notes: dict = field(default_factory=dict)
 
     @property

@@ -63,6 +63,12 @@ class ServeWorkload:
         none, e.g. pre-collected traces)."""
         return None
 
+    def two_pc_snapshot(self) -> Optional[dict]:
+        """Aggregated two-phase-commit counters across this workload's
+        sharded connections (None when nothing runs through a
+        replicated router)."""
+        return None
+
 
 class TraceWorkload(ServeWorkload):
     """Serve pre-collected traces (uniform draw per option)."""
@@ -269,6 +275,22 @@ class LiveWorkload(ServeWorkload):
         totals["connections"] = connections
         return totals
 
+    def two_pc_snapshot(self) -> Optional[dict]:
+        """Sum commit/abort counters over the options' sharded
+        connections (the router counts both its auto-commits and
+        explicit two-phase resolutions)."""
+        totals: Optional[dict] = None
+        for opt in self.options:
+            conn = getattr(opt.app, "connection", None)
+            aborts = getattr(conn, "two_pc_aborts", None)
+            if aborts is None:
+                continue
+            if totals is None:
+                totals = {"commits": 0, "aborts": 0}
+            totals["commits"] += conn.two_pc_commits
+            totals["aborts"] += aborts
+        return totals
+
 
 # ---------------------------------------------------------------------------
 # Workload factories
@@ -297,11 +319,20 @@ SERVE_TPCW_COST_MODEL = CostModel(
 
 @dataclass
 class BuiltWorkload:
-    """A live workload plus the network parameters it was traced with."""
+    """A live workload plus the network parameters it was traced with.
+
+    ``databases`` and ``clusters`` list each option's sharded database
+    and cluster (in option order) when the workload runs against a
+    sharded tier -- the serve engine's fault injector and replica
+    supervisor need every live-execution backend, since each partition
+    option executes on its own copy of the data.
+    """
 
     workload: LiveWorkload
     network: SimNetworkParams
     notes: dict = field(default_factory=dict)
+    databases: list = field(default_factory=list)
+    clusters: list = field(default_factory=list)
 
 
 def _two_budget_partitions(source: str, entry_points, latency: float,
@@ -324,6 +355,7 @@ def make_tpcc_workload(
     shards: int = 1,
     shard_key: str = "warehouse",
     warehouses: Optional[int] = None,
+    replicas: int = 0,
 ) -> BuiltWorkload:
     """TPC-C new-order under two partitionings (JDBC-like, proc-like).
 
@@ -334,6 +366,9 @@ def make_tpcc_workload(
     ``warehouses`` overrides the scale (the shard sweep pins it so a
     1 -> 4 shard comparison runs the same logical workload at every
     point); by default a sharded tier gets at least four.
+    ``replicas`` > 0 makes every shard a replica group (primary +
+    that many log-shipped replicas) so a serve run can inject primary
+    crashes and fail over; it requires the sharded tier.
     """
     from repro.workloads.tpcc import (
         TPCC_ENTRY_POINTS,
@@ -346,6 +381,13 @@ def make_tpcc_workload(
 
     if shards < 1:
         raise ValueError("shards must be at least 1")
+    if replicas < 0:
+        raise ValueError("replicas must be non-negative")
+    if replicas and shards < 2:
+        raise ValueError(
+            "replica groups ride on the sharded tier; use shards >= 2 "
+            "with replicas"
+        )
     scale = TpccScale()
     if warehouses is not None:
         scale = TpccScale(warehouses=max(warehouses, shards))
@@ -373,6 +415,9 @@ def make_tpcc_workload(
         TPCC_SOURCE, TPCC_ENTRY_POINTS, latency, profile_run
     )
 
+    databases: list = []
+    clusters: list = []
+
     def make_option(label: str, part) -> ProgramOption:
         cluster = Cluster(
             ClusterConfig(
@@ -383,9 +428,12 @@ def make_tpcc_workload(
         )
         if shards > 1:
             sdb, conn = make_sharded_tpcc_database(
-                scale, shards=shards, shard_key=shard_key
+                scale, shards=shards, shard_key=shard_key,
+                replicas=replicas,
             )
             cluster.attach_sharded_database(sdb)
+            databases.append(sdb)
+            clusters.append(cluster)
         else:
             _, conn = make_tpcc_database(scale)
         gen = TpccInputGenerator(scale, seed=seed + 1)
@@ -422,18 +470,26 @@ def make_tpcc_workload(
                "shards": shards,
                "shard_key": shard_key if shards > 1 else None,
                "warehouses": scale.warehouses,
+               "replicas": replicas,
                "fraction_on_db": {
                    "jdbc_like": low.fraction_on_db,
                    "proc_like": high.fraction_on_db,
                }},
+        databases=databases,
+        clusters=clusters,
     )
 
 
-def _reject_shards(workload: str, shards: int) -> None:
+def _reject_shards(workload: str, shards: int, replicas: int = 0) -> None:
     if shards != 1:
         raise ValueError(
             f"workload {workload!r} does not support a sharded database "
             "tier yet; use --workload tpcc with --shards"
+        )
+    if replicas:
+        raise ValueError(
+            f"workload {workload!r} does not support replica groups; "
+            "use --workload tpcc with --shards and --replicas"
         )
 
 
@@ -444,9 +500,10 @@ def make_tpcw_workload(
     interp: Optional[str] = None,
     shards: int = 1,
     shard_key: str = "warehouse",
+    replicas: int = 0,
 ) -> BuiltWorkload:
     """TPC-W browsing mix under two partitionings."""
-    _reject_shards("tpcw", shards)
+    _reject_shards("tpcw", shards, replicas)
     from repro.workloads.tpcw import (
         TPCW_ENTRY_POINTS,
         TPCW_SOURCE,
@@ -512,9 +569,10 @@ def make_micro_workload(
     interp: Optional[str] = None,
     shards: int = 1,
     shard_key: str = "warehouse",
+    replicas: int = 0,
 ) -> BuiltWorkload:
     """Three-phase microbenchmark under two partitionings (APP, DB)."""
-    _reject_shards("micro", shards)
+    _reject_shards("micro", shards, replicas)
     from repro.workloads.micro import (
         THREE_PHASE_ENTRY_POINTS,
         THREE_PHASE_SOURCE,

@@ -16,9 +16,19 @@ the reproduction:
 """
 
 from repro.sim.clock import VirtualClock, EventLoop, Event, PeriodicTask
-from repro.sim.network import NetworkModel, NetworkStats
+from repro.sim.network import (
+    NetworkModel,
+    NetworkPartitionedError,
+    NetworkStats,
+)
 from repro.sim.server import Server, CpuAccount
-from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.cluster import (
+    Cluster,
+    ClusterConfig,
+    FaultEvent,
+    FaultInjector,
+    parse_fault_spec,
+)
 from repro.sim.queueing import (
     CorePool,
     LockTable,
@@ -38,11 +48,15 @@ __all__ = [
     "CorePool",
     "LockTable",
     "NetworkModel",
+    "NetworkPartitionedError",
     "NetworkStats",
     "Server",
     "CpuAccount",
     "Cluster",
     "ClusterConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "parse_fault_spec",
     "Stage",
     "StageKind",
     "TransactionTrace",

@@ -9,13 +9,143 @@ stage trace is later replayed by :mod:`repro.sim.queueing`.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim.clock import VirtualClock
 from repro.sim.network import NetworkModel
 from repro.sim.queueing import SimNetworkParams, Stage, StageKind, TransactionTrace
 from repro.sim.server import CostModel, Server
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+FAULT_KINDS = ("crash", "slow", "partition")
+
+# kind:db<shard>@<at>[x<factor>][:until=<t>], e.g. "crash:db1@5",
+# "slow:db0@3x4:until=8", "partition:db1@2:until=6".
+_FAULT_RE = re.compile(
+    r"^(?P<kind>crash|slow|partition):db(?P<shard>\d+)"
+    r"@(?P<at>\d+(?:\.\d+)?)"
+    r"(?:x(?P<factor>\d+(?:\.\d+)?))?"
+    r"(?::until=(?P<until>\d+(?:\.\d+)?))?$"
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault against a database shard server.
+
+    ``crash`` kills the shard's primary at ``at`` (permanent; recovery
+    is the failover controller's job, not the fault's).  ``slow``
+    inflates the shard's service latency by ``factor`` from ``at``
+    until ``until`` (None = rest of the run).  ``partition`` takes the
+    shard's network link down between ``at`` and ``until``.
+    """
+
+    kind: str
+    shard: int
+    at: float
+    factor: float = 1.0
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; options: {FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind == "slow" and self.factor <= 1.0:
+            raise ValueError("slow faults need a factor > 1")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("fault 'until' must come after 'at'")
+
+
+def parse_fault_spec(spec: str) -> FaultEvent:
+    """Parse one ``--inject`` spec, e.g. ``crash:db1@5`` (crash shard 1
+    at t=5s), ``slow:db0@3x4:until=8`` (4x slowdown on shard 0 between
+    t=3s and t=8s), ``partition:db1@2:until=6``."""
+    match = _FAULT_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(
+            f"bad fault spec {spec!r}; expected "
+            "kind:db<shard>@<t>[x<factor>][:until=<t>] with kind in "
+            f"{FAULT_KINDS}"
+        )
+    kind = match.group("kind")
+    factor = match.group("factor")
+    if factor is not None and kind != "slow":
+        raise ValueError(f"only slow faults take a factor: {spec!r}")
+    until = match.group("until")
+    return FaultEvent(
+        kind=kind,
+        shard=int(match.group("shard")),
+        at=float(match.group("at")),
+        factor=float(factor) if factor is not None else 4.0,
+        until=float(until) if until is not None else None,
+    )
+
+
+class FaultInjector:
+    """Schedules :class:`FaultEvent`s onto a virtual-clock event loop.
+
+    Decoupled from the serve engine: the target supplies the three
+    hooks (``crash_shard``, ``set_shard_slowdown``,
+    ``set_shard_partition``) and the injector only sequences them, so
+    the same injector drives serve runs and bare cluster tests.
+    """
+
+    def __init__(self, events: list[FaultEvent]) -> None:
+        self.events = sorted(events, key=lambda e: (e.at, e.shard, e.kind))
+        self.fired: list[tuple[float, str]] = []
+
+    def schedule(
+        self,
+        schedule_at: Callable[[float, Callable[[], None]], object],
+        *,
+        crash_shard: Callable[[int], None],
+        set_shard_slowdown: Callable[[int, float], None],
+        set_shard_partition: Callable[[int, bool], None],
+    ) -> None:
+        """Register every event with ``schedule_at(when, action)``."""
+        for event in self.events:
+            if event.kind == "crash":
+                self._arm(schedule_at, event.at, f"crash db{event.shard}",
+                          lambda e=event: crash_shard(e.shard))
+            elif event.kind == "slow":
+                self._arm(
+                    schedule_at, event.at,
+                    f"slow db{event.shard} x{event.factor:g}",
+                    lambda e=event: set_shard_slowdown(e.shard, e.factor),
+                )
+                if event.until is not None:
+                    self._arm(
+                        schedule_at, event.until,
+                        f"restore db{event.shard} speed",
+                        lambda e=event: set_shard_slowdown(e.shard, 1.0),
+                    )
+            else:  # partition
+                self._arm(
+                    schedule_at, event.at, f"partition db{event.shard}",
+                    lambda e=event: set_shard_partition(e.shard, True),
+                )
+                if event.until is not None:
+                    self._arm(
+                        schedule_at, event.until, f"heal db{event.shard}",
+                        lambda e=event: set_shard_partition(e.shard, False),
+                    )
+
+    def _arm(self, schedule_at, when: float, label: str, action) -> None:
+        def fire() -> None:
+            self.fired.append((when, label))
+            action()
+
+        schedule_at(when, fire)
 
 
 @dataclass(frozen=True)
@@ -95,6 +225,9 @@ class Cluster:
         # Which database shard the router last executed a statement on
         # -- "db" CPU charges from the runtime land there.
         self._statement_shard = 0
+        # Fault injection: active latency-inflation factors per shard
+        # (a slowed shard's CPU charges stretch by the factor).
+        self._shard_slowdowns: dict[int, float] = {}
 
     @property
     def db_shards(self) -> int:
@@ -141,6 +274,21 @@ class Cluster:
                 self.set_statement_shard(index)
             )
 
+    def set_shard_slowdown(self, shard: int, factor: float) -> None:
+        """Inflate (or with 1.0 restore) one shard server's CPU cost.
+
+        Models a degraded database server: every subsequent DB-CPU
+        charge attributed to ``shard`` stretches by ``factor``.
+        """
+        if not 0 <= shard < len(self.db_servers):
+            raise ValueError(f"unknown database shard {shard}")
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        if factor == 1.0:
+            self._shard_slowdowns.pop(shard, None)
+        else:
+            self._shard_slowdowns[shard] = factor
+
     # -- trace recording ----------------------------------------------------
 
     def _cpu_key(self, server: str) -> str:
@@ -159,6 +307,10 @@ class Cluster:
                 raise ValueError("cannot charge negative CPU time")
             return
         key = self._cpu_key(server)
+        if key != "app" and self._shard_slowdowns:
+            factor = self._shard_slowdowns.get(int(key.split(":", 1)[1]))
+            if factor is not None:
+                seconds *= factor
         if key != self._last_cpu_side and self._pending_cpu.get(
             self._last_cpu_side
         ):
@@ -221,3 +373,4 @@ class Cluster:
         self._stages = []
         self._pending_cpu = {"app": 0.0, "db:0": 0.0}
         self._statement_shard = 0
+        self._shard_slowdowns = {}

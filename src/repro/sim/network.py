@@ -13,12 +13,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+class NetworkPartitionedError(RuntimeError):
+    """A message was sent on a link whose direction is partitioned."""
+
+    def __init__(self, direction: str) -> None:
+        self.direction = direction
+        super().__init__(f"network link is down ({direction})")
+
+
 @dataclass
 class NetworkStats:
     """Byte and message accounting for one direction of a link."""
 
     messages: int = 0
     bytes: int = 0
+    # Fault-injection accounting: messages lost to a partitioned link
+    # and messages that paid an inflated (degraded) latency.
+    dropped: int = 0
+    delayed: int = 0
 
     def record(self, nbytes: int) -> None:
         self.messages += 1
@@ -27,10 +39,14 @@ class NetworkStats:
     def merge(self, other: "NetworkStats") -> None:
         self.messages += other.messages
         self.bytes += other.bytes
+        self.dropped += other.dropped
+        self.delayed += other.delayed
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes = 0
+        self.dropped = 0
+        self.delayed = 0
 
 
 @dataclass
@@ -53,29 +69,69 @@ class NetworkModel:
     per_message_overhead: int = 64
     app_to_db: NetworkStats = field(default_factory=NetworkStats)
     db_to_app: NetworkStats = field(default_factory=NetworkStats)
+    # Fault injection: a partitioned direction drops every message
+    # (raising NetworkPartitionedError); a latency multiplier > 1
+    # inflates propagation delay (slow link / congestion).
+    link_down_to_db: bool = False
+    link_down_to_app: bool = False
+    latency_multiplier: float = 1.0
 
     def __post_init__(self) -> None:
         if self.one_way_latency < 0:
             raise ValueError("latency must be non-negative")
         if self.bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
+        if self.latency_multiplier <= 0:
+            raise ValueError("latency multiplier must be positive")
 
     @property
     def round_trip_latency(self) -> float:
-        return 2.0 * self.one_way_latency
+        return 2.0 * self.one_way_latency * self.latency_multiplier
+
+    def set_link_down(self, down: bool, *, to_db: bool = True,
+                      to_app: bool = True) -> None:
+        """Partition (or heal) the link, per direction."""
+        if to_db:
+            self.link_down_to_db = down
+        if to_app:
+            self.link_down_to_app = down
+
+    @property
+    def partitioned(self) -> bool:
+        return self.link_down_to_db or self.link_down_to_app
+
+    def set_latency_multiplier(self, factor: float) -> None:
+        """Degrade (or restore, with 1.0) the link's latency."""
+        if factor <= 0:
+            raise ValueError("latency multiplier must be positive")
+        self.latency_multiplier = factor
 
     def transfer_time(self, nbytes: int) -> float:
         """Time for a single one-way message carrying ``nbytes``."""
         if nbytes < 0:
             raise ValueError("cannot send a negative number of bytes")
         wire_bytes = nbytes + self.per_message_overhead
-        return self.one_way_latency + wire_bytes / self.bandwidth
+        return (
+            self.one_way_latency * self.latency_multiplier
+            + wire_bytes / self.bandwidth
+        )
 
     def send(self, nbytes: int, *, to_db: bool) -> float:
-        """Record a message and return its one-way delivery time."""
-        delay = self.transfer_time(nbytes)
+        """Record a message and return its one-way delivery time.
+
+        Raises :class:`NetworkPartitionedError` (after counting the
+        drop) when the direction is partitioned; counts the message as
+        delayed when a degradation multiplier is active.
+        """
         stats = self.app_to_db if to_db else self.db_to_app
+        down = self.link_down_to_db if to_db else self.link_down_to_app
+        if down:
+            stats.dropped += 1
+            raise NetworkPartitionedError("to_db" if to_db else "to_app")
+        delay = self.transfer_time(nbytes)
         stats.record(nbytes + self.per_message_overhead)
+        if self.latency_multiplier != 1.0:
+            stats.delayed += 1
         return delay
 
     def total_bytes(self) -> int:

@@ -428,17 +428,21 @@ def make_sharded_tpcc_database(
     shard_key: str = "warehouse",
     seed: int = 42,
     sql_exec: str | None = None,
+    replicas: int = 0,
 ):
     """Create, load and connect to a sharded TPC-C database.
 
     Returns ``(ShardedDatabase, ShardedConnection)``; the loader
     routes the same deterministic row stream as :func:`load_tpcc`.
+    ``replicas`` > 0 gives every shard that many log-shipped replicas
+    (the loader bootstraps them outside the commit log).
     """
     from repro.db.shard import ShardedDatabase, connect_sharded
 
     scale = scale if scale is not None else TpccScale()
     sdb = ShardedDatabase(
-        "tpcc", shards=shards, scheme=tpcc_sharding_scheme(shard_key)
+        "tpcc", shards=shards, scheme=tpcc_sharding_scheme(shard_key),
+        replicas=replicas,
     )
     create_tpcc_schema(sdb)
     for table, values in tpcc_rows(scale, seed):

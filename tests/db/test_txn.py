@@ -287,7 +287,11 @@ class TestShardedTransaction:
         branch.record_undo(undo)
         txn.commit()
         assert clock.now == 0.0  # no prepare round for one participant
-        assert any("1pc" in event for _, event in txn.timeline)
+        assert any("1pc" in event for _, _, event in txn.timeline)
+        assert all(
+            phase in ("begin", "prepare", "commit", "rollback", "recovery")
+            for _, phase, _ in txn.timeline
+        )
 
     def test_cross_shard_commit_costs_two_round_trips(self):
         from repro.db import ShardedTransaction
@@ -302,7 +306,7 @@ class TestShardedTransaction:
         txn.branch(1).lock_row("acct", 1)
         txn.commit()
         assert abs(clock.now - 0.004) < 1e-12  # prepare + commit rounds
-        events = [event for _, event in txn.timeline]
+        events = [event for _, _, event in txn.timeline]
         assert "prepare sent" in events and "commit sent" in events
         prepared = [e for e in events if e.startswith("prepared shard")]
         committed = [e for e in events if e.startswith("committed shard")]
@@ -311,6 +315,10 @@ class TestShardedTransaction:
         assert events.index("commit sent") > max(
             events.index(e) for e in prepared
         )
+        # Every event carries its protocol phase label.
+        phases = [phase for _, phase, _ in txn.timeline]
+        assert phases.count("prepare") == 3  # sent + 2 votes
+        assert phases.count("commit") == 3  # sent + 2 acks
 
     def test_cross_shard_rollback_undoes_every_branch(self):
         from repro.db import ShardedTransaction, connect_sharded

@@ -72,3 +72,55 @@ def test_sharded_serve_runs_are_deterministic():
     assert len(first["db_shard_utilization"]) == SHARDS
     assert first["plan_cache"] is not None
     assert first["plan_cache"]["compiled_plans"] > 0
+
+
+def _run_faulted():
+    """A replicated run with a mid-run primary crash and failover."""
+    from repro.sim.cluster import FaultInjector, parse_fault_spec
+
+    built = make_tpcc_workload(
+        db_cores=2, seed=SEED, pool_size=4, shards=SHARDS, replicas=1,
+    )
+    engine = ServeEngine(
+        built.workload,
+        AdaptiveController(n_options=2, poll_interval=DURATION / 6.0),
+        ServeConfig(
+            app_cores=8, db_cores=2, db_shards=SHARDS,
+            network=built.network, think_time=0.02, seed=SEED,
+            warmup=1.0, ramp=0.02,
+        ),
+    )
+    engine.attach_backends(built.databases, built.clusters)
+    injector = FaultInjector([parse_fault_spec("crash:db1@2.5")])
+    engine.inject_faults(injector)
+    result = engine.run(clients=CLIENTS, duration=DURATION, name="det")
+    return result, list(injector.fired)
+
+
+def _faulted_fingerprint(result, fired):
+    base = _fingerprint(result)
+    base.update(
+        fired=fired,
+        aborted=result.aborted,
+        txn_retries=result.txn_retries,
+        two_pc=result.two_pc,
+        failovers=[
+            (e.shard, e.crashed_at, e.detected_at, e.promoted_at,
+             e.chosen_replica, e.replayed_entries, e.generation)
+            for e in result.failovers
+        ],
+    )
+    return base
+
+
+def test_fault_injected_runs_are_deterministic():
+    """Identical seeds => identical crash, detection and promotion
+    timeline, identical abort/retry counts, identical samples."""
+    first = _faulted_fingerprint(*_run_faulted())
+    second = _faulted_fingerprint(*_run_faulted())
+    assert first == second
+    assert first["fired"] == [(2.5, "crash db1")]
+    assert len(first["failovers"]) == 1
+    assert first["failovers"][0][0] == 1  # shard
+    assert first["failovers"][0][6] == 1  # generation
+    assert first["completed"] > 0

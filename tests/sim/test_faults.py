@@ -1,0 +1,149 @@
+"""Fault-injection layer: specs, events, injector sequencing, slowdown."""
+
+import pytest
+
+from repro.sim.cluster import (
+    Cluster,
+    ClusterConfig,
+    FaultEvent,
+    FaultInjector,
+    parse_fault_spec,
+)
+from repro.sim.clock import EventLoop
+from repro.sim.queueing import StageKind
+
+
+class TestFaultSpecParsing:
+    def test_crash_spec(self):
+        event = parse_fault_spec("crash:db1@5")
+        assert event == FaultEvent(kind="crash", shard=1, at=5.0,
+                                   factor=4.0, until=None)
+
+    def test_slow_spec_with_factor_and_until(self):
+        event = parse_fault_spec("slow:db0@3x4:until=8")
+        assert event.kind == "slow"
+        assert event.shard == 0
+        assert event.at == 3.0
+        assert event.factor == 4.0
+        assert event.until == 8.0
+
+    def test_slow_factor_defaults_to_four(self):
+        assert parse_fault_spec("slow:db0@2").factor == 4.0
+
+    def test_partition_spec(self):
+        event = parse_fault_spec("partition:db1@2:until=6")
+        assert event.kind == "partition"
+        assert (event.at, event.until) == (2.0, 6.0)
+
+    def test_fractional_times(self):
+        event = parse_fault_spec("slow:db2@1.5x2.5:until=3.25")
+        assert (event.at, event.factor, event.until) == (1.5, 2.5, 3.25)
+
+    @pytest.mark.parametrize("spec", [
+        "crash:db1",             # missing @t
+        "melt:db0@3",            # unknown kind
+        "crash:app@3",           # only db targets
+        "crash:db1@3x2",         # factor on a non-slow fault
+        "slow:db0@x4",           # missing time
+        "",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_spec(spec)
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="melt", shard=0, at=1.0)
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(kind="crash", shard=0, at=-1.0)
+
+    def test_slow_needs_factor_above_one(self):
+        with pytest.raises(ValueError, match="factor > 1"):
+            FaultEvent(kind="slow", shard=0, at=1.0, factor=1.0)
+
+    def test_until_must_follow_at(self):
+        with pytest.raises(ValueError, match="'until'"):
+            FaultEvent(kind="partition", shard=0, at=5.0, until=5.0)
+
+
+class TestFaultInjector:
+    def _hooks(self, log):
+        return dict(
+            crash_shard=lambda s: log.append(("crash", s)),
+            set_shard_slowdown=lambda s, f: log.append(("slow", s, f)),
+            set_shard_partition=lambda s, d: log.append(("part", s, d)),
+        )
+
+    def test_events_fire_in_time_order_with_restores(self):
+        loop = EventLoop()
+        log = []
+        injector = FaultInjector([
+            parse_fault_spec("slow:db0@1x4:until=3"),
+            parse_fault_spec("crash:db1@2"),
+            parse_fault_spec("partition:db0@4:until=5"),
+        ])
+        injector.schedule(loop.schedule_at, **self._hooks(log))
+        loop.run(until=10.0)
+        assert log == [
+            ("slow", 0, 4.0),
+            ("crash", 1),
+            ("slow", 0, 1.0),     # until= restores speed
+            ("part", 0, True),
+            ("part", 0, False),   # until= heals the partition
+        ]
+        assert [label for _, label in injector.fired] == [
+            "slow db0 x4", "crash db1", "restore db0 speed",
+            "partition db0", "heal db0",
+        ]
+        assert [when for when, _ in injector.fired] == [1, 2, 3, 4, 5]
+
+    def test_open_ended_faults_never_restore(self):
+        loop = EventLoop()
+        log = []
+        injector = FaultInjector([parse_fault_spec("slow:db0@1x2")])
+        injector.schedule(loop.schedule_at, **self._hooks(log))
+        loop.run(until=10.0)
+        assert log == [("slow", 0, 2.0)]
+
+    def test_events_sorted_regardless_of_input_order(self):
+        injector = FaultInjector([
+            FaultEvent(kind="crash", shard=1, at=5.0),
+            FaultEvent(kind="crash", shard=0, at=2.0),
+        ])
+        assert [e.at for e in injector.events] == [2.0, 5.0]
+
+
+class TestShardSlowdown:
+    def test_slowdown_inflates_db_cpu_charges(self):
+        cluster = Cluster(ClusterConfig(db_shards=2))
+        cluster.set_shard_slowdown(1, 4.0)
+        cluster.start_trace()
+        cluster.record_cpu("db0", 0.010)
+        cluster.record_cpu("db1", 0.010)
+        trace = cluster.finish_trace("t")
+        stages = [
+            s for s in trace.stages if s.kind is StageKind.DB_CPU
+        ]
+        by_shard = {s.shard: s.duration for s in stages}
+        assert by_shard[0] == pytest.approx(0.010)
+        assert by_shard[1] == pytest.approx(0.040)
+
+    def test_restore_with_factor_one(self):
+        cluster = Cluster(ClusterConfig(db_shards=2))
+        cluster.set_shard_slowdown(1, 4.0)
+        cluster.set_shard_slowdown(1, 1.0)
+        cluster.start_trace()
+        cluster.record_cpu("db1", 0.010)
+        trace = cluster.finish_trace("t")
+        assert trace.stages[0].duration == pytest.approx(0.010)
+
+    def test_validation(self):
+        cluster = Cluster(ClusterConfig(db_shards=2))
+        with pytest.raises(ValueError, match="unknown database shard"):
+            cluster.set_shard_slowdown(7, 2.0)
+        with pytest.raises(ValueError, match="positive"):
+            cluster.set_shard_slowdown(0, 0.0)
