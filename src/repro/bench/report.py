@@ -170,6 +170,21 @@ def _two_pc_line(two_pc: dict | None, aborted: int, retries: int) -> str:
     return "; ".join(parts)
 
 
+def _replica_reads_line(replica_reads: dict | None) -> str | None:
+    """Replica-offload summary of a replicated serve run (None when
+    replica reads were not enabled)."""
+    if not replica_reads:
+        return None
+    served = replica_reads.get("served", 0)
+    fallback = replica_reads.get("fallback", 0)
+    total = served + fallback
+    offloaded = 100.0 * served / total if total else 0.0
+    return (
+        f"replica reads: {served} served by replicas, {fallback} "
+        f"primary fallback(s) ({offloaded:.0f}% offloaded)"
+    )
+
+
 def format_serve_failover(result: FailoverRunResult) -> str:
     """Fault-injected run: recovery time and throughput on both sides."""
     lines = [
@@ -198,6 +213,9 @@ def format_serve_failover(result: FailoverRunResult) -> str:
     )
     lines.append(_two_pc_line(result.two_pc, result.aborted,
                               result.txn_retries))
+    reads_line = _replica_reads_line(result.replica_reads)
+    if reads_line is not None:
+        lines.append(reads_line)
     lines.append(
         "replica groups: "
         + ("bit-identical after catch-up"

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
+from repro.obs.export import render_chrome_trace, render_metrics
 from repro.runtime.switcher import SwitcherSummary
 from repro.serve.controller import (
     AdaptiveController,
@@ -254,6 +255,7 @@ def serve_shard_sweep(
     )
     result.notes.update(think_time=think_time, seed=seed)
     warehouses = max(4, max(shard_counts))
+    plan_cache: Optional[dict] = None
     for shards in shard_counts:
         built = make_tpcc_workload(
             db_cores=db_cores, seed=seed, pool_size=6 if fast else 16,
@@ -283,7 +285,10 @@ def serve_shard_sweep(
                 switches=controller.switches if controller else 0,
             )
         )
+        plan_cache = _merge_plan_cache(plan_cache, run.plan_cache)
         result.notes.setdefault("warehouses", built.notes.get("warehouses"))
+    if plan_cache is not None:
+        result.notes["plan_cache"] = plan_cache
     return result
 
 
@@ -309,7 +314,14 @@ class FailoverRunResult:
     aborted: int = 0
     txn_retries: int = 0
     two_pc: Optional[dict] = None
+    replica_reads: Optional[dict] = None
+    metrics: Optional[dict] = None
     replicas_consistent: bool = False
+    # Rendered exporter payloads (deterministic: identically seeded
+    # runs produce byte-identical strings).  trace_json is None unless
+    # the run was started with tracing=True.
+    trace_json: Optional[str] = None
+    metrics_json: Optional[str] = None
     notes: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -345,6 +357,7 @@ def serve_failover(
     fault_specs: Optional[Sequence[str]] = None,
     seed: int = 17,
     built: Optional[BuiltWorkload] = None,
+    tracing: bool = False,
 ) -> FailoverRunResult:
     """Kill a primary mid-run and measure the automatic failover.
 
@@ -383,6 +396,7 @@ def serve_failover(
             warmup=min(2 * poll, duration / 4.0),
             ramp=min(think_time, duration / 10.0),
         ),
+        tracing=tracing,
     )
     engine.attach_backends(built.databases, built.clusters)
     injector = FaultInjector(events)
@@ -396,8 +410,16 @@ def serve_failover(
         failovers=list(run.failovers),
         throughput=run.throughput,
         aborted=run.aborted, txn_retries=run.txn_retries,
-        two_pc=run.two_pc,
+        two_pc=run.two_pc, replica_reads=run.replica_reads,
+        metrics=run.metrics,
     )
+    result.metrics_json = render_metrics(
+        run.metrics,
+        meta={"scenario": "failover", "seed": seed, "clients": clients,
+              "shards": shards, "replicas": replicas},
+    )
+    if tracing:
+        result.trace_json = render_chrome_trace(engine.tracer)
     first_fault = min(e.at for e in events)
     result.pre_fault_throughput = _window_throughput(
         run, run.warmup, first_fault

@@ -167,6 +167,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --inject needs --replicas so the tier can fail "
               "over (e.g. --shards 2 --replicas 2)", file=sys.stderr)
         return 2
+    if (args.trace_out or args.metrics_out) and not args.inject:
+        print("error: --trace-out/--metrics-out export the --inject "
+              "scenario; add --inject (e.g. --inject crash:db1@5)",
+              file=sys.stderr)
+        return 2
 
     if args.inject:
         db_cores = args.db_cores if args.db_cores is not None else 2
@@ -189,11 +194,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 think_time=args.think if args.think is not None else 0.01,
                 fault_specs=args.inject,
                 seed=args.seed,
+                tracing=bool(args.trace_out),
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(report_mod.format_serve_failover(result))
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                fh.write(result.trace_json or "")
+            print(f"trace written to {args.trace_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(result.metrics_json or "")
+            print(f"metrics written to {args.metrics_out}")
         return 0
 
     if args.shard_sweep:
@@ -398,6 +412,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(repeatable; kind:db<shard>@<t>[x<factor>][:until=<t>] "
              "with kind in crash/slow/partition, e.g. crash:db1@5 or "
              "slow:db0@3x4:until=8; needs --replicas)",
+    )
+    p_serve.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="export a Chrome trace_event JSON of the run (open in "
+             "Perfetto / chrome://tracing; --inject scenario only)",
+    )
+    p_serve.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="export the run's metrics registry snapshot as JSON "
+             "(--inject scenario only)",
     )
     p_serve.add_argument(
         "--shard-sweep", action="store_true",

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.db.engine import Database
 from repro.db.errors import ShardError
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.network import NetworkModel
@@ -143,6 +144,9 @@ class ReplicaGroup:
         self.crashed = False
         self.stats = ReplicationStats()
         self.promotions: list[PromotionReport] = []
+        # Observability: the serving engine swaps in its tracer so log
+        # shipping and promotions land on the shared timeline.
+        self.tracer = NULL_TRACER
         primary.redo_collector = self.commit_redo
 
     # -- schema / bootstrap --------------------------------------------------
@@ -178,6 +182,11 @@ class ReplicaGroup:
     def commit_redo(self, ops: list[RedoOp]) -> int:
         """Append one committed transaction and ship to replicas."""
         lsn = self.log.append(ops)
+        if self.tracer.active:
+            self.tracer.instant(
+                "replication.ship", track="replication",
+                group=self.name, lsn=lsn, ops=len(ops),
+            )
         for replica in self.replicas:
             self._deliver(replica)
         return lsn
@@ -228,7 +237,14 @@ class ReplicaGroup:
     def catch_up(self, index: int) -> int:
         """Apply any pending tail to one replica; new applied LSN."""
         replica = self.replicas[index]
+        behind = self.log.tip - replica.applied_lsn
         self._deliver(replica)
+        if behind > 0 and self.tracer.active:
+            self.tracer.instant(
+                "replication.catch_up", track="replication",
+                group=self.name, replica=index,
+                applied=replica.applied_lsn, behind=behind,
+            )
         return replica.applied_lsn
 
     # -- reads ---------------------------------------------------------------
@@ -293,6 +309,12 @@ class ReplicaGroup:
             generation=self.generation,
         )
         self.promotions.append(report)
+        if self.tracer.active:
+            self.tracer.instant(
+                "replica.promote", track="replication",
+                group=self.name, chosen=chosen, replayed=behind,
+                generation=self.generation,
+            )
         # Surviving replicas keep following the same log.
         for replica in self.replicas:
             self._deliver(replica)

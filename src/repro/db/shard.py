@@ -95,6 +95,7 @@ from repro.db.sql.planner import (
 )
 from repro.db.replica import PromotionReport, ReplicaGroup
 from repro.db.txn import LockManager, ShardedTransaction, TxnState
+from repro.obs.trace import NULL_TRACER
 
 SHARD_STRATEGIES = ("hash", "mod", "range")
 
@@ -734,6 +735,10 @@ class ShardedConnection:
         self._watermarks: dict[int, int] = {}
         self._replica_executors: dict[int, tuple[Any, Executor]] = {}
         self.replica_read_count = 0
+        self.replica_fallback_count = 0
+        # Observability: the serving engine swaps in its tracer so
+        # router dispatch and 2PC rounds land on the shared timeline.
+        self.tracer = NULL_TRACER
         # 2PC outcome counters surfaced by serve reports.
         self.two_pc_aborts = 0
         self.two_pc_commits = 0
@@ -834,6 +839,7 @@ class ShardedConnection:
             clock=self.clock,
             one_way_latency=self.one_way_latency,
             groups=self.database.groups if self.database.replicated else None,
+            tracer=self.tracer,
         )
 
     def _commit_auto(self, txn: ShardedTransaction) -> None:
@@ -877,20 +883,45 @@ class ShardedConnection:
         params: Sequence[Any],
         txn: Optional[ShardedTransaction],
     ) -> StatementResult:
+        if not self.tracer.active:
+            return self._route_and_run(prepared, params, txn, None)
+        span = self.tracer.span(
+            "router.dispatch", track="router", mode=prepared.route.mode
+        )
+        try:
+            return self._route_and_run(prepared, params, txn, span)
+        finally:
+            span.finish()
+
+    def _route_and_run(
+        self,
+        prepared: ShardPreparedStatement,
+        params: Sequence[Any],
+        txn: Optional[ShardedTransaction],
+        span,
+    ) -> StatementResult:
         route = prepared.route
         plan = prepared.plan
         if route.mode == "single":
             shard = self._resolve_single_shard(route, params)
             self._affinity = shard
+            if span is not None:
+                span.annotate(shard=shard)
             if self._can_read_replica(prepared, txn):
                 result = self._run_on_replica(prepared, shard, params)
                 if result is not None:
+                    if span is not None:
+                        span.annotate(replica=True)
                     return result
             return self._run_on_shard(prepared, shard, params, txn)
         if route.mode == "pinned":
+            if span is not None:
+                span.annotate(shard=self._affinity)
             if self._can_read_replica(prepared, txn):
                 result = self._run_on_replica(prepared, self._affinity, params)
                 if result is not None:
+                    if span is not None:
+                        span.annotate(replica=True)
                     return result
             return self._run_on_shard(prepared, self._affinity, params, txn)
         if route.mode == "broadcast":
@@ -942,6 +973,9 @@ class ShardedConnection:
         group = self.database.groups[shard]
         replica_db = group.read_replica(self._watermarks.get(shard, 0))
         if replica_db is None:
+            # Every replica is behind the session watermark (or
+            # partitioned away): the read falls back to the primary.
+            self.replica_fallback_count += 1
             return None
         cached = self._replica_executors.get(shard)
         if cached is None or cached[0] is not replica_db:

@@ -31,6 +31,7 @@ from repro.db.errors import (
     TwoPhaseAbortError,
 )
 from repro.db.replica import RedoOp
+from repro.obs.trace import NULL_TRACER
 
 
 class LockMode(enum.Enum):
@@ -456,6 +457,7 @@ class ShardedTransaction:
         clock=None,
         one_way_latency: float = 0.0,
         groups=None,
+        tracer=None,
     ) -> None:
         if not databases:
             raise TransactionError("a sharded transaction needs shards")
@@ -465,6 +467,9 @@ class ShardedTransaction:
         self.wait_for_locks = wait_for_locks
         self.clock = clock
         self.one_way_latency = one_way_latency
+        # Optional repro.obs tracer: protocol rounds become spans on
+        # the "2pc" track alongside the always-on timeline triples.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Per-shard ReplicaGroups (or None entries) when the database
         # tier is replicated: the coordinator snapshots each group's
         # generation at branch time and aborts on crash/promotion.
@@ -523,6 +528,10 @@ class ShardedTransaction:
 
     def _record(self, phase: str, event: str) -> None:
         self.timeline.append((self._now(), phase, event))
+        if self.tracer.active:
+            self.tracer.instant(
+                f"2pc.{phase}", track="2pc", detail=event
+            )
 
     def _advance_round_trip(self) -> None:
         if self.clock is not None and self.one_way_latency > 0:
@@ -579,11 +588,15 @@ class ShardedTransaction:
                 "not active"
             )
         self._failover_check("prepare")
+        span = self.tracer.span(
+            "2pc.prepare", track="2pc", shards=len(self._branches),
+        )
         self._record("prepare", "prepare sent")
         self._advance_round_trip()
         for shard in self.touched_shards():
             self._branches[shard].prepare()
             self._record("prepare", f"prepared shard {shard}")
+        span.finish()
         self.state = TxnState.PREPARED
 
     def commit(self) -> None:
@@ -596,12 +609,16 @@ class ShardedTransaction:
         if len(shards) <= 1 and self.state is TxnState.ACTIVE:
             # One-phase fast path: a single participant needs no vote.
             self._failover_check("commit")
+            span = self.tracer.span(
+                "2pc.commit", track="2pc", mode="1pc"
+            )
             for shard in shards:
                 branch = self._branches[shard]
                 branch.commit()
                 self._record("commit", f"committed shard {shard} (1pc)")
                 if branch.last_commit_lsn is not None:
                     self.commit_lsns[shard] = branch.last_commit_lsn
+            span.finish()
             self.state = TxnState.COMMITTED
             return
         if self.state is TxnState.ACTIVE:
@@ -610,6 +627,10 @@ class ShardedTransaction:
         # coordinator recovery path aborts every branch instead of
         # committing a transaction whose shard can no longer apply it.
         self._failover_check("commit")
+        span = self.tracer.span(
+            "2pc.commit", track="2pc", mode="2pc",
+            shards=len(shards),
+        )
         self._record("commit", "commit sent")
         self._advance_round_trip()
         for shard in shards:
@@ -618,6 +639,7 @@ class ShardedTransaction:
             self._record("commit", f"committed shard {shard}")
             if branch.last_commit_lsn is not None:
                 self.commit_lsns[shard] = branch.last_commit_lsn
+        span.finish()
         self.state = TxnState.COMMITTED
 
     def rollback(self) -> None:
@@ -626,11 +648,13 @@ class ShardedTransaction:
                 f"sharded transaction {self.id} is {self.state.value}, "
                 "not active or prepared"
             )
+        span = self.tracer.span("2pc.rollback", track="2pc")
         for shard in self.touched_shards():
             branch = self._branches[shard]
             if branch.state in (TxnState.ACTIVE, TxnState.PREPARED):
                 branch.rollback()
             self._record("rollback", f"rolled back shard {shard}")
+        span.finish()
         self.state = TxnState.ABORTED
 
     def __enter__(self) -> "ShardedTransaction":

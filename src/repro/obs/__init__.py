@@ -1,0 +1,45 @@
+"""Observability: deterministic tracing, metrics and shared summaries.
+
+Everything in this package is virtual-clock-native: span timestamps
+come from the simulation clock, metric values from deterministic
+counters, and the exporters serialize with stable key ordering -- so
+identically-seeded runs produce byte-identical trace and metrics
+files.  The tracer is zero-cost when disabled (every instrumentation
+site gets back a shared null span), which keeps the serving engine's
+hot path unchanged for untraced runs.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    render_chrome_trace,
+    render_metrics,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.summary import Summary, percentile, summarize
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Summary",
+    "Tracer",
+    "chrome_trace_events",
+    "percentile",
+    "render_chrome_trace",
+    "render_metrics",
+    "summarize",
+    "write_chrome_trace",
+    "write_metrics",
+]

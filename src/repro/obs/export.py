@@ -1,0 +1,111 @@
+"""Deterministic exporters: Chrome ``trace_event`` JSON and flat metrics.
+
+The trace exporter emits the JSON object format Perfetto and
+``chrome://tracing`` load directly: one ``X`` (complete) event per
+finished span, one ``i`` (instant) event per point event, with tracks
+mapped to thread lanes via ``thread_name`` metadata.  Timestamps are
+virtual-clock microseconds and serialization uses sorted keys and
+fixed separators, so identically-seeded runs export byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+_PID = 1
+
+
+def _usec(seconds: float) -> float:
+    # Round to 1/1000 us: keeps the JSON stable and readable without
+    # losing anything the virtual clock can meaningfully resolve.
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` list for a tracer's finished spans.
+
+    Tracks become thread ids in first-seen order (deterministic, since
+    span creation order is deterministic); each gets a ``thread_name``
+    metadata event so the viewer labels the lane.
+    """
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in tracer.finished():
+        tid = tids.get(span.track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[span.track] = tid
+        args: dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.args)
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.track,
+            "pid": _PID,
+            "tid": tid,
+            "ts": _usec(span.start),
+            "args": args,
+        }
+        if span.kind == "instant":
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = _usec(span.duration)
+        events.append(event)
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    return metadata + events
+
+
+def render_chrome_trace(tracer: Tracer) -> str:
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    with open(path, "w") as handle:
+        handle.write(render_chrome_trace(tracer))
+
+
+def render_metrics(
+    snapshot: Optional[Mapping[str, Any]] = None,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Flat metrics JSON from a snapshot dict (or a live registry)."""
+    if snapshot is None:
+        snapshot = registry.snapshot() if registry is not None else {}
+    payload: dict[str, Any] = {"metrics": dict(snapshot)}
+    if meta:
+        payload["meta"] = dict(meta)
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def write_metrics(
+    snapshot: Optional[Mapping[str, Any]] = None,
+    path=None,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(render_metrics(snapshot, registry=registry, meta=meta))

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.db.errors import ShardDownError, TwoPhaseAbortError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer
 from repro.serve.controller import Controller, StaticController
 from repro.serve.session import Session, SessionPool
 from repro.serve.stats import (
@@ -54,6 +56,14 @@ class ServeConfig:
     ``retry_backoff`` seconds and resubmits.  ``ramp`` staggers client
     start times across the given window so a run does not begin with a
     synchronized thundering herd.
+
+    ``trace_sample`` bounds tracing overhead: with tracing enabled,
+    every Nth transaction (deterministically, by submission order)
+    gets a full span tree -- think/queue/stages plus the router and
+    2PC spans its statements emit -- while the rest are not traced.
+    ``1`` traces everything.  Rare events (faults, heartbeats, the
+    failover tree) and all metrics are never sampled: counters and
+    histograms stay exact regardless of the sampling rate.
     """
 
     app_cores: int = 8
@@ -67,6 +77,7 @@ class ServeConfig:
     warmup: float = 0.0
     ramp: float = 0.0
     seed: int = 17
+    trace_sample: int = 16
 
     def __post_init__(self) -> None:
         if self.think_time < 0:
@@ -77,6 +88,8 @@ class ServeConfig:
             raise ValueError("warmup and ramp must be non-negative")
         if self.db_shards < 1:
             raise ValueError("db_shards must be at least 1")
+        if self.trace_sample < 1:
+            raise ValueError("trace_sample must be at least 1")
 
 
 class ServeEngine:
@@ -87,6 +100,8 @@ class ServeEngine:
         workload: ServeWorkload,
         controller: Optional[Controller] = None,
         config: Optional[ServeConfig] = None,
+        *,
+        tracing: bool = False,
     ) -> None:
         self.workload = workload
         self.controller = (
@@ -125,6 +140,22 @@ class ServeEngine:
         self._databases: list = []
         self._clusters: list = []
         self._supervisor: Optional["ReplicaSupervisor"] = None
+        # Observability: spans on the engine's virtual clock (zero-cost
+        # when tracing is off) and the unified metrics registry whose
+        # snapshot lands on the ServeResult.  Hot-path instruments are
+        # bound once here so completions cost one attribute access.
+        self.tracer = Tracer(clock=self.loop.clock, enabled=tracing)
+        self.metrics = MetricsRegistry()
+        self._m_completed = self.metrics.counter("serve.txn.completed")
+        self._m_aborted = self.metrics.counter("serve.txn.aborted")
+        self._m_retried = self.metrics.counter("serve.txn.retried")
+        self._m_rejected = self.metrics.counter("serve.admission.rejected")
+        self._m_latency = self.metrics.histogram("serve.latency.seconds")
+        self._m_lock_wait = self.metrics.histogram("serve.lock.wait_seconds")
+        self._m_latency_by_trace: dict = {}
+        self._m_completed_by_option: dict = {}
+        self._client_tracks: list[str] = []
+        self._trace_seq = 0
 
     # -- clock and monitoring hooks --------------------------------------
 
@@ -180,6 +211,8 @@ class ServeEngine:
         if not self.shard_down[shard]:
             self._crash_times[shard] = self.now
         self.shard_down[shard] = True
+        self.metrics.counter("faults.injected", kind="crash").inc()
+        self.tracer.instant("fault.crash", track="faults", shard=shard)
         for sdb in self._databases:
             sdb.crash_primary(shard)
 
@@ -189,6 +222,10 @@ class ServeEngine:
         if factor <= 0:
             raise ValueError("slowdown factor must be positive")
         self.shard_slowdowns[shard] = factor
+        self.metrics.counter("faults.injected", kind="slow").inc()
+        self.tracer.instant(
+            "fault.slow", track="faults", shard=shard, factor=factor
+        )
         for cluster in self._clusters:
             cluster.set_shard_slowdown(shard, factor)
 
@@ -197,6 +234,10 @@ class ServeEngine:
         stop receiving the primary's commit log and fall behind;
         healing triggers catch-up delivery."""
         self._check_shard(shard)
+        self.metrics.counter("faults.injected", kind="partition").inc()
+        self.tracer.instant(
+            "fault.partition", track="faults", shard=shard, down=down
+        )
         for sdb in self._databases:
             group = sdb.groups[shard] if shard < len(sdb.groups) else None
             if group is None:
@@ -240,21 +281,58 @@ class ServeEngine:
         """
         if self.now >= self._horizon:
             return
-        self.loop.schedule(self._think_delay(), lambda: self._submit(cid))
+        delay = self._think_delay()
+        if self.tracer.enabled and self._sample_trace():
+            think = self.tracer.span(
+                "client.think", track=self._client_track(cid), client=cid
+            )
 
-    def _submit(self, cid: int) -> None:
+            def after_think() -> None:
+                think.finish()
+                self._submit(cid, detail=True)
+
+            self.loop.schedule(delay, after_think)
+        else:
+            self.loop.schedule(delay, lambda: self._submit(cid))
+
+    def _sample_trace(self) -> bool:
+        """Deterministic head sampling: trace every Nth transaction."""
+        seq = self._trace_seq
+        self._trace_seq = seq + 1
+        return seq % self.config.trace_sample == 0
+
+    def _client_track(self, cid: int) -> str:
+        tracks = self._client_tracks
+        return tracks[cid] if cid < len(tracks) else f"client/{cid}"
+
+    def _submit(self, cid: int, detail: bool = False) -> None:
         if self.now >= self._horizon:
             return
         arrived = self.now
+        if detail and self.tracer.enabled:
+            root = self.tracer.span(
+                "client.txn", track=self._client_track(cid), client=cid
+            )
+            queue = self.tracer.span(
+                "client.queue", parent=root, track=self._client_track(cid)
+            )
+        else:
+            root = queue = NULL_SPAN
 
         def work(session: Session) -> None:
-            self._begin_txn(cid, session, arrived)
+            queue.finish()
+            self._begin_txn(cid, session, arrived, root)
 
         assert self.pool is not None
         if not self.pool.submit(work):
             self._clients[cid].rejected += 1
+            self._m_rejected.inc()
+            queue.finish()
+            root.annotate(outcome="rejected")
+            root.finish()
             self.loop.schedule(
-                self.config.retry_backoff, lambda: self._submit(cid)
+                self.config.retry_backoff,
+                lambda: self._submit(cid, detail),
             )
 
     def _abort_txn(
@@ -262,6 +340,7 @@ class ServeEngine:
         cid: int,
         session: Session,
         lock_group: Optional[int] = None,
+        root=NULL_SPAN,
     ) -> None:
         """A shard failure aborted this transaction: release whatever
         it holds, count the abort, and resubmit after the backoff (the
@@ -272,23 +351,47 @@ class ServeEngine:
         assert result is not None and self.pool is not None
         result.aborted += 1
         self._clients[cid].aborted += 1
+        self._m_aborted.inc()
+        root.annotate(outcome="aborted")
+        root.finish()
         self.pool.release(session)
         if self.now < self._horizon:
             result.txn_retries += 1
+            self._m_retried.inc()
+            # A sampled transaction's retry stays sampled, so the
+            # trace shows the whole abort/backoff/retry story.
+            detail = root is not NULL_SPAN
             self.loop.schedule(
-                self.config.retry_backoff, lambda: self._submit(cid)
+                self.config.retry_backoff,
+                lambda: self._submit(cid, detail),
             )
 
-    def _begin_txn(self, cid: int, session: Session, arrived: float) -> None:
+    def _begin_txn(
+        self,
+        cid: int,
+        session: Session,
+        arrived: float,
+        root=NULL_SPAN,
+    ) -> None:
         option = self.controller.choose_index(self.workload.n_options)
+        tracer = self.tracer
+        if tracer.enabled:
+            # Statement-level spans (router dispatch, 2PC, log
+            # shipping) emitted during the live execution follow this
+            # transaction's sampling decision.
+            tracer.set_detail(root is not NULL_SPAN)
         try:
             trace = self.workload.draw(option, self.rng)
         except (ShardDownError, TwoPhaseAbortError):
             # A live execution hit the dead primary (directly or via an
             # in-flight two-phase branch).  The router already rolled
             # the transaction back; the client backs off and retries.
-            self._abort_txn(cid, session)
+            self._abort_txn(cid, session, root=root)
             return
+        finally:
+            if tracer.enabled:
+                tracer.set_detail(True)
+        root.annotate(trace=trace.name, option=option)
         if not trace.stages and self.config.think_time <= 0:
             # A stage-less transaction with no think time would loop
             # forever without advancing virtual time.
@@ -298,13 +401,31 @@ class ServeEngine:
             )
         if trace.lock_groups:
             group = self.rng.randrange(trace.lock_groups)
+            lock_from = self.now
 
             def begin() -> None:
-                self._run_stage(trace, 0, cid, session, arrived, option, group)
+                waited = self.now - lock_from
+                self._m_lock_wait.observe(waited)
+                if waited > 0 and root is not NULL_SPAN:
+                    self.tracer.span(
+                        "client.lock_wait",
+                        parent=root,
+                        track=self._client_track(cid),
+                        start=lock_from,
+                        group=group,
+                    ).finish()
+                self._run_stage(
+                    trace, 0, cid, session, arrived, option, group, root
+                )
 
             self._lock_table_for(group).acquire(group, begin)
         else:
-            self._run_stage(trace, 0, cid, session, arrived, option, None)
+            self._run_stage(trace, 0, cid, session, arrived, option, None, root)
+
+    _STAGE_SPAN_NAMES = {
+        StageKind.APP_CPU: "stage.app_cpu",
+        StageKind.DB_CPU: "stage.db_cpu",
+    }
 
     def _run_stage(
         self,
@@ -315,11 +436,12 @@ class ServeEngine:
         arrived: float,
         option: int,
         lock_group: Optional[int],
+        root=NULL_SPAN,
     ) -> None:
         if idx >= len(trace.stages):
             if lock_group is not None:
                 self._lock_table_for(lock_group).release(lock_group)
-            self._complete(trace, cid, session, arrived, option)
+            self._complete(trace, cid, session, arrived, option, root)
             return
         stage = trace.stages[idx]
         if stage.is_cpu:
@@ -332,17 +454,32 @@ class ServeEngine:
                 if self.shard_down[shard]:
                     # Replayed trace pinned to a dead primary: the
                     # server is gone, so the transaction aborts here.
-                    self._abort_txn(cid, session, lock_group)
+                    self._abort_txn(cid, session, lock_group, root)
                     return
                 pool = dbs[shard]
                 duration *= self.shard_slowdowns[shard]
+            if root is not NULL_SPAN:
+                args = (
+                    {"shard": stage.shard}
+                    if stage.kind == StageKind.DB_CPU
+                    else {}
+                )
+                span = self.tracer.span(
+                    self._STAGE_SPAN_NAMES.get(stage.kind, "stage.cpu"),
+                    parent=root,
+                    track=self._client_track(cid),
+                    **args,
+                )
+            else:
+                span = NULL_SPAN
 
             def occupy() -> None:
                 def finish() -> None:
+                    span.finish()
                     pool.release(self.now)
                     self._run_stage(
                         trace, idx + 1, cid, session, arrived, option,
-                        lock_group,
+                        lock_group, root,
                     )
 
                 self.loop.schedule(duration, finish)
@@ -350,12 +487,24 @@ class ServeEngine:
             pool.acquire(self.now, occupy)
         else:
             delay = self.network.message_delay(stage.nbytes)
-            self.loop.schedule(
-                delay,
-                lambda: self._run_stage(
-                    trace, idx + 1, cid, session, arrived, option, lock_group
-                ),
-            )
+            if root is not NULL_SPAN:
+                span = self.tracer.span(
+                    "stage.net",
+                    parent=root,
+                    track=self._client_track(cid),
+                    nbytes=stage.nbytes,
+                )
+            else:
+                span = NULL_SPAN
+
+            def after_net() -> None:
+                span.finish()
+                self._run_stage(
+                    trace, idx + 1, cid, session, arrived, option,
+                    lock_group, root,
+                )
+
+            self.loop.schedule(delay, after_net)
 
     def _complete(
         self,
@@ -364,6 +513,7 @@ class ServeEngine:
         session: Session,
         arrived: float,
         option: int,
+        root=NULL_SPAN,
     ) -> None:
         assert self.pool is not None
         result = self._result
@@ -376,6 +526,24 @@ class ServeEngine:
                 client_id=cid, option=option,
             )
         )
+        self._m_completed.inc()
+        self._m_latency.observe(latency)
+        by_trace = self._m_latency_by_trace.get(trace.name)
+        if by_trace is None:
+            by_trace = self.metrics.histogram(
+                "serve.latency.seconds", trace=trace.name
+            )
+            self._m_latency_by_trace[trace.name] = by_trace
+        by_trace.observe(latency)
+        by_option = self._m_completed_by_option.get(option)
+        if by_option is None:
+            by_option = self.metrics.counter(
+                "serve.txn.completed", option=option
+            )
+            self._m_completed_by_option[option] = by_option
+        by_option.inc()
+        root.annotate(outcome="ok")
+        root.finish()
         if result.warmup <= now <= result.duration:
             result.completed += 1
             result.latencies.append(latency)
@@ -411,14 +579,18 @@ class ServeEngine:
         )
         self._horizon = duration
         self._clients = [ClientStats(client_id=cid) for cid in range(clients)]
+        self._client_tracks = [f"client/{cid}" for cid in range(clients)]
         self._result = ServeResult(
             name=name, clients=clients, duration=duration,
             warmup=config.warmup, per_client=self._clients,
         )
+        self._attach_observability()
         live0 = self.workload.live_executions
         replays0 = self.workload.trace_replays
         cache0 = self.workload.plan_cache_snapshot()
         two_pc0 = self._two_pc_snapshot()
+        reads0 = self._replica_read_snapshot()
+        ship0 = self._replication_snapshot()
         self.controller.attach(self, until=duration)
         if self._supervisor is None and any(
             getattr(sdb, "replicated", False) for sdb in self._databases
@@ -457,11 +629,105 @@ class ServeEngine:
                 key: value - base.get(key, 0)
                 for key, value in two_pc1.items()
             }
+        reads1 = self._replica_read_snapshot()
+        if reads1 is not None:
+            base = reads0 if reads0 is not None else {}
+            result.replica_reads = {
+                key: value - base.get(key, 0)
+                for key, value in reads1.items()
+            }
+        self._absorb_run_metrics(result, ship0)
+        result.metrics = self.metrics.snapshot()
         return result
 
     def _two_pc_snapshot(self) -> Optional[dict]:
         snapshot = getattr(self.workload, "two_pc_snapshot", None)
         return snapshot() if callable(snapshot) else None
+
+    def _replica_read_snapshot(self) -> Optional[dict]:
+        snapshot = getattr(self.workload, "replica_read_snapshot", None)
+        return snapshot() if callable(snapshot) else None
+
+    def _replication_snapshot(self) -> dict[int, tuple[int, int]]:
+        """Per-shard (entries_shipped, ship_failures) totals across the
+        attached databases' replica groups."""
+        totals: dict[int, tuple[int, int]] = {}
+        for sdb in self._databases:
+            for shard, group in enumerate(getattr(sdb, "groups", ())):
+                if group is None:
+                    continue
+                old = totals.get(shard, (0, 0))
+                totals[shard] = (
+                    old[0] + group.stats.entries_shipped,
+                    old[1] + group.stats.ship_failures,
+                )
+        return totals
+
+    def _attach_observability(self) -> None:
+        """Hand the engine's tracer to the live-execution backends so
+        router dispatch, 2PC rounds and replication shipping show up on
+        the same timeline as the client spans."""
+        for conn in self._workload_connections():
+            conn.tracer = self.tracer
+        for sdb in self._databases:
+            for group in getattr(sdb, "groups", ()):
+                if group is not None:
+                    group.tracer = self.tracer
+
+    def _workload_connections(self) -> list:
+        conns = []
+        for opt in getattr(self.workload, "options", ()):
+            conn = getattr(getattr(opt, "app", None), "connection", None)
+            if conn is not None and hasattr(conn, "tracer"):
+                conns.append(conn)
+        return conns
+
+    def _absorb_run_metrics(
+        self, result: ServeResult, ship0: dict[int, tuple[int, int]]
+    ) -> None:
+        """Fold the run's end-of-run counters (plan cache, 2PC, pool,
+        utilization, replication, failovers) into the registry so the
+        snapshot on the result is the one queryable surface."""
+        metrics = self.metrics
+        metrics.absorb("plan_cache", result.plan_cache)
+        metrics.absorb("two_pc", result.two_pc)
+        if result.pool is not None:
+            metrics.absorb(
+                "pool",
+                {
+                    "accepted": result.pool.accepted,
+                    "rejected": result.pool.rejected,
+                    "peak_waiting": result.pool.peak_waiting,
+                    "peak_in_use": result.pool.peak_in_use,
+                },
+            )
+        metrics.gauge("serve.app.utilization").set(result.app_utilization)
+        for shard, util in enumerate(result.db_shard_utilization):
+            metrics.gauge("serve.db.utilization", shard=shard).set(util)
+        if result.replica_reads is not None:
+            metrics.counter("replica_reads.served").inc(
+                result.replica_reads.get("served", 0)
+            )
+            metrics.counter("replica_reads.fallback").inc(
+                result.replica_reads.get("fallback", 0)
+            )
+        ship1 = self._replication_snapshot()
+        for shard, (shipped, failed) in sorted(ship1.items()):
+            shipped0, failed0 = ship0.get(shard, (0, 0))
+            metrics.counter("replication.entries_shipped", shard=shard).inc(
+                shipped - shipped0
+            )
+            metrics.counter("replication.ship_failures", shard=shard).inc(
+                failed - failed0
+            )
+        if result.failovers:
+            metrics.counter("failover.promotions").inc(len(result.failovers))
+            metrics.counter("failover.replayed_entries").inc(
+                sum(ev.replayed_entries for ev in result.failovers)
+            )
+            metrics.gauge("failover.last_recovery_seconds").set(
+                result.failovers[-1].recovery_time
+            )
 
 
 class ReplicaSupervisor:
@@ -504,6 +770,11 @@ class ReplicaSupervisor:
 
     def _probe(self) -> None:
         engine = self.engine
+        engine.tracer.instant(
+            "supervisor.heartbeat",
+            track="supervisor",
+            down=sum(engine.shard_down),
+        )
         for shard, down in enumerate(engine.shard_down):
             if not down or shard in self._promoting:
                 continue
@@ -528,17 +799,61 @@ class ReplicaSupervisor:
         engine.shard_down[shard] = False
         self._promoting.discard(shard)
         self._missed.pop(shard, None)
-        engine.failovers.append(
-            FailoverEvent(
-                shard=shard,
-                crashed_at=engine._crash_times.get(shard, detected_at),
-                detected_at=detected_at,
-                promoted_at=engine.now,
-                chosen_replica=reports[0].chosen if reports else -1,
-                replayed_entries=sum(r.replayed for r in reports),
-                generation=reports[0].generation if reports else 0,
-            )
+        event = FailoverEvent(
+            shard=shard,
+            crashed_at=engine._crash_times.get(shard, detected_at),
+            detected_at=detected_at,
+            promoted_at=engine.now,
+            chosen_replica=reports[0].chosen if reports else -1,
+            replayed_entries=sum(r.replayed for r in reports),
+            generation=reports[0].generation if reports else 0,
         )
+        engine.failovers.append(event)
+        self._trace_failover(event)
+
+    def _trace_failover(self, event: FailoverEvent) -> None:
+        """Emit the crash -> detect -> promote -> replay span tree for
+        one failover.  Spans are built retroactively (the timestamps
+        are only all known once the promotion lands) with explicit
+        start/end times, so the exported tree matches the
+        :class:`FailoverEvent` record exactly."""
+        tracer = self.engine.tracer
+        if not tracer.enabled:
+            return
+        root = tracer.span(
+            "failover",
+            track="supervisor",
+            start=event.crashed_at,
+            shard=event.shard,
+        )
+        tracer.span(
+            "failover.detect",
+            parent=root,
+            track="supervisor",
+            start=event.crashed_at,
+        ).finish(end=event.detected_at)
+        promote = tracer.span(
+            "failover.promote",
+            parent=root,
+            track="supervisor",
+            start=event.detected_at,
+            chosen_replica=event.chosen_replica,
+            generation=event.generation,
+        )
+        replay_start = max(
+            event.detected_at,
+            event.promoted_at
+            - self.per_entry_delay * event.replayed_entries,
+        )
+        tracer.span(
+            "failover.replay",
+            parent=promote,
+            track="supervisor",
+            start=replay_start,
+            replayed_entries=event.replayed_entries,
+        ).finish(end=event.promoted_at)
+        promote.finish(end=event.promoted_at)
+        root.finish(end=event.promoted_at)
 
 
 def _plan_cache_delta(

@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.summary import Summary, percentile, summarize
 from repro.runtime.switcher import SwitcherSummary
-from repro.sim.metrics import Summary, summarize
 
 
 @dataclass(frozen=True)
@@ -115,6 +115,12 @@ class ServeResult:
     # ({"commits": n, "aborts": n}, summed over the workload's sharded
     # connections; None when the workload has no replicated tier).
     two_pc: Optional[dict] = None
+    # Replica-offloaded read counters for this run ({"served": n,
+    # "fallback": n}; None when replica reads are not enabled).
+    replica_reads: Optional[dict] = None
+    # Unified metrics snapshot (repro.obs.metrics.MetricsRegistry) taken
+    # at the end of the run; keys are rendered `name{label=value}`.
+    metrics: Optional[dict] = None
     notes: dict = field(default_factory=dict)
 
     @property
@@ -128,11 +134,7 @@ class ServeResult:
         return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
 
     def percentile(self, p: float) -> float:
-        if not self.latencies:
-            return 0.0
-        ordered = sorted(self.latencies)
-        idx = min(int(p / 100.0 * len(ordered)), len(ordered) - 1)
-        return ordered[idx]
+        return percentile(self.latencies, p)
 
     def latency_summary(self) -> Optional[Summary]:
         return summarize(self.latencies) if self.latencies else None

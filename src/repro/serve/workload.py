@@ -69,6 +69,12 @@ class ServeWorkload:
         replicated router)."""
         return None
 
+    def replica_read_snapshot(self) -> Optional[dict]:
+        """Aggregated replica-offload counters ({"served": n,
+        "fallback": n}) across this workload's connections (None when
+        no connection has replica reads enabled)."""
+        return None
+
 
 class TraceWorkload(ServeWorkload):
     """Serve pre-collected traces (uniform draw per option)."""
@@ -291,6 +297,20 @@ class LiveWorkload(ServeWorkload):
             totals["aborts"] += aborts
         return totals
 
+    def replica_read_snapshot(self) -> Optional[dict]:
+        """Sum replica-served vs primary-fallback read counters over
+        the options' sharded connections with replica reads enabled."""
+        totals: Optional[dict] = None
+        for opt in self.options:
+            conn = getattr(opt.app, "connection", None)
+            if not getattr(conn, "replica_reads", False):
+                continue
+            if totals is None:
+                totals = {"served": 0, "fallback": 0}
+            totals["served"] += conn.replica_read_count
+            totals["fallback"] += conn.replica_fallback_count
+        return totals
+
 
 # ---------------------------------------------------------------------------
 # Workload factories
@@ -429,7 +449,7 @@ def make_tpcc_workload(
         if shards > 1:
             sdb, conn = make_sharded_tpcc_database(
                 scale, shards=shards, shard_key=shard_key,
-                replicas=replicas,
+                replicas=replicas, replica_reads=replicas > 0,
             )
             cluster.attach_sharded_database(sdb)
             databases.append(sdb)

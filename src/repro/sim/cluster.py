@@ -35,6 +35,13 @@ _FAULT_RE = re.compile(
     r"(?::until=(?P<until>\d+(?:\.\d+)?))?$"
 )
 
+_NUMBER_RE = re.compile(r"^\d+(?:\.\d+)?$")
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``--inject`` fault spec (the one exception type every
+    parse failure raises, with the offending token quoted)."""
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -66,29 +73,67 @@ class FaultEvent:
             raise ValueError("fault 'until' must come after 'at'")
 
 
+def _diagnose_fault_spec(spec: str, text: str) -> str:
+    """Pinpoint the offending token of a spec the grammar rejected."""
+    prefix = f"bad fault spec {spec!r}: "
+    kind, _, rest = text.partition(":")
+    if kind not in FAULT_KINDS:
+        return (f"{prefix}unknown fault kind {kind!r}; "
+                f"options: {FAULT_KINDS}")
+    target, at_sep, tail = rest.partition("@")
+    if not at_sep:
+        return f"{prefix}missing '@<time>' after target {target!r}"
+    if not re.fullmatch(r"db\d+", target):
+        return (f"{prefix}bad target {target!r}; faults hit database "
+                "shards (db<N>)")
+    # Split the tail into time[, xfactor][, :until=...] tokens.
+    time_token, until_sep, until_token = tail.partition(":until=")
+    time_token, x_sep, factor_token = time_token.partition("x")
+    if not _NUMBER_RE.match(time_token):
+        return f"{prefix}bad time {time_token!r} (non-negative seconds)"
+    if x_sep and not _NUMBER_RE.match(factor_token):
+        return f"{prefix}bad slowdown factor {factor_token!r}"
+    if until_sep and not _NUMBER_RE.match(until_token):
+        return (f"{prefix}bad 'until' time {until_token!r} "
+                "(non-negative seconds)")
+    return (f"{prefix}expected kind:db<shard>@<t>[x<factor>]"
+            f"[:until=<t>] with kind in {FAULT_KINDS}")
+
+
 def parse_fault_spec(spec: str) -> FaultEvent:
     """Parse one ``--inject`` spec, e.g. ``crash:db1@5`` (crash shard 1
     at t=5s), ``slow:db0@3x4:until=8`` (4x slowdown on shard 0 between
-    t=3s and t=8s), ``partition:db1@2:until=6``."""
-    match = _FAULT_RE.match(spec.strip())
+    t=3s and t=8s), ``partition:db1@2:until=6``.
+
+    Every malformed shape raises :class:`FaultSpecError` with the
+    offending token quoted in the message.
+    """
+    text = spec.strip()
+    match = _FAULT_RE.match(text)
     if match is None:
-        raise ValueError(
-            f"bad fault spec {spec!r}; expected "
-            "kind:db<shard>@<t>[x<factor>][:until=<t>] with kind in "
-            f"{FAULT_KINDS}"
-        )
+        raise FaultSpecError(_diagnose_fault_spec(spec, text))
     kind = match.group("kind")
     factor = match.group("factor")
     if factor is not None and kind != "slow":
-        raise ValueError(f"only slow faults take a factor: {spec!r}")
+        raise FaultSpecError(
+            f"bad fault spec {spec!r}: only slow faults take a factor "
+            f"(got 'x{factor}' on a {kind} fault)"
+        )
     until = match.group("until")
-    return FaultEvent(
-        kind=kind,
-        shard=int(match.group("shard")),
-        at=float(match.group("at")),
-        factor=float(factor) if factor is not None else 4.0,
-        until=float(until) if until is not None else None,
-    )
+    try:
+        return FaultEvent(
+            kind=kind,
+            shard=int(match.group("shard")),
+            at=float(match.group("at")),
+            factor=float(factor) if factor is not None else 4.0,
+            until=float(until) if until is not None else None,
+        )
+    except FaultSpecError:
+        raise
+    except ValueError as exc:
+        # Semantic validation (e.g. until <= at) re-raised as the one
+        # spec-error type, keeping the offending spec in the message.
+        raise FaultSpecError(f"bad fault spec {spec!r}: {exc}") from exc
 
 
 class FaultInjector:

@@ -1,4 +1,4 @@
-"""Load monitoring and summary statistics.
+"""Load monitoring (summary statistics live in :mod:`repro.obs.summary`).
 
 Implements the feedback loop of Section 6.3: the database-server
 runtime polls CPU utilization every ``poll_interval`` seconds and the
@@ -10,9 +10,17 @@ and a 40% switching threshold.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
+
+from repro.obs.summary import Summary, summarize
+
+__all__ = [
+    "LoadMonitor",
+    "Summary",
+    "UtilizationProbe",
+    "summarize",
+]
 
 
 @dataclass
@@ -53,42 +61,6 @@ class LoadMonitor:
     def reset(self) -> None:
         self._level = self.initial
         self._observations = 0
-
-
-@dataclass
-class Summary:
-    """Five-number-ish summary of a sample set."""
-
-    count: int
-    mean: float
-    stdev: float
-    minimum: float
-    p50: float
-    p95: float
-    p99: float
-    maximum: float
-
-
-def summarize(samples: Sequence[float]) -> Summary:
-    """Compute a :class:`Summary` over ``samples`` (raises on empty input)."""
-    if not samples:
-        raise ValueError("cannot summarize an empty sample set")
-    ordered = sorted(samples)
-    n = len(ordered)
-    mean = sum(ordered) / n
-    var = sum((x - mean) ** 2 for x in ordered) / n
-    def pct(p: float) -> float:
-        return ordered[min(int(p / 100.0 * n), n - 1)]
-    return Summary(
-        count=n,
-        mean=mean,
-        stdev=math.sqrt(var),
-        minimum=ordered[0],
-        p50=pct(50),
-        p95=pct(95),
-        p99=pct(99),
-        maximum=ordered[-1],
-    )
 
 
 @dataclass

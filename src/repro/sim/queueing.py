@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.obs.summary import percentile as _percentile
 from repro.sim.clock import EventLoop, VirtualClock
 
 
@@ -316,11 +317,7 @@ class SimResult:
         return 1000.0 * self.mean_latency
 
     def percentile(self, p: float) -> float:
-        if not self.latencies:
-            return 0.0
-        ordered = sorted(self.latencies)
-        idx = min(int(p / 100.0 * len(ordered)), len(ordered) - 1)
-        return ordered[idx]
+        return _percentile(self.latencies, p)
 
     @property
     def net_kb_per_sec(self) -> float:

@@ -429,13 +429,15 @@ def make_sharded_tpcc_database(
     seed: int = 42,
     sql_exec: str | None = None,
     replicas: int = 0,
+    replica_reads: bool = False,
 ):
     """Create, load and connect to a sharded TPC-C database.
 
     Returns ``(ShardedDatabase, ShardedConnection)``; the loader
     routes the same deterministic row stream as :func:`load_tpcc`.
     ``replicas`` > 0 gives every shard that many log-shipped replicas
-    (the loader bootstraps them outside the commit log).
+    (the loader bootstraps them outside the commit log);
+    ``replica_reads`` offloads watermark-safe reads onto them.
     """
     from repro.db.shard import ShardedDatabase, connect_sharded
 
@@ -447,7 +449,9 @@ def make_sharded_tpcc_database(
     create_tpcc_schema(sdb)
     for table, values in tpcc_rows(scale, seed):
         sdb.insert(table, values)
-    return sdb, connect_sharded(sdb, sql_exec=sql_exec)
+    return sdb, connect_sharded(
+        sdb, sql_exec=sql_exec, replica_reads=replica_reads
+    )
 
 
 def new_order_statement_script(

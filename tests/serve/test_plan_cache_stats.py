@@ -95,6 +95,50 @@ class TestPlanCacheSnapshot:
         assert delta["hit_ratio"] == 1.0
 
 
+class TestRunDeltaAggregation:
+    """Per-run deltas over a shared workload must sum to the full
+    counters -- the invariant the sweeps' merged notes rely on."""
+
+    def test_consecutive_runs_report_disjoint_deltas(self):
+        from repro.bench.serve_experiments import _merge_plan_cache
+
+        workload = _live_workload()
+        deltas = []
+        for _ in range(3):
+            engine = ServeEngine(
+                workload, config=ServeConfig(app_cores=1, db_cores=1)
+            )
+            result = engine.run(clients=2, duration=0.5, name="t")
+            deltas.append(result.plan_cache)
+        total = None
+        for delta in deltas:
+            total = _merge_plan_cache(total, delta)
+        final = workload.plan_cache_snapshot()
+        # The workload was warmed before the first run (compilation +
+        # misses happened at build time), so the merged run deltas are
+        # pure hits and account for every post-warmup hit.
+        assert total["misses"] == 0
+        assert total["compiled_plans"] == 0
+        assert total["hits"] == sum(d["hits"] for d in deltas)
+        assert final["hits"] - total["hits"] > 0  # warmup hits remain
+
+    def test_shard_sweep_merges_plan_cache_across_points(self):
+        from repro.bench.serve_experiments import serve_shard_sweep
+
+        sweep = serve_shard_sweep(
+            fast=True, shard_counts=(1, 2), clients=4, db_cores=1,
+            duration=2.0, think_time=0.02, seed=11,
+        )
+        merged = sweep.notes.get("plan_cache")
+        assert merged is not None
+        # Each sweep point builds a fresh workload whose statements
+        # compile during the run, so the merged delta shows real
+        # compilations and a healthy hit ratio.
+        assert merged["compiled_plans"] > 0
+        assert merged["hits"] > 0
+        assert 0.0 < merged["hit_ratio"] <= 1.0
+
+
 class TestSweepNotes:
     def test_sweep_merges_plan_cache_into_notes(self):
         from repro.bench.serve_experiments import _merge_plan_cache

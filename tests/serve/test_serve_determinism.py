@@ -74,7 +74,7 @@ def test_sharded_serve_runs_are_deterministic():
     assert first["plan_cache"]["compiled_plans"] > 0
 
 
-def _run_faulted():
+def _run_faulted(tracing=False):
     """A replicated run with a mid-run primary crash and failover."""
     from repro.sim.cluster import FaultInjector, parse_fault_spec
 
@@ -89,12 +89,13 @@ def _run_faulted():
             network=built.network, think_time=0.02, seed=SEED,
             warmup=1.0, ramp=0.02,
         ),
+        tracing=tracing,
     )
     engine.attach_backends(built.databases, built.clusters)
     injector = FaultInjector([parse_fault_spec("crash:db1@2.5")])
     engine.inject_faults(injector)
     result = engine.run(clients=CLIENTS, duration=DURATION, name="det")
-    return result, list(injector.fired)
+    return result, list(injector.fired), engine
 
 
 def _faulted_fingerprint(result, fired):
@@ -116,11 +117,96 @@ def _faulted_fingerprint(result, fired):
 def test_fault_injected_runs_are_deterministic():
     """Identical seeds => identical crash, detection and promotion
     timeline, identical abort/retry counts, identical samples."""
-    first = _faulted_fingerprint(*_run_faulted())
-    second = _faulted_fingerprint(*_run_faulted())
+    result1, fired1, _ = _run_faulted()
+    result2, fired2, _ = _run_faulted()
+    first = _faulted_fingerprint(result1, fired1)
+    second = _faulted_fingerprint(result2, fired2)
     assert first == second
     assert first["fired"] == [(2.5, "crash db1")]
     assert len(first["failovers"]) == 1
     assert first["failovers"][0][0] == 1  # shard
     assert first["failovers"][0][6] == 1  # generation
     assert first["completed"] > 0
+    # The unified metrics snapshot is part of the deterministic
+    # surface too.
+    assert result1.metrics == result2.metrics
+    assert result1.metrics["serve.txn.completed"] > 0
+
+
+def test_trace_and_metrics_exports_are_byte_identical():
+    """Two independent identically-seeded traced runs must export
+    byte-identical Chrome trace JSON and metrics JSON."""
+    from repro.obs import render_chrome_trace, render_metrics
+
+    result1, _, engine1 = _run_faulted(tracing=True)
+    result2, _, engine2 = _run_faulted(tracing=True)
+    trace1 = render_chrome_trace(engine1.tracer)
+    trace2 = render_chrome_trace(engine2.tracer)
+    assert trace1 == trace2
+    assert len(trace1) > 1000
+    metrics1 = render_metrics(result1.metrics)
+    metrics2 = render_metrics(result2.metrics)
+    assert metrics1 == metrics2
+
+
+def test_tracing_does_not_perturb_the_run():
+    """Tracing must be observation-only: the traced run's results are
+    identical to the untraced run's."""
+    result_off, fired_off, _ = _run_faulted(tracing=False)
+    result_on, fired_on, _ = _run_faulted(tracing=True)
+    assert _faulted_fingerprint(result_off, fired_off) == (
+        _faulted_fingerprint(result_on, fired_on)
+    )
+
+
+def test_failover_span_tree_matches_failover_event():
+    """The exported crash -> detect -> promote -> replay span tree
+    carries exactly the FailoverEvent's timeline."""
+    import json
+
+    from repro.obs import render_chrome_trace
+
+    result, _, engine = _run_faulted(tracing=True)
+    (event,) = result.failovers
+    doc = json.loads(render_chrome_trace(engine.tracer))
+    spans = {
+        e["name"]: e
+        for e in doc["traceEvents"]
+        if e["ph"] == "X" and e["name"].startswith("failover")
+    }
+    assert set(spans) == {
+        "failover", "failover.detect", "failover.promote",
+        "failover.replay",
+    }
+
+    def usec(seconds):
+        return round(seconds * 1e6, 3)
+
+    root = spans["failover"]
+    detect = spans["failover.detect"]
+    promote = spans["failover.promote"]
+    replay = spans["failover.replay"]
+    assert root["ts"] == usec(event.crashed_at)
+    assert root["dur"] == usec(event.recovery_time)
+    assert detect["ts"] == usec(event.crashed_at)
+    assert detect["ts"] + detect["dur"] == usec(event.detected_at)
+    assert promote["ts"] == usec(event.detected_at)
+    assert promote["ts"] + promote["dur"] == usec(event.promoted_at)
+    assert replay["ts"] + replay["dur"] == usec(event.promoted_at)
+    # Parentage: detect and promote under the root, replay under
+    # promote.
+    assert detect["args"]["parent_id"] == root["args"]["span_id"]
+    assert promote["args"]["parent_id"] == root["args"]["span_id"]
+    assert replay["args"]["parent_id"] == promote["args"]["span_id"]
+    # The span args carry the event's promotion facts.
+    assert promote["args"]["chosen_replica"] == event.chosen_replica
+    assert promote["args"]["generation"] == event.generation
+    assert replay["args"]["replayed_entries"] == event.replayed_entries
+    # All four spans live on the supervisor track.
+    tids = {spans[name]["tid"] for name in spans}
+    assert len(tids) == 1
+    (meta,) = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["tid"] in tids
+    ]
+    assert meta["args"]["name"] == "supervisor"

@@ -7,6 +7,7 @@ from repro.sim.cluster import (
     ClusterConfig,
     FaultEvent,
     FaultInjector,
+    FaultSpecError,
     parse_fault_spec,
 )
 from repro.sim.clock import EventLoop
@@ -50,6 +51,54 @@ class TestFaultSpecParsing:
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(ValueError):
             parse_fault_spec(spec)
+
+
+class TestFaultSpecDiagnostics:
+    """Every parse failure is one exception type whose message quotes
+    both the whole spec and the offending token."""
+
+    def test_bad_until_quotes_token(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("crash:db1@5:until=abc")
+        message = str(exc.value)
+        assert "bad fault spec 'crash:db1@5:until=abc'" in message
+        assert "'abc'" in message
+        assert "until" in message
+
+    def test_unknown_kind_quotes_kind(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("melt:db0@3")
+        message = str(exc.value)
+        assert "unknown fault kind 'melt'" in message
+        assert "bad fault spec" in message
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("crash:db1@-5")
+        assert "bad fault spec 'crash:db1@-5'" in str(exc.value)
+
+    def test_until_not_after_at(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("partition:db1@6:until=2")
+        assert "'until'" in str(exc.value)
+
+    def test_bad_factor_quotes_token(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("slow:db0@3xzz")
+        assert "'zz'" in str(exc.value) or "zz" in str(exc.value)
+
+    def test_bad_target_quotes_target(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("crash:app@3")
+        assert "'app'" in str(exc.value)
+
+    def test_factor_on_crash_names_kind(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("crash:db1@3x2")
+        assert "only slow faults take a factor" in str(exc.value)
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(FaultSpecError, ValueError)
 
 
 class TestFaultEventValidation:
