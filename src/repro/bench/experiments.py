@@ -474,10 +474,21 @@ class Micro1Result:
 
 @dataclass
 class InterpComparisonResult:
-    """Wall-clock medians for the two block-runtime implementations."""
+    """Wall-clock timings for the three block-runtime implementations.
+
+    ``*_seconds`` are medians over the timed runs; ``*_best_seconds``
+    the fastest runs.  ``speedup`` keeps its historical meaning (tree
+    over the closure compiler, medians); the ``source_*`` ratios
+    compare the source-codegen rung against the closure compiler --
+    the floor the third rung is held to.
+    """
 
     tree_seconds: float
     compiled_seconds: float
+    source_seconds: float
+    tree_best_seconds: float
+    compiled_best_seconds: float
+    source_best_seconds: float
     n: int
     repeats: int
 
@@ -489,14 +500,31 @@ class InterpComparisonResult:
             else float("inf")
         )
 
+    @property
+    def source_speedup(self) -> float:
+        return (
+            self.compiled_seconds / self.source_seconds
+            if self.source_seconds > 0
+            else float("inf")
+        )
+
+    @property
+    def source_best_speedup(self) -> float:
+        return (
+            self.compiled_best_seconds / self.source_best_seconds
+            if self.source_best_seconds > 0
+            else float("inf")
+        )
+
 
 def interp_comparison(n: int = 600, repeats: int = 5) -> InterpComparisonResult:
-    """Micro1 under the tree-walking and compiled block interpreters.
+    """Micro1 under the tree, compiled and source block runtimes.
 
     The linked-list workload has no DB calls and (under budget 0) no
     control transfers, so the measured time is pure interpreter
-    overhead -- exactly what the closure-compilation layer attacks.
-    Reports the median of ``repeats`` timed runs per implementation.
+    overhead -- exactly what the closure-compilation and source-codegen
+    layers attack.  Reports the median and the fastest of ``repeats``
+    timed runs per implementation.
     """
     import statistics
 
@@ -508,7 +536,7 @@ def interp_comparison(n: int = 600, repeats: int = 5) -> InterpComparisonResult:
     part = pyxis.partition(profile, budgets=[0.0]).partitions[0]
     expected = native_linked_list(n)
 
-    def median_seconds(interp: str) -> float:
+    def timed_seconds(interp: str) -> tuple[float, float]:
         app = PartitionedApp(
             part.compiled, Cluster(), conn, interp=interp
         )
@@ -524,11 +552,18 @@ def interp_comparison(n: int = 600, repeats: int = 5) -> InterpComparisonResult:
             start = time.perf_counter()
             app.invoke("LinkedList", "run", n)
             samples.append(time.perf_counter() - start)
-        return statistics.median(samples)
+        return statistics.median(samples), min(samples)
 
+    tree_median, tree_best = timed_seconds("tree")
+    compiled_median, compiled_best = timed_seconds("compiled")
+    source_median, source_best = timed_seconds("source")
     return InterpComparisonResult(
-        tree_seconds=median_seconds("tree"),
-        compiled_seconds=median_seconds("compiled"),
+        tree_seconds=tree_median,
+        compiled_seconds=compiled_median,
+        source_seconds=source_median,
+        tree_best_seconds=tree_best,
+        compiled_best_seconds=compiled_best,
+        source_best_seconds=source_best,
         n=n,
         repeats=repeats,
     )
@@ -536,19 +571,22 @@ def interp_comparison(n: int = 600, repeats: int = 5) -> InterpComparisonResult:
 
 @dataclass
 class SqlExecComparisonResult:
-    """Wall-clock timings for the two SQL executors on one mix.
+    """Wall-clock timings for the three SQL executors on one mix.
 
     ``*_seconds`` are medians over the timed passes; ``*_best_seconds``
     are the fastest passes.  The headline ``speedup`` compares the
     fastest passes: external noise only ever adds time, so best-of-N
     is the stable estimator for a ratio guarded by a CI floor (same
-    reasoning as ``timeit``'s min).
+    reasoning as ``timeit``'s min).  The ``source_*`` ratios compare
+    the source-codegen rung against the closure compiler.
     """
 
     tree_seconds: float
     compiled_seconds: float
+    source_seconds: float
     tree_best_seconds: float
     compiled_best_seconds: float
+    source_best_seconds: float
     transactions: int
     statements: int
     repeats: int
@@ -570,6 +608,22 @@ class SqlExecComparisonResult:
         )
 
     @property
+    def source_speedup(self) -> float:
+        return (
+            self.compiled_best_seconds / self.source_best_seconds
+            if self.source_best_seconds > 0
+            else float("inf")
+        )
+
+    @property
+    def source_median_speedup(self) -> float:
+        return (
+            self.compiled_seconds / self.source_seconds
+            if self.source_seconds > 0
+            else float("inf")
+        )
+
+    @property
     def tree_statements_per_second(self) -> float:
         return self.statements / self.tree_seconds
 
@@ -577,11 +631,15 @@ class SqlExecComparisonResult:
     def compiled_statements_per_second(self) -> float:
         return self.statements / self.compiled_seconds
 
+    @property
+    def source_statements_per_second(self) -> float:
+        return self.statements / self.source_seconds
+
 
 def sql_exec_comparison(
     transactions: int = 50, repeats: int = 7, seed: int = 7
 ) -> SqlExecComparisonResult:
-    """The TPC-C new-order statement mix under both SQL executors.
+    """The TPC-C new-order statement mix under all three SQL executors.
 
     Prepares the mix's distinct statements once per implementation
     (plan compilation happens at prepare time, composing with the plan
@@ -589,9 +647,17 @@ def sql_exec_comparison(
     the compilation attacks.  Each timed pass runs inside a transaction
     that is rolled back afterwards (outside the timed region), so every
     pass replays the identical statement script against the identical
-    database state; both executors record the same undo stream (bit
+    database state; all executors record the same undo stream (bit
     equality is the differential suite's job, not the benchmark's).
-    Reports the median of ``repeats`` passes per implementation.
+
+    The timed passes *interleave* round-robin across the three modes
+    (pass ``i`` of every mode runs back to back) instead of timing
+    each mode as a sequential block: the floors assert speedup
+    *ratios*, and machine-state drift over the run -- frequency
+    scaling, thermal state, a background task -- would bias a ratio of
+    two blocks measured seconds apart, while it cancels out of
+    adjacent samples.  Reports the median and fastest of ``repeats``
+    passes per implementation.
     """
     import statistics
 
@@ -607,11 +673,12 @@ def sql_exec_comparison(
     script = new_order_statement_script(
         scale, transactions=transactions, seed=seed
     )
+    modes = ("tree", "compiled", "source")
 
-    def timed_seconds(mode: str) -> tuple[float, float]:
+    def make_runner(mode: str):
         db, _ = make_tpcc_database(scale)
         conn = connect(db, sql_exec=mode)
-        if mode == "compiled":
+        if mode in ("compiled", "source"):
             prepared = [
                 (conn.prepare(sql).compiled.run, params)
                 for sql, params in script
@@ -635,22 +702,32 @@ def sql_exec_comparison(
         warm = Transaction(db, None)
         run_pass(warm)
         warm.rollback()
-        samples = []
-        for _ in range(repeats):
+        return db, run_pass
+
+    runners = {mode: make_runner(mode) for mode in modes}
+    samples: dict[str, list[float]] = {mode: [] for mode in modes}
+    for _ in range(repeats):
+        for mode in modes:
+            db, run_pass = runners[mode]
             txn = Transaction(db, None)
             start = time.perf_counter()
             run_pass(txn)
-            samples.append(time.perf_counter() - start)
+            samples[mode].append(time.perf_counter() - start)
             txn.rollback()
-        return statistics.median(samples), min(samples)
 
-    tree_median, tree_best = timed_seconds("tree")
-    compiled_median, compiled_best = timed_seconds("compiled")
+    tree_median = statistics.median(samples["tree"])
+    tree_best = min(samples["tree"])
+    compiled_median = statistics.median(samples["compiled"])
+    compiled_best = min(samples["compiled"])
+    source_median = statistics.median(samples["source"])
+    source_best = min(samples["source"])
     return SqlExecComparisonResult(
         tree_seconds=tree_median,
         compiled_seconds=compiled_median,
+        source_seconds=source_median,
         tree_best_seconds=tree_best,
         compiled_best_seconds=compiled_best,
+        source_best_seconds=source_best,
         transactions=transactions,
         statements=len(script),
         repeats=repeats,
@@ -680,15 +757,34 @@ def micro1(n: int = 400, repeats: int = 5) -> Micro1Result:
     if warm != native_linked_list(n):
         raise RuntimeError(f"pyxis runtime returned {warm!r} for micro1")
 
-    start = time.perf_counter()
-    for _ in range(repeats):
-        app.invoke("LinkedList", "run", n)
-    pyxis_seconds = (time.perf_counter() - start) / repeats
+    # GC hygiene (same as timeit's): the native window is sub-millisecond,
+    # so a single gen-2 collection of a large live heap (e.g. a long test
+    # session's) landing inside it would dwarf the measurement and invert
+    # the overhead ratio.
+    import gc
 
-    start = time.perf_counter()
-    for _ in range(repeats):
-        native_linked_list(n)
-    native_seconds = (time.perf_counter() - start) / repeats
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        # Best-of-repeats per side (the smokes' idiom): external noise
+        # only ever adds time, and a single scheduler stall inside one
+        # sub-millisecond native rep must not skew the ratio.
+        pyxis_samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            app.invoke("LinkedList", "run", n)
+            pyxis_samples.append(time.perf_counter() - start)
+        native_samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            native_linked_list(n)
+            native_samples.append(time.perf_counter() - start)
+        pyxis_seconds = min(pyxis_samples)
+        native_seconds = min(native_samples)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return Micro1Result(
         native_seconds=native_seconds,
         pyxis_seconds=pyxis_seconds,

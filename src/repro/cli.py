@@ -32,6 +32,11 @@ from repro.core.pipeline import SOLVERS, Pyxis, PyxisConfig
 def _cmd_partition(args: argparse.Namespace) -> int:
     from repro.pyxil.program import format_pyxil
 
+    if args.dump_codegen:
+        from repro.core.codegen import set_dump_dir
+
+        set_dump_dir(args.dump_codegen)
+
     source = open(args.file).read()
     entry_points = []
     for entry in args.entry:
@@ -64,6 +69,20 @@ def _cmd_partition(args: argparse.Namespace) -> int:
               f"objective {part.result.objective * 1000:.3f} ms) ===")
         if args.pyxil:
             print(format_pyxil(part.placed))
+    if args.dump_codegen:
+        # Force the source rung to generate (and therefore dump) every
+        # partitioning's module; normally generation is lazy on the
+        # first source-mode execution.
+        from repro.runtime.codegen_blocks import ensure_program_source
+        from repro.sim.cluster import Cluster
+
+        model = Cluster().app.cost_model
+        dumped = 0
+        for part in pset.by_budget():
+            ensure_program_source(part.compiled, model)
+            dumped += 1
+        print(f"\ndumped {dumped} generated source module(s) to "
+              f"{args.dump_codegen}")
     if args.reuse_artifacts:
         # Demonstrate the incremental session: re-solve the same
         # ladder against the cached artifacts and report what was
@@ -340,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--reuse-artifacts", action="store_true",
         help="after the first pass, re-solve the same budgets on the "
              "cached session artifacts and report reuse statistics",
+    )
+    p_part.add_argument(
+        "--dump-codegen", metavar="DIR", default=None,
+        help="write each generated source module (codegen rung) to DIR "
+             "with a stable name derived from its signature hash; "
+             "equivalent to setting REPRO_DUMP_CODEGEN=DIR",
     )
     p_part.set_defaults(func=_cmd_partition)
 

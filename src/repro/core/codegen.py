@@ -1,0 +1,118 @@
+"""Shared infrastructure for the source-codegen rung.
+
+Both source generators -- :mod:`repro.runtime.codegen_blocks` (execution
+blocks) and :mod:`repro.db.sql.codegen_plan` (SQL plans) -- emit plain
+Python modules as text and ``exec`` them.  This module holds the pieces
+they share and that must not create a dependency between the two layers
+(``runtime`` imports ``db``, so ``db`` cannot import ``runtime``; both
+may import ``core``):
+
+* :class:`SourceWriter` -- an indentation-tracking line buffer whose
+  output is deterministic: generating the same program twice yields
+  byte-identical text, which CI checks (see ISSUE 8's determinism
+  satellite).
+* :func:`source_signature` -- the stable content hash used both as the
+  dump filename component and as the debugging identity of a generated
+  module.
+* :func:`maybe_dump_source` -- honours ``REPRO_DUMP_CODEGEN`` (or an
+  explicit directory configured through :func:`set_dump_dir`, which the
+  CLI's ``--dump-codegen`` flag uses) and writes each generated module
+  to ``<dir>/<kind>_<name>_<hash12>.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from typing import Optional
+
+# Environment variable consumed by maybe_dump_source; the CLI flag
+# --dump-codegen overrides it for the current process via set_dump_dir.
+DUMP_ENV_VAR = "REPRO_DUMP_CODEGEN"
+
+_dump_dir_override: Optional[str] = None
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def set_dump_dir(path: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide dump directory.
+
+    Takes precedence over :data:`DUMP_ENV_VAR`; used by the CLI so
+    ``repro partition --dump-codegen DIR`` works without mutating the
+    caller's environment.
+    """
+    global _dump_dir_override
+    _dump_dir_override = path
+
+
+def dump_dir() -> Optional[str]:
+    """The active dump directory, or None when dumping is off."""
+    if _dump_dir_override is not None:
+        return _dump_dir_override
+    value = os.environ.get(DUMP_ENV_VAR, "").strip()
+    return value or None
+
+
+def source_signature(text: str) -> str:
+    """Stable identity of one generated module: sha256 of its text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _slug(name: str) -> str:
+    return _SLUG_RE.sub("_", name).strip("_") or "module"
+
+
+def dump_filename(kind: str, name: str, text: str) -> str:
+    """The stable dump name: ``<kind>_<slug>_<sha12>.py``.
+
+    The hash covers the full generated text, so two plans (or two cost
+    models) that generate different code never collide, while re-running
+    the same build overwrites the identical file in place.
+    """
+    return f"{_slug(kind)}_{_slug(name)}_{source_signature(text)[:12]}.py"
+
+
+def maybe_dump_source(kind: str, name: str, text: str) -> Optional[str]:
+    """Write a generated module to the dump directory, if one is set.
+
+    Returns the written path (or None when dumping is off).  Dump
+    failures are deliberately not swallowed: the knob is a debugging
+    aid, and a silently missing dump defeats its purpose.
+    """
+    directory = dump_dir()
+    if directory is None:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, dump_filename(kind, name, text))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path
+
+
+class SourceWriter:
+    """A deterministic indented-line buffer for generated modules."""
+
+    __slots__ = ("_lines", "_indent")
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._indent = 0
+
+    def line(self, text: str = "") -> None:
+        if text:
+            self._lines.append("    " * self._indent + text)
+        else:
+            self._lines.append("")
+
+    def indent(self) -> None:
+        self._indent += 1
+
+    def dedent(self) -> None:
+        if self._indent == 0:  # pragma: no cover - generator bug guard
+            raise RuntimeError("unbalanced dedent in source generation")
+        self._indent -= 1
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -18,6 +18,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 from repro.db.engine import Database
 from repro.db.errors import ExecutionError, TransactionError
 from repro.db.sql.ast import Insert as InsertStmt, Select as SelectStmt
+from repro.db.sql.codegen_plan import SourcePlan, maybe_compile_plan_source
 from repro.db.sql.compile_plan import (
     CompiledPlan,
     maybe_compile_plan,
@@ -174,6 +175,10 @@ class PlanCacheStats:
     misses: int = 0
     evictions: int = 0
     compiled_plans: int = 0
+    # Statements generated to Python source (the third rung).  Counted
+    # inside compiled_plans too; kept out of PLAN_CACHE_COUNTERS so the
+    # serve layer's counter algebra (and its wire format) is unchanged.
+    source_plans: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -223,14 +228,19 @@ class PlanCacheStats:
     def reset(self) -> None:
         for key in PLAN_CACHE_COUNTERS:
             setattr(self, key, 0)
+        self.source_plans = 0
 
 
 class PreparedStatement:
     """A parsed and planned statement, executable with ``?`` parameters.
 
-    ``compiled`` holds the closure-compiled form produced at prepare
-    time when the connection runs in ``compiled`` SQL-executor mode;
-    None means the statement executes on the tree executor.
+    ``compiled`` holds the prepare-time translation selected by the
+    connection's SQL-executor mode: a closure-compiled
+    :class:`CompiledPlan` in ``compiled`` mode, a generated-source
+    :class:`SourcePlan` in ``source`` mode (falling back to the closure
+    form for shapes the generator does not emit); None means the
+    statement executes on the tree executor.  Both forms expose the
+    same raw ``run(params, txn)``.
     """
 
     def __init__(
@@ -238,7 +248,7 @@ class PreparedStatement:
         connection: "Connection",
         sql: str,
         plan: Plan,
-        compiled: Optional[CompiledPlan] = None,
+        compiled: Optional[CompiledPlan | SourcePlan] = None,
     ) -> None:
         self.connection = connection
         self.sql = sql
@@ -289,10 +299,17 @@ class Connection:
         self.planner = Planner(database)
         self.executor = Executor(database)
         # "compiled" translates plans to fused closures at prepare time
-        # (repro.db.sql.compile_plan); "tree" walks the operator tree.
+        # (repro.db.sql.compile_plan); "source" generates Python source
+        # per plan (repro.db.sql.codegen_plan) and falls back to the
+        # closure compiler; "tree" walks the operator tree.
         self.sql_exec = resolve_sql_exec_mode(sql_exec)
-        # LRU: most recently used statements at the end.
-        self._plan_cache: OrderedDict[str, PreparedStatement] = OrderedDict()
+        # LRU: most recently used statements at the end.  Keyed on
+        # (executor mode, sql): a cached statement embeds the rung it
+        # was prepared under, so a mode switch on a live connection
+        # must not serve the other rung's entry.
+        self._plan_cache: OrderedDict[
+            tuple[str, str], PreparedStatement
+        ] = OrderedDict()
         self.plan_cache_size = max(1, plan_cache_size)
         self.plan_cache_stats = PlanCacheStats()
         self._txn: Optional[Transaction] = None
@@ -305,22 +322,29 @@ class Connection:
     def prepare(self, sql: str) -> PreparedStatement:
         self._check_open()
         cache = self._plan_cache
-        cached = cache.get(sql)
+        cache_key = (self.sql_exec, sql)
+        cached = cache.get(cache_key)
         stats = self.plan_cache_stats
         if cached is not None:
-            cache.move_to_end(sql)
+            cache.move_to_end(cache_key)
             stats.hits += 1
             return cached
         stats.misses += 1
         stmt = parse(sql)
         plan = self.planner.plan(stmt)
-        compiled = None
-        if self.sql_exec == "compiled":
-            compiled = maybe_compile_plan(plan, self.database)
+        compiled: Optional[CompiledPlan | SourcePlan] = None
+        if self.sql_exec == "source":
+            compiled = maybe_compile_plan_source(
+                plan, self.database, tracer=getattr(self, "tracer", None)
+            )
             if compiled is not None:
-                stats.compiled_plans += 1
+                stats.source_plans += 1
+        if compiled is None and self.sql_exec in ("compiled", "source"):
+            compiled = maybe_compile_plan(plan, self.database)
+        if compiled is not None:
+            stats.compiled_plans += 1
         prepared = PreparedStatement(self, sql, plan, compiled)
-        cache[sql] = prepared
+        cache[cache_key] = prepared
         if len(cache) > self.plan_cache_size:
             cache.popitem(last=False)
             stats.evictions += 1

@@ -68,6 +68,10 @@ from repro.db.sql.ast import (
     Select,
     Statement,
 )
+from repro.db.sql.codegen_plan import (
+    SourcePlan,
+    maybe_compile_plan_source,
+)
 from repro.db.sql.compile_plan import (
     CompiledPlan,
     maybe_compile_plan,
@@ -663,24 +667,36 @@ class ShardPreparedStatement:
         # generation the plan was compiled under, because a compiled
         # plan binds the primary's table/index objects and must be
         # re-minted after a failover swaps the primary.
-        self._compiled: dict[int, tuple[int, Optional[CompiledPlan]]] = {}
+        self._compiled: dict[
+            int, tuple[int, Optional[CompiledPlan | SourcePlan]]
+        ] = {}
 
     @property
     def is_query(self) -> bool:
         return isinstance(self.plan, SelectPlan)
 
-    def compiled_for(self, shard: int) -> Optional[CompiledPlan]:
-        if self.connection.sql_exec != "compiled":
+    def compiled_for(self, shard: int) -> Optional[CompiledPlan | SourcePlan]:
+        mode = self.connection.sql_exec
+        if mode not in ("compiled", "source"):
             return None
         generation = self.connection.database.generation(shard)
         cached = self._compiled.get(shard)
         if cached is not None and cached[0] == generation:
             return cached[1]
-        compiled = maybe_compile_plan(
-            self.plan, self.connection.database.shards[shard]
-        )
+        stats = self.connection.plan_cache_stats
+        target = self.connection.database.shards[shard]
+        compiled: Optional[CompiledPlan | SourcePlan] = None
+        if mode == "source":
+            compiled = maybe_compile_plan_source(
+                self.plan, target,
+                tracer=getattr(self.connection, "tracer", None),
+            )
+            if compiled is not None:
+                stats.source_plans += 1
+        if compiled is None:
+            compiled = maybe_compile_plan(self.plan, target)
         if compiled is not None:
-            self.connection.plan_cache_stats.compiled_plans += 1
+            stats.compiled_plans += 1
         self._compiled[shard] = (generation, compiled)
         return compiled
 
@@ -747,9 +763,11 @@ class ShardedConnection:
         )
         self.clock = clock
         self.one_way_latency = one_way_latency
-        self._plan_cache: OrderedDict[str, ShardPreparedStatement] = (
-            OrderedDict()
-        )
+        # Keyed on (executor mode, sql) so flipping ``sql_exec`` on a
+        # live connection cannot serve a plan minted for another rung.
+        self._plan_cache: OrderedDict[
+            tuple[str, str], ShardPreparedStatement
+        ] = OrderedDict()
         self.plan_cache_size = max(1, plan_cache_size)
         self.plan_cache_stats = PlanCacheStats()
         self._txn: Optional[ShardedTransaction] = None
@@ -766,10 +784,11 @@ class ShardedConnection:
     def prepare(self, sql: str) -> ShardPreparedStatement:
         self._check_open()
         cache = self._plan_cache
-        cached = cache.get(sql)
+        cache_key = (self.sql_exec, sql)
+        cached = cache.get(cache_key)
         stats = self.plan_cache_stats
         if cached is not None:
-            cache.move_to_end(sql)
+            cache.move_to_end(cache_key)
             stats.hits += 1
             return cached
         stats.misses += 1
@@ -777,7 +796,7 @@ class ShardedConnection:
         plan = self.planner.plan(stmt)
         route = route_statement(self.scheme, stmt, plan)
         prepared = ShardPreparedStatement(self, sql, plan, route)
-        cache[sql] = prepared
+        cache[cache_key] = prepared
         if len(cache) > self.plan_cache_size:
             cache.popitem(last=False)
             stats.evictions += 1

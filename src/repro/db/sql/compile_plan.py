@@ -83,11 +83,14 @@ if False:  # pragma: no cover - import cycle guard for type checkers
     from repro.db.txn import Transaction
 
 # SQL executor selection: "compiled" runs statements through the plan
-# compilation in this module; "tree" walks the planner's operator tree
-# (the debugging / differential-testing reference).  Both produce
-# bit-identical StatementResults; see the module docstring.
+# compilation in this module; "source" generates Python source text per
+# plan (repro.db.sql.codegen_plan, falling back to this module's
+# closures for shapes it does not emit); "tree" walks the planner's
+# operator tree (the debugging / differential-testing reference).  All
+# rungs produce bit-identical StatementResults; see the module
+# docstrings.
 SQL_EXEC_ENV_VAR = "REPRO_SQL_EXEC"
-SQL_EXEC_MODES = ("tree", "compiled")
+SQL_EXEC_MODES = ("tree", "compiled", "source")
 DEFAULT_SQL_EXEC = "compiled"
 
 

@@ -292,13 +292,22 @@ class AccessPath:
 
 @dataclass
 class TableAccess:
-    """One table in the FROM clause with its access path and residual filter."""
+    """One table in the FROM clause with its access path and residual filter.
+
+    ``join_strategy`` is the planner's static classification of how
+    this level can fetch join candidates (``driver`` / ``lookup`` /
+    ``hash_scan`` / ``scan`` / ``hash`` / ``nested``); the codegen rung
+    resolves the hash candidates against prepare-time table sizes
+    (falling back to nested loops on tiny inners, partitioned spill
+    builds on large ones) and records the final pick per plan.
+    """
 
     table_name: str
     binding: str
     access: AccessPath
     residual: Optional[Compiled] = None
     residual_ast: Optional[Expr] = None
+    join_strategy: Optional[str] = None
 
 
 @dataclass
@@ -349,6 +358,10 @@ class SelectPlan:
     group_asts: list[Expr] = field(default_factory=list)
     limit_ast: Optional[Expr] = None
     scope: Optional[Scope] = None
+    # Batch metadata: single-table, non-aggregate, non-point shapes can
+    # run scan/filter/project batch-at-a-time (materialize candidates
+    # once, then comprehension passes) instead of row-at-a-time.
+    batch_eligible: bool = False
 
 
 @dataclass
@@ -374,6 +387,110 @@ class DeletePlan:
 
 
 Plan = SelectPlan | InsertPlan | UpdatePlan | DeletePlan
+
+
+# -- join-strategy analysis ---------------------------------------------------
+#
+# Static (size-independent) classification of join levels, shared by the
+# planner (which records the class on each TableAccess) and the source
+# codegen rung (which resolves hash candidates against table sizes).
+
+
+def scope_positions(scope: Scope) -> dict[str, int]:
+    """FROM-clause position of each binding, in placement order."""
+    return {binding: i for i, (binding, _) in enumerate(scope.bindings)}
+
+
+def flatten_conjuncts(ast: Expr) -> list[Expr]:
+    """AND-flatten an expression into its conjuncts, left to right."""
+    if isinstance(ast, BinaryOp) and ast.op == "and":
+        return flatten_conjuncts(ast.left) + flatten_conjuncts(ast.right)
+    return [ast]
+
+
+def outer_only_expr(ast: Expr, scope: Scope, position: int) -> bool:
+    """True when every column in ``ast`` binds before ``position``."""
+    positions = scope_positions(scope)
+    for node in ast.walk():
+        if isinstance(node, ColumnRef):
+            binding, _ = scope.resolve(node)
+            if positions[binding] >= position:
+                return False
+    return True
+
+
+def extract_equi_conjuncts(
+    ta: TableAccess, scope: Scope, position: int
+) -> Optional[tuple[list[int], list[Expr], list[Expr]]]:
+    """Peel hash-joinable equality conjuncts from a scanned inner
+    table's residual: ``inner_col = <outer-only expr>`` in either
+    operand order.  Returns (inner build offsets, outer probe
+    expressions, leftover conjuncts in original order), or None when
+    no conjunct qualifies."""
+    if ta.residual_ast is None:
+        return None
+    positions = scope_positions(scope)
+    build: list[int] = []
+    probe: list[Expr] = []
+    leftover: list[Expr] = []
+    for conjunct in flatten_conjuncts(ta.residual_ast):
+        peeled = False
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+            for inner_side, outer_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(inner_side, ColumnRef):
+                    continue
+                binding, offset = scope.resolve(inner_side)
+                if positions[binding] != position:
+                    continue
+                if not outer_only_expr(outer_side, scope, position):
+                    continue
+                build.append(offset)
+                probe.append(outer_side)
+                peeled = True
+                break
+        if not peeled:
+            leftover.append(conjunct)
+    if not build:
+        return None
+    return build, probe, leftover
+
+
+def classify_join_access(
+    position: int, ta: TableAccess, scope: Scope
+) -> str:
+    """Static strategy class for one join level.
+
+    ``driver`` (outermost), ``lookup`` (constant probe, hoistable),
+    ``hash_scan`` (scanned inner with peelable equi conjuncts --
+    hash-join candidate), ``scan`` (scanned inner, no equi key),
+    ``hash`` (outer-dependent pk/index_eq probe -- hash-build
+    candidate), ``nested`` (outer-dependent range probe).
+    """
+    kind = ta.access.kind
+    if position == 0:
+        return "driver"
+    if kind == "scan":
+        if extract_equi_conjuncts(ta, scope, position) is not None:
+            return "hash_scan"
+        return "scan"
+    probe_asts = (
+        list(ta.access.key_asts)
+        + list(ta.access.low_asts)
+        + list(ta.access.high_asts)
+    )
+    has_column = any(
+        isinstance(node, ColumnRef)
+        for ast in probe_asts
+        for node in ast.walk()
+    )
+    if not has_column:
+        return "lookup"
+    if kind == "index_range":
+        return "nested"
+    return "hash"
 
 
 def _split_conjuncts(expr: Optional[Expr]) -> list[Expr]:
@@ -482,6 +599,11 @@ class Planner:
             leftover = _join_conjuncts(remaining)
             raise PlanError(f"could not place predicate {leftover!r}")
 
+        for position, access_entry in enumerate(tables):
+            access_entry.join_strategy = classify_join_access(
+                position, access_entry, scope
+            )
+
         # Projection.
         columns: list[OutputColumn] = []
         aggregates: list[AggregateSpec] = []
@@ -559,6 +681,11 @@ class Planner:
             group_asts=list(stmt.group_by),
             limit_ast=stmt.limit,
             scope=scope,
+            batch_eligible=(
+                len(tables) == 1
+                and not has_aggregates
+                and tables[0].access.kind != "pk"
+            ),
         )
 
     def _plan_order_by(

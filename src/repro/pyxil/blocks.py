@@ -123,6 +123,13 @@ class CompiledProgram:
     code_cache: Optional[list] = field(
         default=None, init=False, repr=False, compare=False
     )
+    # Generated-source executors keyed by cost-model signature (see
+    # repro.runtime.codegen_blocks.ensure_program_source); generated text
+    # bakes model-derived cost literals, so each signature gets its own
+    # module.  Populated on first use.
+    source_cache: Optional[dict] = field(
+        default=None, init=False, repr=False, compare=False
+    )
     # Lazily computed per-block statement multiplicities (see
     # sid_multiplicities); blocks are immutable after compilation.
     _sid_mult: Optional[dict] = field(

@@ -69,13 +69,15 @@ NATIVE_CPU_COSTS: dict[str, float] = {
 }
 
 # Interpreter selection: "compiled" runs blocks through the closure
-# compilation layer (repro.runtime.compile_blocks); "tree" walks the
-# Expr trees directly.  On successful runs both produce identical
-# results and identical ExecutionStats (after a mid-block error the
-# compiled mode's batched op/CPU accounting may cover the whole
-# failing block); the tree-walker is the debugging reference.
+# compilation layer (repro.runtime.compile_blocks); "source" runs
+# generated-Python-source block functions (repro.runtime.codegen_blocks);
+# "tree" walks the Expr trees directly.  On successful runs all three
+# produce identical results and identical ExecutionStats (after a
+# mid-block error the batched op/CPU accounting of the compiled rungs
+# may cover the whole failing block); the tree-walker is the debugging
+# reference.
 INTERP_ENV_VAR = "REPRO_INTERP"
-INTERP_MODES = ("tree", "compiled")
+INTERP_MODES = ("tree", "compiled", "source")
 DEFAULT_INTERP = "compiled"
 
 
@@ -195,6 +197,17 @@ class PyxisExecutor:
                 for code in self._codes
             ]
             self._loop_fn = self._loop_compiled
+        elif self.interp == "source":
+            from repro.runtime.codegen_blocks import ensure_program_source
+
+            source = ensure_program_source(
+                compiled,
+                self._cost_model,
+                tracer=getattr(connection, "tracer", None),
+            )
+            self._source = source
+            self._source_meta = source.meta
+            self._loop_fn = self._loop_source
         else:
             self._loop_fn = self._loop
 
@@ -367,6 +380,74 @@ class PyxisExecutor:
         finally:
             stats.blocks += blocks
             stats.ops += ops
+
+    def _loop_source(self, bid: int) -> Any:
+        """Run generated superblock functions (see codegen_blocks).
+
+        Each driver entry is a fused region: gotos, branch arms,
+        allocations and inlined leaf calls all execute inside one
+        generated function, so this loop only runs at real call/return
+        boundaries, region exits, and DB blocks.  The generated
+        functions fold block/op counts and per-side CPU into ``acc``
+        (``[cpu_app, cpu_db, blocks, ops]``); batched CPU flushes
+        right before every point where the cluster can observe it -- a
+        control transfer, a DB-call block (whose request message
+        flushes pending CPU into trace stages), and loop exit.
+        Between two such points all charges land on one side, so the
+        batched sums produce bit-identical stages to the closure
+        rung's per-block ``record_cpu`` calls.  The runaway guard
+        lives in two places: logical block counts are checked here per
+        dispatch, and every generated dispatch arm checks its own
+        visit counter, so loops that never leave a region still raise.
+        """
+        meta = self._source_meta
+        stats = self.stats
+        app = Placement.APP
+        heap_app = self.heaps[app]
+        heap_db = self.heaps[Placement.DB]
+        record_cpu = self.cluster.record_cpu
+        stack = self.stack
+        max_blocks = self.max_blocks
+        acc = [0.0, 0.0, 0, 0]
+        try:
+            while True:
+                fn, placement, flush = meta[bid]
+                if placement is not self.side:
+                    if acc[0]:
+                        record_cpu("app", acc[0])
+                        acc[0] = 0.0
+                    if acc[1]:
+                        record_cpu("db", acc[1])
+                        acc[1] = 0.0
+                    self._control_transfer(placement, bid)
+                    self.side = placement
+                elif flush:
+                    if acc[0]:
+                        record_cpu("app", acc[0])
+                        acc[0] = 0.0
+                    if acc[1]:
+                        record_cpu("db", acc[1])
+                        acc[1] = 0.0
+                if acc[2] > max_blocks:
+                    raise RuntimeError_(
+                        f"exceeded {self.max_blocks} blocks; runaway program?"
+                    )
+                nxt = fn(
+                    self,
+                    stack[-1],
+                    heap_app if placement is app else heap_db,
+                    acc,
+                )
+                if nxt is None:
+                    return self._ret
+                bid = nxt
+        finally:
+            if acc[0]:
+                record_cpu("app", acc[0])
+            if acc[1]:
+                record_cpu("db", acc[1])
+            stats.blocks += acc[2]
+            stats.ops += acc[3]
 
     def _do_call(self, term: TCall, frame: _Frame) -> int:
         self._charge(self._cost.statement_cost)

@@ -1,0 +1,176 @@
+"""The SQL source-codegen rung: generation, dumping, determinism.
+
+Bit-identical *behavior* is covered by the differential suites
+(test_sql_exec_equivalence, test_shard_equivalence, test_sql_property);
+this file covers the generator itself -- deterministic text, the
+planner's join-strategy / batch metadata, the hybrid hash join's
+size-dependent strategy resolution, and the ``REPRO_DUMP_CODEGEN`` /
+``--dump-codegen`` debugging dumps round-tripping through ``compile``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import codegen as core_codegen
+from repro.db import Database, connect
+from repro.db.sql.codegen_plan import (
+    HASH_JOIN_MIN_ROWS,
+    HASH_JOIN_SPILL_ROWS,
+    compile_plan_source,
+    generate_plan_source,
+    maybe_compile_plan_source,
+)
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import Planner
+
+
+def _join_db(inner_rows):
+    db = Database("j")
+    db.create_table("o", [("oid", "int"), ("k", "int")],
+                    primary_key=("oid",))
+    db.create_table("l", [("lid", "int"), ("ok", "int"), ("v", "int")],
+                    primary_key=("lid",))
+    conn = connect(db, sql_exec="tree")
+    for i in range(30):
+        conn.execute("INSERT INTO o (oid, k) VALUES (?, ?)", i, i % 10)
+    for i in range(inner_rows):
+        conn.execute("INSERT INTO l (lid, ok, v) VALUES (?, ?, ?)",
+                     i, i % 10, i)
+    return db
+
+
+JOIN_SQL = ("SELECT o.oid, l.v FROM o JOIN l ON o.k = l.ok "
+            "WHERE l.v < 50 ORDER BY o.oid, l.v")
+
+
+def _plan(db, sql):
+    return Planner(db).plan(parse(sql))
+
+
+class TestPlannerMetadata:
+    def test_join_strategy_recorded_statically(self):
+        db = _join_db(8)
+        plan = _plan(db, JOIN_SQL)
+        assert [(t.binding, t.join_strategy) for t in plan.tables] == [
+            ("o", "driver"), ("l", "hash_scan"),
+        ]
+
+    def test_single_table_batch_eligible(self):
+        db = _join_db(8)
+        assert _plan(db, "SELECT v FROM l WHERE v > 2").batch_eligible
+        # Point lookups and aggregates are not batch shapes.
+        assert not _plan(db, "SELECT v FROM l WHERE lid = 1").batch_eligible
+        assert not _plan(db, "SELECT COUNT(*) FROM l").batch_eligible
+        assert not _plan(db, JOIN_SQL).batch_eligible
+
+
+class TestHybridHashJoin:
+    @pytest.mark.parametrize("inner_rows,expected", [
+        (HASH_JOIN_MIN_ROWS - 8, "scan"),          # tiny: nested scan
+        (200, "hash_scan"),                        # in-memory hash build
+        (HASH_JOIN_SPILL_ROWS + 904, "hash_scan_spill"),  # partitioned
+    ])
+    def test_strategy_resolves_on_inner_size(self, inner_rows, expected):
+        db = _join_db(inner_rows)
+        source = compile_plan_source(_plan(db, JOIN_SQL), db)
+        assert dict(source.join_meta)["l"] == expected
+        assert dict(source.join_meta)["o"] == "driver"
+
+    @pytest.mark.parametrize("inner_rows", [8, 200, 5000])
+    def test_all_strategies_match_tree(self, inner_rows):
+        from repro.db.sql.executor import Executor
+
+        db = _join_db(inner_rows)
+        plan = _plan(db, JOIN_SQL)
+        tree = Executor(db).execute(plan, (), None)
+        src = compile_plan_source(plan, db).run((), None)
+        assert src.rows == tree.rows
+        assert src.rows_touched == tree.rows_touched
+        assert src.columns == tree.columns
+
+
+class TestDeterminism:
+    def test_regenerating_a_plan_is_byte_identical(self):
+        db = _join_db(200)
+        for sql in (
+            JOIN_SQL,
+            "SELECT v FROM l WHERE v > ? ORDER BY v",
+            "SELECT COUNT(*), SUM(v) FROM l",
+            "INSERT INTO l (lid, ok, v) VALUES (?, ?, ?)",
+            "UPDATE l SET v = v + 1 WHERE lid = ?",
+            "DELETE FROM l WHERE lid = ?",
+        ):
+            first = generate_plan_source(_plan(db, sql), db)[0]
+            second = generate_plan_source(_plan(db, sql), db)[0]
+            assert first == second, sql
+
+    def test_identically_built_databases_generate_identical_source(self):
+        # Two separately-seeded but identical databases must produce the
+        # same module text (the CI determinism check relies on this).
+        a, b = _join_db(200), _join_db(200)
+        text_a = generate_plan_source(_plan(a, JOIN_SQL), a)[0]
+        text_b = generate_plan_source(_plan(b, JOIN_SQL), b)[0]
+        assert text_a == text_b
+
+
+class TestDumping:
+    @pytest.fixture(autouse=True)
+    def _clear_dump_override(self):
+        yield
+        core_codegen.set_dump_dir(None)
+
+    def test_env_var_dump_round_trips_through_compile(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(core_codegen.DUMP_ENV_VAR, str(tmp_path))
+        db = _join_db(200)
+        source = maybe_compile_plan_source(_plan(db, JOIN_SQL), db)
+        assert source is not None
+        dumped = list(tmp_path.iterdir())
+        assert len(dumped) == 1
+        path = dumped[0]
+        # Stable name: <kind>_<slug>_<sha12>.py from the full text.
+        assert path.name == core_codegen.dump_filename(
+            "plan", f"{source.kind}_{source.table_names[0]}", source.source
+        )
+        text = path.read_text(encoding="utf-8")
+        assert text == source.source
+        compile(text, str(path), "exec")  # round-trips: valid Python
+
+    def test_set_dump_dir_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(core_codegen.DUMP_ENV_VAR,
+                           str(tmp_path / "ignored"))
+        override = tmp_path / "override"
+        core_codegen.set_dump_dir(str(override))
+        db = _join_db(8)
+        assert maybe_compile_plan_source(
+            _plan(db, "SELECT v FROM l WHERE v > ?"), db
+        ) is not None
+        assert override.is_dir() and len(list(override.iterdir())) == 1
+        assert not (tmp_path / "ignored").exists()
+
+    def test_block_codegen_dumps_too(self, tmp_path, monkeypatch):
+        """The runtime rung shares the dump knob: generated superblock
+        modules land in the same directory and re-compile cleanly."""
+        from repro.core.pipeline import Pyxis
+        from repro.profiler.profile_data import ProfileData
+        from repro.runtime.codegen_blocks import ensure_program_source
+        from repro.sim.cluster import Cluster
+        from repro.workloads.micro import (
+            LINKED_LIST_ENTRY_POINTS,
+            LINKED_LIST_SOURCE,
+        )
+
+        monkeypatch.setenv(core_codegen.DUMP_ENV_VAR, str(tmp_path))
+        pyx = Pyxis.from_source(LINKED_LIST_SOURCE, LINKED_LIST_ENTRY_POINTS)
+        part = pyx.partition(ProfileData(), budgets=[1e9]).by_budget()[0]
+        program = ensure_program_source(
+            part.compiled, Cluster().app.cost_model
+        )
+        dumped = [p for p in tmp_path.iterdir()
+                  if p.name.startswith("blocks_")]
+        assert len(dumped) == 1
+        text = dumped[0].read_text(encoding="utf-8")
+        assert text == program.text
+        compile(text, str(dumped[0]), "exec")

@@ -71,6 +71,74 @@ class TestSqlExecMode:
             connect(db)
 
 
+class TestModeKeyedPlanCache:
+    """The LRU plan cache is keyed on (executor mode, sql): flipping
+    ``REPRO_SQL_EXEC`` between connections (or on a live connection)
+    must never serve an executor minted for a different rung."""
+
+    def _db(self):
+        db = Database("t")
+        db.create_table("x", [("id", "int", False), ("v", "int")],
+                        primary_key=["id"])
+        conn = connect(db)
+        conn.execute("INSERT INTO x (id, v) VALUES (?, ?)", 1, 10)
+        return db
+
+    def test_mode_flip_does_not_reuse_other_rungs_plan(self):
+        from repro.db.sql.codegen_plan import SourcePlan
+        from repro.db.sql.compile_plan import CompiledPlan
+
+        db = self._db()
+        sql = "SELECT v FROM x WHERE id = ?"
+        conn = connect(db, sql_exec="compiled")
+        compiled_stmt = conn.prepare(sql)
+        assert isinstance(compiled_stmt.compiled, CompiledPlan)
+        # Same connection object, different rung: the cached entry for
+        # the compiled rung must not be served.
+        conn.sql_exec = "source"
+        source_stmt = conn.prepare(sql)
+        assert source_stmt is not compiled_stmt
+        assert isinstance(source_stmt.compiled, SourcePlan)
+        conn.sql_exec = "tree"
+        tree_stmt = conn.prepare(sql)
+        assert tree_stmt is not compiled_stmt
+        assert tree_stmt is not source_stmt
+        assert tree_stmt.compiled is None
+        # Flipping back serves the original cached entries.
+        conn.sql_exec = "compiled"
+        assert conn.prepare(sql) is compiled_stmt
+        conn.sql_exec = "source"
+        assert conn.prepare(sql) is source_stmt
+
+    def test_env_flip_between_connections(self, monkeypatch):
+        from repro.db.sql.codegen_plan import SourcePlan
+
+        db = self._db()
+        sql = "SELECT v FROM x WHERE id = ?"
+        for mode, expect in (
+            ("compiled", lambda c: c is not None
+             and not isinstance(c, SourcePlan)),
+            ("source", lambda c: isinstance(c, SourcePlan)),
+            ("tree", lambda c: c is None),
+        ):
+            monkeypatch.setenv(SQL_EXEC_ENV_VAR, mode)
+            conn = connect(db)
+            assert conn.sql_exec == mode
+            assert expect(conn.prepare(sql).compiled), mode
+            assert conn.query_scalar(sql.replace("?", "1")) == 10
+
+    def test_source_plans_counter(self):
+        db = self._db()
+        conn = connect(db, sql_exec="source")
+        stats = conn.plan_cache_stats
+        stats.reset()
+        conn.prepare("SELECT v FROM x WHERE id = ?")
+        assert stats.source_plans == 1
+        # Source plans count toward compiled_plans too (both are
+        # non-tree rungs; serve-layer reports fold them together).
+        assert stats.compiled_plans == 1
+
+
 class TestInterpMode:
     def test_default(self, monkeypatch):
         monkeypatch.delenv(INTERP_ENV_VAR, raising=False)

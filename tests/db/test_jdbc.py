@@ -100,7 +100,10 @@ class TestConnection:
         conn.prepare(a)  # refresh a: b becomes least recently used
         conn.prepare(c)  # evicts b
         assert conn.plan_cache_stats.evictions == 1
-        assert set(conn._plan_cache) == {a, c}
+        # Cache entries are keyed on (executor mode, sql).
+        assert set(conn._plan_cache) == {
+            (conn.sql_exec, a), (conn.sql_exec, c)
+        }
         assert len(conn._plan_cache) <= 2
 
     def test_execute_rejects_select(self, conn):

@@ -1,8 +1,9 @@
 """Differential acceptance suite: sharded tier vs single server.
 
 Every script runs against a plain single :class:`Database` and a
-:class:`ShardedDatabase` behind the statement router, under both
-``tree`` and ``compiled`` SQL executors, and the two deployments must
+:class:`ShardedDatabase` behind the statement router, under the
+``tree``, ``compiled`` and ``source`` SQL executors, and the two
+deployments must
 agree **bit-identically**: same columns, same rows *in the same
 order* (including scan order, sort-tie order and GROUP BY emission
 order after the router's scatter-gather merge), same rowcount and
@@ -28,7 +29,7 @@ from repro.db import (
     connect_sharded,
 )
 
-MODES = ("tree", "compiled")
+MODES = ("tree", "compiled", "source")
 SHARD_COUNTS = (1, 3)
 
 

@@ -20,13 +20,28 @@ from repro.db.jdbc import Connection
 from repro.db.txn import Transaction
 
 
+# Every test in this module runs once per compiled rung -- the closure
+# compiler ("compiled") and the source codegen rung ("source") -- always
+# against the tree executor as the oracle.  The autouse fixture swaps
+# the module-level mode so the shared helpers stay signature-stable.
+_MODE = "compiled"
+
+
+@pytest.fixture(autouse=True, params=["compiled", "source"])
+def exec_mode(request):
+    global _MODE
+    _MODE = request.param
+    yield request.param
+    _MODE = "compiled"
+
+
 def _make_pair(factory):
     """Two identically-built (db, tree-conn, compiled-conn) fixtures."""
     db_tree, _ = factory()
     db_comp, _ = factory()
     return (
         (db_tree, connect(db_tree, sql_exec="tree")),
-        (db_comp, connect(db_comp, sql_exec="compiled")),
+        (db_comp, connect(db_comp, sql_exec=_MODE)),
     )
 
 
@@ -49,7 +64,7 @@ def assert_statement_equivalence(pair, script, use_txn=False):
     """Run ``script`` on both connections, comparing every result."""
     (db_tree, conn_tree), (db_comp, conn_comp) = pair
     assert conn_tree.sql_exec == "tree"
-    assert conn_comp.sql_exec == "compiled"
+    assert conn_comp.sql_exec == _MODE
     txn_tree = Transaction(db_tree, None) if use_txn else None
     txn_comp = Transaction(db_comp, None) if use_txn else None
     for sql, params in script:
@@ -437,7 +452,7 @@ class TestSemanticCases:
         from repro.db.txn import LockManager
 
         results = {}
-        for mode in ("tree", "compiled"):
+        for mode in ("tree", _MODE):
             db, _ = _make_typed_db()
             manager = LockManager()
             conn = connect(db, manager, sql_exec=mode)
@@ -447,15 +462,16 @@ class TestSemanticCases:
                      (50, "bad"), txn)
             results[mode] = manager.holders(("table", "t"))
             txn.rollback()
-        assert results["tree"] and results["compiled"]
+        assert results["tree"] and results[_MODE]
         assert (
             list(results["tree"].values())
-            == list(results["compiled"].values())
+            == list(results[_MODE].values())
         )
 
     def test_hand_built_plans_fall_back_to_tree_executor(self):
         """Plans missing compiler metadata must compile to None (tree
         fallback), never escape with AssertionError/KeyError."""
+        from repro.db.sql.codegen_plan import maybe_compile_plan_source
         from repro.db.sql.compile_plan import maybe_compile_plan
         from repro.db.sql.planner import (
             AccessPath,
@@ -488,6 +504,7 @@ class TestSemanticCases:
         ]
         for plan in hand_built:
             assert maybe_compile_plan(plan, db) is None
+            assert maybe_compile_plan_source(plan, db) is None
 
     def test_autocommit_through_connection_api(self):
         """End-to-end through Connection.query/execute (ResultSet layer)."""

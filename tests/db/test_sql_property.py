@@ -2,11 +2,12 @@
 plus a seeded random-statement generator run through every executor.
 
 The generator (:class:`StatementScriptGenerator`) produces reproducible
-scripts covering NOT BETWEEN, DISTINCT aggregates, multi-key ORDER BY
-and NULL-heavy rows; each script runs through the tree executor, the
-compiled-plan executor, and the sharded router (both executor modes),
-and all four must agree bit-identically -- results, errors, observer
-streams and final table state.
+scripts covering NOT BETWEEN, DISTINCT aggregates, multi-key ORDER BY,
+NULL-heavy rows and join-shaped statements; each script runs through
+the tree executor, the closure-compiled executor, the source-codegen
+executor, and the sharded router (all three executor modes), and all
+six must agree bit-identically -- results, errors, observer streams
+and final table state.
 """
 
 import random
@@ -150,13 +151,17 @@ def test_order_by_matches_sorted_model(rows):
 
 
 class StatementScriptGenerator:
-    """Seeded random SQL scripts over one fixed schema.
+    """Seeded random SQL scripts over one fixed two-table schema.
 
     Reproducible (plain ``random.Random``); covers INSERT (NULL-heavy
     rows, occasional duplicate primary keys), UPDATE/DELETE with
-    BETWEEN / NOT BETWEEN / IN predicates, and SELECTs with multi-key
+    BETWEEN / NOT BETWEEN / IN predicates, SELECTs with multi-key
     ORDER BY, DISTINCT projections, DISTINCT aggregates, GROUP BY,
-    LIMIT and raw scans (which pin down scan order).
+    LIMIT and raw scans (which pin down scan order), plus join-shaped
+    statements over ``p JOIN q`` (``q`` is replicated in the sharded
+    deployments so the sharded table always drives the join, and small
+    enough that the source rung exercises both the nested and
+    hash-join strategies as it grows across the script).
     """
 
     GROUPS = ("a", "b", "c", None)
@@ -180,8 +185,53 @@ class StatementScriptGenerator:
             ),
         )
 
+    def _insert_q(self):
+        return (
+            "INSERT INTO q (qid, grp, v) VALUES (?, ?, ?)",
+            (
+                self.rng.randint(0, 25),
+                self.rng.choice(self.GROUPS),
+                self._value(),
+            ),
+        )
+
+    def _join_select(self):
+        choices = [
+            # Equi join on a text column in either ON-operand order.
+            ("SELECT p.id, q.qid, q.v FROM p JOIN q ON p.grp = q.grp "
+             "ORDER BY p.id, q.qid", ()),
+            ("SELECT p.id, q.qid FROM p JOIN q ON q.grp = p.grp "
+             "WHERE q.v > ? ORDER BY p.id, q.qid",
+             (self._value(null_p=0),)),
+            # Equi join on nullable ints (SQL = never matches NULL).
+            ("SELECT p.id, q.qid FROM p JOIN q ON p.a = q.v "
+             "ORDER BY p.id, q.qid", ()),
+            # Join + grouped aggregate.
+            ("SELECT q.grp AS g, COUNT(*) AS n, SUM(p.a) AS s FROM p "
+             "JOIN q ON p.grp = q.grp GROUP BY q.grp "
+             "ORDER BY n DESC, g", ()),
+            # Join + whole-input aggregates.
+            ("SELECT COUNT(*), MIN(q.v), MAX(p.b) FROM p "
+             "JOIN q ON p.grp = q.grp", ()),
+            # Residual conjuncts beyond the peeled equi key.
+            ("SELECT p.id, q.qid FROM p JOIN q ON p.grp = q.grp "
+             "AND p.a < q.v ORDER BY p.id, q.qid", ()),
+        ]
+        return choices[self.rng.randrange(len(choices))]
+
     def _mutation(self):
         roll = self.rng.random()
+        if roll < 0.1:
+            # Broadcast mutations: q is replicated in the sharded
+            # deployments, so these touch every shard's copy.
+            return (
+                "UPDATE q SET v = v + ? WHERE grp = ?",
+                (self.rng.randint(-3, 3),
+                 self.rng.choice(("a", "b", "c"))),
+            )
+        if roll < 0.15:
+            return ("DELETE FROM q WHERE qid = ?",
+                    (self.rng.randint(0, 25),))
         if roll < 0.35:
             return (
                 "UPDATE p SET a = a + ? WHERE b NOT BETWEEN ? AND ?",
@@ -231,13 +281,20 @@ class StatementScriptGenerator:
         out = []
         for step in range(statements):
             roll = self.rng.random()
-            if step < 12 or roll < 0.35:
+            if step < 12 or roll < 0.3:
                 out.append(self._insert())
-            elif roll < 0.6:
+            elif step < 16 or roll < 0.42:
+                out.append(self._insert_q())
+            elif roll < 0.62:
                 out.append(self._mutation())
-            else:
+            elif roll < 0.82:
                 out.append(self._select())
+            else:
+                out.append(self._join_select())
         out.append(("SELECT id, grp, a, b FROM p", ()))
+        out.append(("SELECT qid, grp, v FROM q ORDER BY qid", ()))
+        out.append(("SELECT p.id, q.qid FROM p JOIN q ON p.grp = q.grp "
+                    "ORDER BY p.id, q.qid", ()))
         return out
 
 
@@ -248,10 +305,17 @@ def _property_schema(db):
          ("b", "int")],
         primary_key=["id"],
     )
+    # The join inner; replicated in the sharded deployments (not in the
+    # sharding scheme), so the sharded table always drives the join.
+    db.create_table(
+        "q",
+        [("qid", "int", False), ("grp", "text"), ("v", "int")],
+        primary_key=["qid"],
+    )
 
 
 def _property_executors():
-    """tree, compiled, sharded-tree, sharded-compiled over 'p'."""
+    """{tree, compiled, source} x {single, sharded-3} over 'p'/'q'."""
     from repro.db import (
         ShardedDatabase,
         ShardingScheme,
@@ -261,7 +325,7 @@ def _property_executors():
 
     scheme = ShardingScheme({"p": TableSharding(("id",), "hash")})
     executors = []
-    for mode in ("tree", "compiled"):
+    for mode in ("tree", "compiled", "source"):
         db = Database(f"prop-{mode}")
         _property_schema(db)
         executors.append((f"single-{mode}", db, connect(db, sql_exec=mode)))
@@ -277,8 +341,13 @@ def _state_of(db):
     from repro.db import ShardedDatabase
 
     if isinstance(db, ShardedDatabase):
-        return list(db.logical_rows("p").items())
-    return list(db.table("p").scan())
+        return {
+            name: list(db.logical_rows(name).items())
+            for name in ("p", "q")
+        }
+    return {
+        name: list(db.table(name).scan()) for name in ("p", "q")
+    }
 
 
 @pytest.mark.parametrize("seed", [1, 7, 23, 57, 101, 443])
@@ -320,7 +389,8 @@ def test_generated_scripts_three_way_differential(seed):
     assert all(log == logs[0] for log in logs[1:])
     states = [_state_of(db) for _, db, _ in executors]
     assert all(state == states[0] for state in states[1:])
-    assert len(states[0]) > 0  # the generator actually built a table
+    # The generator actually built both tables (join coverage is real).
+    assert all(len(states[0][t]) > 0 for t in ("p", "q"))
 
 
 def test_generated_scripts_are_reproducible():

@@ -42,6 +42,29 @@ class TestPartitionCommand:
         assert "budget 0" in out
         assert "budget 100" in out
 
+    def test_partition_dump_codegen_writes_modules(
+        self, order_file, tmp_path, capsys
+    ):
+        from repro.core import codegen as core_codegen
+
+        out_dir = tmp_path / "codegen"
+        try:
+            code = main([
+                "partition", order_file, "--entry", "Order.place_order",
+                "--dump-codegen", str(out_dir),
+            ])
+        finally:
+            core_codegen.set_dump_dir(None)
+        assert code == 0
+        dumped = list(out_dir.glob("blocks_*.py"))
+        assert dumped
+        for path in dumped:
+            # Stable names, re-compilable text.
+            compile(path.read_text(encoding="utf-8"), str(path), "exec")
+        assert f"dumped {len(dumped)} generated source module(s)" in (
+            capsys.readouterr().out
+        )
+
     def test_bad_entry_format(self, order_file, capsys):
         code = main(["partition", order_file, "--entry", "nodots"])
         assert code == 2

@@ -1,10 +1,12 @@
-"""Differential test: tree-walking vs compiled block interpreter.
+"""Differential test: tree-walking vs compiled vs source interpreters.
 
-The closure-compilation layer (repro.runtime.compile_blocks) must be
-observably indistinguishable from the tree-walker: identical results,
-identical database side effects, and bit-identical ExecutionStats --
-blocks, ops, control transfers, DB calls, DB round trips and bytes
-sent -- across every partitioning of every workload.
+Both compilation rungs -- the closure compiler
+(repro.runtime.compile_blocks) and the source-codegen superblocks
+(repro.runtime.codegen_blocks) -- must be observably indistinguishable
+from the tree-walker: identical results, identical database side
+effects, and bit-identical ExecutionStats -- blocks, ops, control
+transfers, DB calls, DB round trips and bytes sent -- across every
+partitioning of every workload.
 """
 
 from dataclasses import asdict
@@ -57,13 +59,14 @@ def assert_equivalent(compiled, make_db, invocations, check_db=None):
     tree_results, tree_stats, tree_conn = _run_mode(
         compiled, make_db, "tree", invocations
     )
-    comp_results, comp_stats, comp_conn = _run_mode(
-        compiled, make_db, "compiled", invocations
-    )
-    assert comp_results == tree_results
-    assert comp_stats == tree_stats  # blocks/ops/transfers/db/bytes
-    if check_db is not None:
-        assert check_db(comp_conn) == check_db(tree_conn)
+    for interp in ("compiled", "source"):
+        comp_results, comp_stats, comp_conn = _run_mode(
+            compiled, make_db, interp, invocations
+        )
+        assert comp_results == tree_results, interp
+        assert comp_stats == tree_stats, interp  # blocks/ops/db/bytes
+        if check_db is not None:
+            assert check_db(comp_conn) == check_db(tree_conn), interp
 
 
 class TestTpccNewOrder:
