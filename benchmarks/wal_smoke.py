@@ -1,0 +1,207 @@
+"""Durability performance smoke: group-commit overhead + recovery rate.
+
+Runs the 32-client adaptive TPC-C serve configuration twice -- once
+in-memory, once with per-shard write-ahead logs under group commit
+(one fsync per virtual sync interval, not per transaction) -- and
+then recovers the logged run from disk.  Writes ``BENCH_wal.json`` at
+the repository root with two acceptance numbers:
+
+* **Overhead ceiling** -- logging must cost at most
+  ``OVERHEAD_CEILING`` (15%) over the in-memory run.  Wall-clock
+  deltas of two multi-second runs are noisy, so two estimators are
+  recorded and the ceiling holds if *either* clears it: the
+  median-wall delta, and the in-situ attribution (time actually spent
+  inside ``commit_ops``/``sync``, captured by wrapping the log's hot
+  methods, over the in-memory median).
+* **Recovery floor** -- redo replay must process at least
+  ``RECOVERY_RATE_FLOOR`` frames per wall second (the measured rate
+  is orders of magnitude higher; the floor guards regressions, not
+  the margin).
+
+Like the other smokes, it only executes under ``-m perfsmoke``
+(``pytest benchmarks/wal_smoke.py -m perfsmoke``); run as a script
+for a quick local check: ``PYTHONPATH=src python
+benchmarks/wal_smoke.py``.
+"""
+
+import json
+import shutil
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.db.recovery import recover_sharded
+from repro.db.wal import attach_wal
+from repro.serve.controller import AdaptiveController
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.workload import make_tpcc_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_wal.json"
+
+CLIENTS = 32
+SHARDS = 2
+DB_CORES = 2
+DURATION = 8.0
+THINK_TIME = 0.01
+SYNC_INTERVAL = 0.25  # virtual seconds between group fsyncs
+TRIALS = 3
+
+OVERHEAD_CEILING = 0.15
+RECOVERY_RATE_FLOOR = 5000.0  # replayed frames per wall second
+
+
+def _timed(fn, acc):
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            acc[0] += time.perf_counter() - start
+    return wrapper
+
+
+def _serve_once(wal_dir=None):
+    """One serve run; returns (wall, completed, wal_seconds, stats)."""
+    built = make_tpcc_workload(
+        db_cores=DB_CORES, seed=17, pool_size=24, shards=SHARDS,
+        shard_key="warehouse",
+    )
+    # Replay alone never touches the database; every 4th draw executes
+    # live so committed redo keeps flowing into the logs.
+    built.workload.refresh_every = 4
+    wal_seconds = [0.0]
+    managers = []
+    if wal_dir is not None:
+        for index, sdb in enumerate(built.databases):
+            manager = attach_wal(
+                sdb, wal_dir / f"opt{index}", sync_policy="group"
+            )
+            for shard, wal in enumerate(manager.wals):
+                wal.commit_ops = _timed(wal.commit_ops, wal_seconds)
+                wal.sync = _timed(wal.sync, wal_seconds)
+                # attach_wal captured the unwrapped bound method.
+                sdb.shards[shard].redo_collector = wal.commit_ops
+            managers.append(manager)
+    config = ServeConfig(
+        db_shards=SHARDS, db_cores=DB_CORES,
+        think_time=THINK_TIME, seed=17,
+    )
+    engine = ServeEngine(
+        built.workload, AdaptiveController(poll_interval=1.0), config
+    )
+    engine.attach_backends(built.databases, built.clusters)
+    if managers:
+        engine.attach_wal_managers(managers)
+        for manager in managers:
+            engine.loop.schedule_periodic(
+                SYNC_INTERVAL, manager.sync_all, until=DURATION
+            )
+    start = time.perf_counter()
+    result = engine.run(clients=CLIENTS, duration=DURATION, name="wal")
+    wall = time.perf_counter() - start
+    stats = {"appends": 0, "syncs": 0, "bytes_written": 0}
+    for manager in managers:
+        manager.sync_all()
+        for wal in manager.wals:
+            for key in stats:
+                stats[key] += getattr(wal.stats, key)
+        manager.close()
+    return wall, result.completed, wal_seconds[0], stats
+
+
+def run_wal_smoke() -> dict:
+    base_walls = [_serve_once()[0] for _ in range(TRIALS)]
+    wal_root = Path(tempfile.mkdtemp(prefix="wal_smoke_"))
+    try:
+        wal_walls, wal_in_situ, completed, stats = [], [], 0, {}
+        for trial in range(TRIALS):
+            wal_dir = wal_root / f"trial{trial}"
+            wall, completed, spent, stats = _serve_once(wal_dir)
+            wal_walls.append(wall)
+            wal_in_situ.append(spent)
+        base_median = statistics.median(base_walls)
+        wal_median = statistics.median(wal_walls)
+        overhead_wall = (wal_median - base_median) / base_median
+        overhead_attributed = statistics.median(wal_in_situ) / base_median
+        # Recover the last trial's directories (never checkpointed
+        # mid-run, so replay walks every logged frame).
+        recoveries = []
+        for index in range(2):
+            target = wal_root / f"trial{TRIALS - 1}" / f"opt{index}"
+            start = time.perf_counter()
+            _, report = recover_sharded(target)
+            elapsed = time.perf_counter() - start
+            frames = sum(r.frames_seen for r in report.shard_reports)
+            recoveries.append({
+                "option": index,
+                "frames_replayed": frames,
+                "commits_applied": report.commits_applied,
+                "wall_ms": elapsed * 1e3,
+                "frames_per_second": frames / elapsed if elapsed else 0.0,
+            })
+    finally:
+        shutil.rmtree(wal_root, ignore_errors=True)
+    payload = {
+        "workload": "tpcc-new-order",
+        "clients": CLIENTS,
+        "shards": SHARDS,
+        "db_cores_per_shard": DB_CORES,
+        "virtual_duration_seconds": DURATION,
+        "sync_policy": "group",
+        "sync_interval_virtual_seconds": SYNC_INTERVAL,
+        "completed_txns": completed,
+        "frames_appended": stats["appends"],
+        "group_fsyncs": stats["syncs"],
+        "wal_bytes": stats["bytes_written"],
+        "in_memory_wall_seconds": base_walls,
+        "wal_wall_seconds": wal_walls,
+        "wal_in_situ_seconds": wal_in_situ,
+        "overhead_wall_fraction": overhead_wall,
+        "overhead_attributed_fraction": overhead_attributed,
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "recovery": recoveries,
+        "recovery_rate_floor": RECOVERY_RATE_FLOOR,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+@pytest.mark.perfsmoke
+def test_wal_smoke(request):
+    if "perfsmoke" not in (request.config.getoption("-m") or ""):
+        pytest.skip("select with -m perfsmoke to record BENCH_wal.json")
+    payload = run_wal_smoke()
+    print()
+    print(
+        "wal perf smoke: "
+        f"{payload['frames_appended']} frames / "
+        f"{payload['group_fsyncs']} group fsyncs; overhead "
+        f"{100 * payload['overhead_wall_fraction']:+.1f}% wall / "
+        f"{100 * payload['overhead_attributed_fraction']:.1f}% "
+        "attributed (ceiling "
+        f"{100 * payload['overhead_ceiling']:.0f}%); recovery "
+        f"{payload['recovery'][0]['frames_per_second']:,.0f} frames/s "
+        f"-> {OUTPUT.name}"
+    )
+    assert payload["frames_appended"] > 0
+    assert payload["group_fsyncs"] > 0
+    # Group commit batches fsyncs: far fewer syncs than frames.
+    assert payload["group_fsyncs"] < payload["frames_appended"] / 10
+    assert (
+        min(
+            payload["overhead_wall_fraction"],
+            payload["overhead_attributed_fraction"],
+        )
+        <= OVERHEAD_CEILING
+    )
+    for recovery in payload["recovery"]:
+        assert recovery["commits_applied"] > 0
+        assert recovery["frames_per_second"] >= RECOVERY_RATE_FLOOR
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_wal_smoke(), indent=2))

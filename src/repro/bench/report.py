@@ -15,6 +15,7 @@ from repro.bench.serve_experiments import (
     RepartitionRunResult,
     ServeSwitchResult,
     ShardSweepResult,
+    WalRecoveryResult,
 )
 from repro.serve.stats import LoadSweepResult
 
@@ -224,6 +225,61 @@ def format_serve_failover(result: FailoverRunResult) -> str:
     return "\n".join(lines)
 
 
+def format_wal_recovery(result: WalRecoveryResult) -> str:
+    """Whole-cluster crash: durability ledger and the recovery verdict."""
+    lines = [
+        f"== wal crash/recovery: tpcc ({result.clients} clients, "
+        f"{result.shards} shard(s), sync={result.sync_policy}, "
+        f"killed at t={result.kill_at:g}s of {result.duration:g}s) =="
+    ]
+    lines.append(f"wal dir: {result.wal_dir}")
+    lines.append("faults fired:")
+    for when, label in result.faults_fired:
+        lines.append(f"  t={when:6.2f}s  {label}")
+    if not result.faults_fired:
+        lines.append("  none")
+    lines.append(
+        f"pre-kill: {result.pre_kill_completed} txn(s) at "
+        f"{result.pre_kill_throughput:.1f}/s; {result.checkpoints} "
+        f"checkpoint(s), {result.wal_bytes} log byte(s) written"
+    )
+    if result.sync_failures or result.lost_frames:
+        lines.append(
+            f"durability loss: {result.sync_failures} failed fsync(s), "
+            f"{result.lost_frames} acknowledged frame(s) lost at the crash"
+        )
+    lines.append(
+        f"recovery: {result.commits_applied} redo frame(s) replayed, "
+        f"{result.frames_skipped} skipped below checkpoints, "
+        f"{result.torn_tails} torn tail(s) dropped"
+    )
+    if result.in_doubt_committed or result.in_doubt_aborted:
+        lines.append(
+            f"in-doubt 2PC: {len(result.in_doubt_committed)} committed "
+            f"by durable decision, {len(result.in_doubt_aborted)} "
+            f"presumed abort"
+        )
+    if result.identity_checked:
+        lines.append(
+            "state vs killed cluster: "
+            + ("bit-identical" if result.identical else "DIVERGED")
+        )
+        for problem in result.mismatches:
+            lines.append(f"  {problem}")
+    else:
+        lines.append(
+            "state check skipped: the crash lost acknowledged commits "
+            "(fsync faults), so divergence is the expected outcome"
+        )
+    if result.restarted:
+        lines.append(
+            f"restart: served {result.post_restart_completed} txn(s) at "
+            f"{result.post_restart_throughput:.1f}/s from the recovered "
+            "state"
+        )
+    return "\n".join(lines)
+
+
 def format_serve_switching(result: ServeSwitchResult) -> str:
     """Latency time series plus the adaptive partition mix."""
     lines = [
@@ -315,6 +371,40 @@ def format_serve_repartition(result: RepartitionRunResult) -> str:
             f"({stats['warm_solves']} warm), "
             f"{stats['pyxil_compiles']} compile(s), "
             f"{stats['pyxil_reuses']} reuse(s)"
+        )
+    return "\n".join(lines)
+
+
+def format_recovery_report(report) -> str:
+    """Per-shard replay summary of one WAL directory's recovery."""
+    lines = [
+        f"== recovered {report.name!r} from {report.directory} "
+        f"(epoch {report.epoch}) =="
+    ]
+    lines.append(
+        f"{report.shards} shard(s), {report.replicas} replica(s) per "
+        f"shard, {report.decisions} durable commit decision(s)"
+    )
+    for shard in report.shard_reports:
+        line = (
+            f"shard {shard.shard}: checkpoint lsn "
+            f"{shard.checkpoint_lsn} ({shard.checkpoint_rows} row(s)), "
+            f"replayed {shard.commits_applied + shard.resolves_applied} "
+            f"frame(s), skipped {shard.frames_skipped}, tip "
+            f"{shard.tip}"
+        )
+        if shard.torn_tail:
+            line += "; torn tail dropped"
+        lines.append(line)
+    committed = report.in_doubt_committed
+    aborted = report.in_doubt_aborted
+    if committed:
+        lines.append(
+            f"in-doubt committed (decision durable): {', '.join(committed)}"
+        )
+    if aborted:
+        lines.append(
+            f"in-doubt presumed abort: {', '.join(aborted)}"
         )
     return "\n".join(lines)
 

@@ -446,6 +446,359 @@ def serve_failover(
     return result
 
 
+# ---------------------------------------------------------------------------
+# Durable WAL: whole-cluster crash, recovery, restart
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WalRecoveryResult:
+    """One crash/recover(/restart) run against WAL-backed shards.
+
+    ``identical`` is the differential verdict: for every partition
+    option, the database rebuilt from checkpoint + redo replay matches
+    the killed cluster's in-memory state table-for-table, row-for-row,
+    rowid-for-rowid.  Torn-write and corrupt-frame injection damage
+    only on-disk bytes, so that in-memory state *is* the uninjected
+    oracle.  The check is skipped (``identity_checked`` False) when an
+    active ``fsyncfail`` fault lost acknowledged commits -- durability
+    loss is then the expected outcome and ``lost_frames`` reports it.
+    """
+
+    clients: int
+    duration: float
+    kill_at: float
+    shards: int
+    sync_policy: str
+    wal_dir: str
+    fault_specs: list[str] = field(default_factory=list)
+    faults_fired: list[tuple[float, str]] = field(default_factory=list)
+    pre_kill_throughput: float = 0.0
+    pre_kill_completed: int = 0
+    checkpoints: int = 0
+    wal_bytes: int = 0
+    sync_failures: int = 0
+    lost_frames: int = 0
+    commits_applied: int = 0
+    in_doubt_committed: list[str] = field(default_factory=list)
+    in_doubt_aborted: list[str] = field(default_factory=list)
+    torn_tails: int = 0
+    frames_skipped: int = 0
+    identity_checked: bool = False
+    identical: bool = False
+    mismatches: list[str] = field(default_factory=list)
+    restarted: bool = False
+    post_restart_throughput: float = 0.0
+    post_restart_completed: int = 0
+    metrics: Optional[dict] = None
+    metrics_json: Optional[str] = None
+    trace_json: Optional[str] = None
+    notes: dict[str, Any] = field(default_factory=dict)
+
+
+def _state_fingerprint(sdb) -> list[dict]:
+    """Physical per-shard state: every table's rows in scan order plus
+    its next-rowid position (the bit-identity comparison surface)."""
+    state = []
+    for shard_db in sdb.shards:
+        tables = {}
+        for table in shard_db.tables():
+            table.ensure_scan_order()
+            tables[table.schema.name] = (
+                list(table.scan()),
+                table._next_rowid.peek(),
+            )
+        state.append(tables)
+    return state
+
+
+def _fingerprint_mismatches(
+    label: str, oracle: list[dict], recovered: list[dict]
+) -> list[str]:
+    problems = []
+    for shard, (want, got) in enumerate(zip(oracle, recovered)):
+        if set(want) != set(got):
+            problems.append(
+                f"{label} shard {shard}: tables {sorted(want)} != "
+                f"{sorted(got)}"
+            )
+            continue
+        for name in sorted(want):
+            if want[name][0] != got[name][0]:
+                problems.append(
+                    f"{label} shard {shard} table {name}: rows differ"
+                )
+            elif want[name][1] != got[name][1]:
+                problems.append(
+                    f"{label} shard {shard} table {name}: next rowid "
+                    f"{got[name][1]} != {want[name][1]}"
+                )
+    return problems
+
+
+def _corrupt_covered_frame(wal) -> Optional[int]:
+    """Flip a byte in a commit frame the checkpoint already covers --
+    the recoverable corruption case.  Frames past the checkpoint have
+    no second copy, so corrupting one would (correctly) fail recovery;
+    with none covered the injection is skipped."""
+    from repro.db.wal import scan_wal
+
+    checkpoint = wal.read_checkpoint()
+    if checkpoint is None:
+        return None
+    wal.sync()
+    covered = [
+        frame.lsn
+        for frame in scan_wal(wal.path).frames
+        if frame.kind == "commit" and frame.lsn <= checkpoint["lsn"]
+    ]
+    if not covered:
+        return None
+    return wal.inject_corruption(covered[0])
+
+
+def serve_wal_recovery(
+    wal_dir,
+    fast: bool = True,
+    clients: int = 48,
+    shards: int = 2,
+    db_cores: int = 2,
+    duration: Optional[float] = None,
+    kill_at: Optional[float] = None,
+    think_time: float = 0.01,
+    fault_specs: Optional[Sequence[str]] = None,
+    seed: int = 17,
+    sync_policy: str = "commit",
+    checkpoint_interval: Optional[float] = None,
+    restart: bool = False,
+    built: Optional[BuiltWorkload] = None,
+    tracing: bool = False,
+) -> WalRecoveryResult:
+    """Crash the whole cluster mid-run and restart it from disk.
+
+    Phase 1 serves TPC-C against WAL-backed shards (one log directory
+    per partition option, periodic non-truncating checkpoints on the
+    virtual clock) until ``kill_at``, when the entire cluster dies:
+    the group-commit window is flushed (an "ack follows fsync" server
+    would have done so per acknowledgement), unsynced bytes are
+    dropped, and any armed torn-write / corrupt-frame faults damage
+    the log files.  Recovery then rebuilds every option's database
+    from checkpoint + redo replay -- resolving in-doubt two-phase
+    transactions from the coordinator's decision log -- and the result
+    records whether each is bit-identical to the killed cluster's
+    state.  With ``restart`` the recovered databases are rebound into
+    the workload and a second engine serves the rest of ``duration``.
+    """
+    from pathlib import Path
+
+    from repro.db.errors import TwoPhaseAbortError
+    from repro.db.shard import connect_sharded
+    from repro.db.wal import attach_wal
+    from repro.db.recovery import recover_sharded
+    from repro.sim.cluster import FaultInjector, parse_fault_spec
+
+    if shards < 2:
+        raise ValueError(
+            "serve_wal_recovery needs a sharded tier (shards >= 2) so "
+            "cross-shard transactions exercise the 2PC decision log"
+        )
+    duration = duration if duration is not None else (12.0 if fast else 45.0)
+    kill_at = kill_at if kill_at is not None else 0.6 * duration
+    if not 0 < kill_at <= duration:
+        raise ValueError("kill_at must fall inside the run duration")
+    if restart and kill_at >= duration:
+        raise ValueError("--restart needs run time left after the kill")
+    # Default interval deliberately does not divide kill_at: the crash
+    # then lands mid-window, so recovery has a real redo tail to
+    # replay instead of reloading a checkpoint taken at the kill.
+    interval = (
+        checkpoint_interval
+        if checkpoint_interval is not None
+        else kill_at / 3.5
+    )
+    if fault_specs is None:
+        at = 0.5 * kill_at
+        fault_specs = (
+            f"tornwrite:db0@{at:g}",
+            f"corrupt:db{shards - 1}@{at:g}",
+        )
+    events = [parse_fault_spec(spec) for spec in fault_specs]
+    if built is None:
+        built = make_tpcc_workload(
+            db_cores=db_cores, seed=seed, pool_size=6 if fast else 16,
+            shards=shards, shard_key="warehouse",
+        )
+    # Once the trace pools fill, draws stop touching the database --
+    # and a log with no tail past the last checkpoint proves nothing.
+    # Refreshing every few draws keeps real commits (and cross-shard
+    # 2PC) flowing into the WAL right up to the kill.
+    if built.workload.refresh_every == 0:
+        built.workload.refresh_every = 4
+
+    wal_dir = Path(wal_dir)
+    managers = [
+        attach_wal(sdb, wal_dir / f"opt{i}", sync_policy=sync_policy)
+        for i, sdb in enumerate(built.databases)
+    ]
+
+    poll = kill_at / 5.0
+    engine = ServeEngine(
+        built.workload,
+        AdaptiveController(n_options=2, poll_interval=poll),
+        ServeConfig(
+            app_cores=8, db_cores=db_cores, db_shards=shards,
+            network=built.network, think_time=think_time, seed=seed,
+            warmup=min(2 * poll, kill_at / 4.0),
+            ramp=min(think_time, kill_at / 10.0),
+        ),
+        tracing=tracing,
+    )
+    engine.attach_backends(built.databases, built.clusters)
+    engine.attach_wal_managers(managers)
+    injector = FaultInjector(events)
+    engine.inject_faults(injector)
+    for manager, sdb in zip(managers, built.databases):
+        engine.loop.schedule_periodic(
+            interval,
+            lambda m=manager, s=sdb: m.checkpoint(s.shards, truncate=False),
+            until=kill_at,
+        )
+    # TPC-C statements auto-commit one shard at a time, so on their
+    # own they never cross shards in a single transaction.  A periodic
+    # settlement sweep moves w_ytd across every warehouse in ONE
+    # explicit transaction -- the cross-shard 2PC traffic that writes
+    # prepare / decision / resolve frames into the logs under load.
+    warehouses = int(built.notes.get("warehouses") or shards)
+    settle_conns = [connect_sharded(sdb) for sdb in built.databases]
+
+    settle_aborts = [0]
+
+    def settle() -> None:
+        for conn in settle_conns:
+            conn.begin()
+            stmt = conn.prepare(
+                "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?"
+            )
+            try:
+                for w_id in range(1, warehouses + 1):
+                    stmt.update(1.0, w_id)
+                conn.commit()
+            except TwoPhaseAbortError:
+                # An fsyncfail fault turned a prepare or decision force
+                # into a no vote: presumed abort, cleanly rolled back.
+                settle_aborts[0] += 1
+
+    engine.loop.schedule_periodic(interval / 2.0, settle, until=kill_at)
+    run = engine.run(clients=clients, duration=kill_at, name="wal_pre_kill")
+
+    result = WalRecoveryResult(
+        clients=clients, duration=duration, kill_at=kill_at,
+        shards=shards, sync_policy=sync_policy, wal_dir=str(wal_dir),
+        fault_specs=list(fault_specs),
+        pre_kill_throughput=run.throughput,
+        pre_kill_completed=run.completed,
+        metrics=run.metrics,
+    )
+    result.faults_fired = list(injector.fired)
+    result.metrics_json = render_metrics(
+        run.metrics,
+        meta={"scenario": "wal_recovery", "seed": seed,
+              "clients": clients, "shards": shards,
+              "sync_policy": sync_policy},
+    )
+    if tracing:
+        result.trace_json = render_chrome_trace(engine.tracer)
+
+    # -- the crash: flush acknowledged commits, lose the rest ------------
+    for manager in managers:
+        manager.sync_all()
+        for wal in manager.wals:
+            result.lost_frames += wal.tip - wal.durable_lsn
+        manager.drop_unsynced()
+        result.checkpoints += sum(w.stats.checkpoints for w in manager.wals)
+        result.sync_failures += sum(
+            w.stats.sync_failures for w in manager.wals
+        )
+        result.wal_bytes += sum(w.stats.bytes_written for w in manager.wals)
+    oracles = [_state_fingerprint(sdb) for sdb in built.databases]
+    for (kind, shard) in engine.armed_storage_faults:
+        for manager in managers:
+            wal = manager.wals[shard]
+            if kind == "tornwrite":
+                wal.inject_torn_write()
+            else:
+                _corrupt_covered_frame(wal)
+    for manager in managers:
+        manager.close()
+
+    # -- recovery + differential check -----------------------------------
+    recovered_dbs = []
+    for i, oracle in enumerate(oracles):
+        recovered, report = recover_sharded(wal_dir / f"opt{i}")
+        recovered_dbs.append(recovered)
+        result.commits_applied += report.commits_applied
+        result.in_doubt_committed.extend(report.in_doubt_committed)
+        result.in_doubt_aborted.extend(report.in_doubt_aborted)
+        result.torn_tails += sum(
+            1 for r in report.shard_reports if r.torn_tail
+        )
+        result.frames_skipped += sum(
+            r.frames_skipped for r in report.shard_reports
+        )
+        if result.lost_frames == 0:
+            result.mismatches.extend(
+                _fingerprint_mismatches(f"opt{i}", oracle,
+                                        _state_fingerprint(recovered))
+            )
+    result.identity_checked = result.lost_frames == 0
+    result.identical = result.identity_checked and not result.mismatches
+    result.notes.update(
+        db_cores=db_cores, think_time=think_time, seed=seed,
+        checkpoint_interval=interval,
+        warehouses=built.notes.get("warehouses"),
+        armed_faults=list(engine.armed_storage_faults),
+    )
+
+    # -- optional restart: serve the rest of the run from disk -----------
+    if restart:
+        managers2 = [
+            attach_wal(sdb, wal_dir / f"opt{i}", sync_policy=sync_policy)
+            for i, sdb in enumerate(recovered_dbs)
+        ]
+        for i, (sdb, opt) in enumerate(
+            zip(recovered_dbs, built.workload.options)
+        ):
+            conn = connect_sharded(sdb)
+            opt.app.connection = conn
+            opt.app.executor.connection = conn
+            if i < len(built.clusters):
+                built.clusters[i].attach_sharded_database(sdb)
+            built.databases[i] = sdb
+        remaining = duration - kill_at
+        poll2 = remaining / 5.0
+        engine2 = ServeEngine(
+            built.workload,
+            AdaptiveController(n_options=2, poll_interval=poll2),
+            ServeConfig(
+                app_cores=8, db_cores=db_cores, db_shards=shards,
+                network=built.network, think_time=think_time, seed=seed,
+                ramp=min(think_time, remaining / 10.0),
+            ),
+        )
+        engine2.attach_backends(built.databases, built.clusters)
+        engine2.attach_wal_managers(managers2)
+        run2 = engine2.run(
+            clients=clients, duration=remaining, name="wal_post_restart"
+        )
+        result.restarted = True
+        result.post_restart_throughput = run2.throughput
+        result.post_restart_completed = run2.completed
+        for manager in managers2:
+            manager.sync_all()
+            manager.close()
+    return result
+
+
 @dataclass
 class ServeSwitchResult:
     """Latency time series per configuration plus the adaptive mix."""

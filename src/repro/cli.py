@@ -155,12 +155,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # var is the process-wide default they all read.
         os.environ[SQL_EXEC_ENV_VAR] = args.sql_exec
 
+    # --inject composes with --wal (storage faults ride the
+    # crash/recovery scenario); on its own it selects the failover one.
     scenarios = [
         name for name, on in (
             ("--switching", args.switching),
             ("--repartition", args.repartition),
             ("--shard-sweep", args.shard_sweep),
-            ("--inject", bool(args.inject)),
+            ("--wal", bool(args.wal)),
+            ("--inject", bool(args.inject) and not args.wal),
         ) if on
     ]
     if len(scenarios) > 1:
@@ -177,22 +180,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --replicas rides on the sharded tier; use "
               "--shards >= 2", file=sys.stderr)
         return 2
-    if (args.replicas or args.inject) and args.workload != "tpcc":
-        print("error: --replicas/--inject need the TPC-C workload "
+    if (args.replicas or args.inject or args.wal) and args.workload != "tpcc":
+        print("error: --replicas/--inject/--wal need the TPC-C workload "
               f"(--workload {args.workload} is not replicated yet)",
               file=sys.stderr)
         return 2
-    if args.inject and not args.replicas:
-        print("error: --inject needs --replicas so the tier can fail "
-              "over (e.g. --shards 2 --replicas 2)", file=sys.stderr)
+    # Each --inject may carry several comma-separated specs.
+    inject_specs = [
+        spec.strip()
+        for arg in (args.inject or [])
+        for spec in arg.split(",")
+        if spec.strip()
+    ]
+    if inject_specs and not (args.replicas or args.wal):
+        print("error: --inject needs --replicas (failover) or --wal "
+              "(crash recovery), e.g. --shards 2 --replicas 2 or "
+              "--shards 2 --wal /tmp/wal", file=sys.stderr)
         return 2
-    if (args.trace_out or args.metrics_out) and not args.inject:
-        print("error: --trace-out/--metrics-out export the --inject "
-              "scenario; add --inject (e.g. --inject crash:db1@5)",
+    if (args.trace_out or args.metrics_out) and not (
+        inject_specs or args.wal
+    ):
+        print("error: --trace-out/--metrics-out export the --inject or "
+              "--wal scenarios; add one (e.g. --inject crash:db1@5)",
               file=sys.stderr)
         return 2
+    if (args.kill_at is not None or args.restart) and not args.wal:
+        print("error: --kill-at/--restart shape the --wal crash "
+              "scenario; add --wal DIR", file=sys.stderr)
+        return 2
 
-    if args.inject:
+    if args.wal:
+        if args.replicas:
+            print("error: --wal durability and --replicas failover are "
+                  "separate scenarios; pick one", file=sys.stderr)
+            return 2
+        if args.shards < 2:
+            print("error: --wal crash recovery exercises the 2PC "
+                  "decision log; use --shards >= 2", file=sys.stderr)
+            return 2
+        db_cores = args.db_cores if args.db_cores is not None else 2
+        try:
+            clients = (
+                int(args.clients.split(",")[0]) if args.clients else 48
+            )
+        except ValueError:
+            print(f"error: --clients must be an int for --wal, "
+                  f"got {args.clients!r}", file=sys.stderr)
+            return 2
+        try:
+            result = serve_mod.serve_wal_recovery(
+                args.wal,
+                fast=args.fast,
+                clients=clients,
+                shards=args.shards,
+                db_cores=db_cores,
+                duration=args.duration,
+                kill_at=args.kill_at,
+                think_time=args.think if args.think is not None else 0.01,
+                fault_specs=inject_specs or None,
+                seed=args.seed,
+                restart=args.restart,
+                tracing=bool(args.trace_out),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report_mod.format_wal_recovery(result))
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                fh.write(result.trace_json or "")
+            print(f"trace written to {args.trace_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(result.metrics_json or "")
+            print(f"metrics written to {args.metrics_out}")
+        return 0
+
+    if inject_specs:
+        from repro.sim.cluster import STORAGE_FAULT_KINDS
+
+        storage = [
+            spec for spec in inject_specs
+            if spec.split(":", 1)[0] in STORAGE_FAULT_KINDS
+        ]
+        if storage:
+            print(f"error: storage fault(s) {storage} need a WAL to "
+                  "damage; add --wal DIR", file=sys.stderr)
+            return 2
         db_cores = args.db_cores if args.db_cores is not None else 2
         try:
             clients = (
@@ -211,7 +285,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 db_cores=db_cores,
                 duration=args.duration,
                 think_time=args.think if args.think is not None else 0.01,
-                fault_specs=args.inject,
+                fault_specs=inject_specs,
                 seed=args.seed,
                 tracing=bool(args.trace_out),
             )
@@ -326,6 +400,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.bench import report as report_mod
+    from repro.db.errors import WalError
+    from repro.db.recovery import recover
+    from repro.db.wal import META_FILE
+
+    root = Path(args.wal)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    if (root / META_FILE).exists():
+        targets = [root]
+    else:
+        targets = sorted(
+            path for path in root.iterdir()
+            if path.is_dir() and (path / META_FILE).exists()
+        )
+    if not targets:
+        print(f"error: no WAL found: neither {root} nor its "
+              f"subdirectories contain {META_FILE}", file=sys.stderr)
+        return 2
+    for target in targets:
+        start = time.perf_counter()
+        try:
+            _, report = recover(target)
+        except WalError as exc:
+            print(f"error: recovery of {target} failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - start
+        print(report_mod.format_recovery_report(report))
+        print(f"recovered in {elapsed * 1000:.1f} ms (wall clock)")
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     import examples.quickstart as quickstart  # type: ignore[import-not-found]
 
@@ -433,10 +545,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--inject", action="append", default=None, metavar="SPEC",
-        help="inject a fault and report the automatic failover "
-             "(repeatable; kind:db<shard>@<t>[x<factor>][:until=<t>] "
-             "with kind in crash/slow/partition, e.g. crash:db1@5 or "
-             "slow:db0@3x4:until=8; needs --replicas)",
+        help="inject faults (repeatable or comma-separated; "
+             "kind:db<shard>@<t>[x<factor>][:until=<t>] with kind in "
+             "crash/slow/partition/tornwrite/corrupt/fsyncfail, e.g. "
+             "crash:db1@5 or tornwrite:db0@3,corrupt:db1@4; "
+             "crash/slow/partition need --replicas, storage kinds "
+             "need --wal)",
+    )
+    p_serve.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="run the crash/recovery scenario: serve TPC-C with "
+             "per-shard write-ahead logs under DIR, kill the whole "
+             "cluster at --kill-at, and rebuild it from checkpoint + "
+             "redo replay (needs --shards >= 2)",
+    )
+    p_serve.add_argument(
+        "--kill-at", type=float, default=None, metavar="T",
+        help="virtual second at which the --wal scenario crashes the "
+             "cluster (default: 60%% of the duration)",
+    )
+    p_serve.add_argument(
+        "--restart", action="store_true",
+        help="after --wal recovery, restart the cluster from disk and "
+             "serve the rest of the duration",
     )
     p_serve.add_argument(
         "--trace-out", metavar="PATH", default=None,
@@ -467,6 +598,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="full-length runs (slow)",
     )
     p_serve.set_defaults(func=_cmd_serve, fast=True)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="rebuild databases from write-ahead-log directories",
+    )
+    p_recover.add_argument(
+        "wal",
+        help="a WAL directory (contains meta.json), or a parent whose "
+             "subdirectories are WAL directories (as --wal DIR lays "
+             "out one per partition option)",
+    )
+    p_recover.set_defaults(func=_cmd_recover)
 
     p_demo = sub.add_parser("demo", help="run the quickstart example")
     p_demo.set_defaults(func=_cmd_demo)

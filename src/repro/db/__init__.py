@@ -34,6 +34,8 @@ from repro.db.errors import (
     ShardRoutingError,
     ShardDownError,
     TwoPhaseAbortError,
+    WalCorruptionError,
+    WalError,
 )
 from repro.db.catalog import Column, ColumnType, TableSchema, Catalog
 from repro.db.index import HashIndex, OrderedIndex
@@ -61,6 +63,7 @@ from repro.db.txn import (
 )
 from repro.db.replica import (
     CommitLog,
+    CommitLogStats,
     LogEntry,
     PromotionReport,
     RedoOp,
@@ -73,6 +76,20 @@ from repro.db.shard import (
     ShardingScheme,
     TableSharding,
     connect_sharded,
+)
+from repro.db.wal import (
+    CoordinatorLog,
+    ShardWal,
+    WalManager,
+    WalStats,
+    attach_wal,
+)
+from repro.db.recovery import (
+    RecoveryReport,
+    ShardRecovery,
+    recover,
+    recover_database,
+    recover_sharded,
 )
 
 __all__ = [
@@ -113,6 +130,7 @@ __all__ = [
     "ShardDownError",
     "TwoPhaseAbortError",
     "CommitLog",
+    "CommitLogStats",
     "LogEntry",
     "PromotionReport",
     "RedoOp",
@@ -124,4 +142,16 @@ __all__ = [
     "ShardingScheme",
     "TableSharding",
     "connect_sharded",
+    "WalError",
+    "WalCorruptionError",
+    "CoordinatorLog",
+    "ShardWal",
+    "WalManager",
+    "WalStats",
+    "attach_wal",
+    "RecoveryReport",
+    "ShardRecovery",
+    "recover",
+    "recover_database",
+    "recover_sharded",
 ]

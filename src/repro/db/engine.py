@@ -9,7 +9,6 @@ layer can roll back.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.db.catalog import (
@@ -65,13 +64,50 @@ class UndoRecord:
         )
 
 
+class RowidAllocator:
+    """Monotone rowid source (an inspectable ``itertools.count``).
+
+    Checkpoint/recovery must restore allocation at exactly the
+    pre-crash position or post-restart inserts diverge from an
+    uncrashed run, so unlike ``itertools.count`` the allocator exposes
+    its next value (:meth:`peek`) and can be moved forward without
+    consuming (:meth:`advance_to`).  Supports plain ``next()`` -- the
+    generated-source rung calls ``next(table._next_rowid)`` directly.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def __iter__(self) -> "RowidAllocator":
+        return self
+
+    def peek(self) -> int:
+        """The rowid the next insert would receive (not consumed)."""
+        return self._next
+
+    def advance_to(self, next_value: int) -> None:
+        """Move forward so the next rowid is >= ``next_value``."""
+        if next_value > self._next:
+            self._next = next_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowidAllocator(next={self._next})"
+
+
 class Table:
     """One heap table plus its indexes."""
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._rows: dict[int, tuple] = {}
-        self._next_rowid = itertools.count(1)
+        self._next_rowid = RowidAllocator()
         # True while deferred delete-undos have left the row store out
         # of ascending-rowid order (see ensure_scan_order).
         self._scan_order_dirty = False
@@ -106,7 +142,7 @@ class Table:
             raise ExecutionError(f"index {spec.name!r} already exists")
         self._add_index(spec)
 
-    def use_rowid_counter(self, counter: "itertools.count") -> None:
+    def use_rowid_counter(self, counter: "RowidAllocator") -> None:
         """Share a rowid allocator with other tables.
 
         The sharded database tier gives every partition of one logical

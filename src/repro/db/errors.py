@@ -83,6 +83,25 @@ class TwoPhaseAbortError(TransactionError):
         )
 
 
+class WalError(DatabaseError):
+    """A write-ahead-log failure (unusable log directory, missing
+    checkpoint for a non-empty log, malformed metadata, ...)."""
+
+
+class WalCorruptionError(WalError):
+    """A complete WAL frame failed validation (bad CRC, broken header,
+    non-monotone LSN).  Distinct from a *torn* final frame, which is
+    the expected shape of a crash mid-append and is tolerated."""
+
+    def __init__(self, path: object, lsn: int, detail: str = "") -> None:
+        self.path = str(path)
+        self.lsn = lsn
+        message = f"corrupt WAL frame at LSN {lsn} in {self.path}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class DeadlockError(TransactionError):
     """The lock manager chose this transaction as a deadlock victim."""
 

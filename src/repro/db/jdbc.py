@@ -357,7 +357,16 @@ class Connection:
         self.calls += 1
         auto = False
         txn = self._txn
-        if txn is None and self.lock_manager is not None:
+        if txn is None and (
+            self.lock_manager is not None
+            or (
+                not prepared.is_query
+                and self.database.redo_collector is not None
+            )
+        ):
+            # A redo collector (replication primary or attached WAL)
+            # needs an implicit transaction around each mutation: redo
+            # capture and commit-time logging hang off the txn layer.
             txn = Transaction(self.database, self.lock_manager)
             auto = True
         try:
@@ -367,11 +376,17 @@ class Connection:
                 result = self.executor.execute(prepared.plan, params, txn)
         except BaseException:
             if auto and txn is not None:
-                # A failed autocommit statement must not strand its
-                # locks (later statements would time out forever) or
-                # leave a half-applied mutation with live undo records
-                # nobody will ever replay.
-                txn.rollback()
+                if self.lock_manager is not None:
+                    # A failed autocommit statement must not strand its
+                    # locks (later statements would time out forever) or
+                    # leave a half-applied mutation with live undo
+                    # records nobody will ever replay.
+                    txn.rollback()
+                else:
+                    # No locks: the plain engine persists a failed
+                    # statement's partial mutations, so the redo log
+                    # must record them too or a restart diverges.
+                    txn.commit()
             raise
         if auto and txn is not None:
             txn.commit()

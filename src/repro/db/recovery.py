@@ -1,0 +1,407 @@
+"""Crash-restart recovery: checkpoint load + redo replay.
+
+Rebuilds a bit-identical :class:`~repro.db.engine.Database` /
+:class:`~repro.db.shard.ShardedDatabase` from a WAL directory written
+by :func:`repro.db.wal.attach_wal`:
+
+1. read ``meta.json`` (cluster shape, sharding scheme, restart epoch);
+2. read the coordinator decision log -- the set of gtids with a
+   durable *commit* decision;
+3. per shard: load the checkpoint snapshot (schema, rows, rowid
+   allocator position), then replay log frames above the checkpoint
+   LSN in order.  ``prepare`` frames stash their redo; ``resolve``
+   frames apply the stash; a torn final frame ends replay; a complete
+   frame that fails its CRC raises
+   :class:`~repro.db.errors.WalCorruptionError` with the LSN quoted --
+   unless a later checkpoint already covers it, in which case it is
+   skipped unvalidated.
+4. prepares still dangling at end of log resolve deterministically:
+   *applied* iff the coordinator holds a durable commit decision for
+   the gtid, *discarded* otherwise (presumed abort).
+
+Replay goes through the same table-level ``apply_*`` primitives the
+replication layer uses, so recovered row stores, indexes and scan
+order match an uncrashed run byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.db.catalog import IndexSpec
+from repro.db.engine import Database, RowidAllocator
+from repro.db.errors import WalError
+from repro.db.replica import LogEntry, ReplicaGroup
+from repro.db.shard import ShardedDatabase, ShardingScheme, TableSharding
+from repro.db.wal import decode_ops, read_meta, scan_wal
+
+
+@dataclass
+class ShardRecovery:
+    """What replay did to one shard."""
+
+    shard: int
+    checkpoint_lsn: int
+    checkpoint_rows: int
+    frames_seen: int
+    frames_skipped: int
+    commits_applied: int
+    resolves_applied: int
+    in_doubt_committed: list[str]
+    in_doubt_aborted: list[str]
+    torn_tail: bool
+    tip: int
+
+
+@dataclass
+class RecoveryReport:
+    """Summary of one directory's recovery."""
+
+    directory: str
+    name: str
+    shards: int
+    replicas: int
+    epoch: int
+    shard_reports: list[ShardRecovery] = field(default_factory=list)
+    decisions: int = 0
+
+    @property
+    def commits_applied(self) -> int:
+        return sum(r.commits_applied + r.resolves_applied
+                   for r in self.shard_reports)
+
+    @property
+    def in_doubt_committed(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for report in self.shard_reports:
+            for gtid in report.in_doubt_committed:
+                seen[gtid] = None
+        return list(seen)
+
+    @property
+    def in_doubt_aborted(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for report in self.shard_reports:
+            for gtid in report.in_doubt_aborted:
+                seen[gtid] = None
+        return list(seen)
+
+
+def _apply_ops(database: Database, ops: list) -> None:
+    ReplicaGroup._apply_entry(  # noqa: SLF001 - shared replay primitive
+        database, LogEntry(0, tuple(ops))
+    )
+
+
+def _restore_tables(
+    database: Database, checkpoint: Optional[dict]
+) -> tuple[int, dict[str, int]]:
+    """Create tables and load checkpoint rows into one shard database.
+
+    Returns (row count, table -> checkpoint allocator position).
+    """
+    if checkpoint is None:
+        return 0, {}
+    rows_loaded = 0
+    positions: dict[str, int] = {}
+    for spec in checkpoint["tables"]:
+        name = spec["name"]
+        if not database.has_table(name):
+            database.create_table(
+                name,
+                [tuple(col) for col in spec["columns"]],
+                spec["primary_key"],
+                [
+                    IndexSpec(ix_name, tuple(cols), unique, ordered)
+                    for ix_name, cols, unique, ordered in spec["indexes"]
+                ],
+            )
+        table = database.table(name)
+        for rowid, row in spec["rows"]:
+            table.apply_insert(rowid, tuple(row))
+            rows_loaded += 1
+        table.ensure_scan_order()
+        if spec.get("next_rowid") is not None:
+            positions[name.lower()] = spec["next_rowid"]
+    return rows_loaded, positions
+
+
+def _replay_shard(
+    database: Database,
+    wal_path: Path,
+    checkpoint_lsn: int,
+    decided: "set[str] | dict",
+    shard: int,
+    insert_horizon: dict[str, int],
+) -> ShardRecovery:
+    scan = scan_wal(wal_path, skip_below=checkpoint_lsn)
+    stashed: dict[str, list] = {}
+    stash_order: list[str] = []
+    commits = resolves = skipped = 0
+    in_doubt_committed: list[str] = []
+    in_doubt_aborted: list[str] = []
+
+    def note_inserts(ops: list) -> None:
+        for op in ops:
+            if op.kind != "delete" and op.rowid is not None:
+                key = op.table.lower()
+                if op.rowid >= insert_horizon.get(key, 0):
+                    insert_horizon[key] = op.rowid + 1
+
+    for frame in scan.frames:
+        if frame.kind == "commit":
+            if frame.record is None:  # at/below checkpoint: skipped
+                skipped += 1
+                continue
+            ops = decode_ops(frame.record["ops"])
+            _apply_ops(database, ops)
+            note_inserts(ops)
+            commits += 1
+        elif frame.kind == "prepare":
+            gtid = frame.record["gtid"]
+            if gtid not in stashed:
+                stash_order.append(gtid)
+            stashed[gtid] = frame.record["ops"]
+        elif frame.kind == "resolve":
+            gtid = frame.record["gtid"]
+            pending = stashed.pop(gtid, None)
+            if frame.lsn <= checkpoint_lsn:
+                continue  # effects already in the checkpoint
+            if pending is None:
+                raise WalError(
+                    f"resolve frame at LSN {frame.lsn} in {wal_path} "
+                    f"references unknown transaction {gtid!r}"
+                )
+            ops = decode_ops(pending)
+            _apply_ops(database, ops)
+            note_inserts(ops)
+            resolves += 1
+        else:
+            raise WalError(
+                f"unexpected {frame.kind!r} frame at LSN {frame.lsn} "
+                f"in shard log {wal_path}"
+            )
+    # Dangling prepares: the crash hit between prepare and commit.
+    for gtid in stash_order:
+        if gtid not in stashed:
+            continue
+        if gtid in decided:
+            ops = decode_ops(stashed[gtid])
+            _apply_ops(database, ops)
+            note_inserts(ops)
+            in_doubt_committed.append(gtid)
+        else:
+            in_doubt_aborted.append(gtid)
+    return ShardRecovery(
+        shard=shard,
+        checkpoint_lsn=checkpoint_lsn,
+        checkpoint_rows=0,
+        frames_seen=len(scan.frames),
+        frames_skipped=skipped,
+        commits_applied=commits,
+        resolves_applied=resolves,
+        in_doubt_committed=in_doubt_committed,
+        in_doubt_aborted=in_doubt_aborted,
+        torn_tail=scan.torn,
+        tip=max(
+            checkpoint_lsn,
+            scan.frames[-1].lsn if scan.frames else 0,
+        ),
+    )
+
+
+def _read_checkpoint_file(path: Path) -> Optional[dict]:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise WalError(f"unreadable checkpoint {path}: {exc}") from exc
+
+
+def _require_checkpoint(
+    checkpoint: Optional[dict], wal_path: Path
+) -> dict:
+    if checkpoint is not None:
+        return checkpoint
+    if scan_wal(wal_path).frames:
+        raise WalError(
+            f"log {wal_path} has frames but no checkpoint; the bootstrap "
+            "snapshot written by attach_wal is required for recovery"
+        )
+    return {"lsn": 0, "tables": []}
+
+
+def _deserialize_scheme(payload: Optional[dict]) -> ShardingScheme:
+    scheme = ShardingScheme()
+    for name, sharding in (payload or {}).get("tables", {}).items():
+        scheme.add(
+            name,
+            None if sharding is None else TableSharding(
+                columns=tuple(sharding["columns"]),
+                strategy=sharding["strategy"],
+                boundaries=tuple(sharding["boundaries"]),
+            ),
+        )
+    return scheme
+
+
+def _coordinator_decisions(directory: Path) -> dict[str, list]:
+    scan = scan_wal(directory / "coord.wal")
+    decisions: dict[str, list] = {}
+    for frame in scan.frames:
+        if frame.kind == "decide":
+            decisions[frame.record["gtid"]] = frame.record.get("shards", [])
+    return decisions
+
+
+def recover(
+    directory: Path | str,
+) -> tuple[Union[Database, ShardedDatabase], RecoveryReport]:
+    """Rebuild the database persisted under ``directory``.
+
+    Dispatches on ``meta.json``: a single-server WAL yields a
+    :class:`Database`, a sharded one a :class:`ShardedDatabase` with
+    replicas re-seeded from the recovered primaries.
+    """
+    directory = Path(directory)
+    meta = read_meta(directory)
+    if meta.get("single"):
+        return recover_database(directory)
+    return recover_sharded(directory)
+
+
+def recover_database(
+    directory: Path | str,
+) -> tuple[Database, RecoveryReport]:
+    """Recover a non-sharded single server from its WAL directory."""
+    directory = Path(directory)
+    meta = read_meta(directory)
+    decisions = _coordinator_decisions(directory)
+    database = Database(meta.get("name", "main"))
+    wal_path = directory / "shard0.wal"
+    checkpoint = _require_checkpoint(
+        _read_checkpoint_file(directory / "shard0.ckpt"), wal_path
+    )
+    rows, positions = _restore_tables(database, checkpoint)
+    horizon: dict[str, int] = {}
+    shard_report = _replay_shard(
+        database, wal_path, checkpoint["lsn"], decisions, 0, horizon
+    )
+    shard_report.checkpoint_rows = rows
+    _advance_allocators([database], positions, horizon)
+    report = RecoveryReport(
+        directory=str(directory),
+        name=database.name,
+        shards=1,
+        replicas=0,
+        epoch=int(meta.get("epoch", 0)),
+        shard_reports=[shard_report],
+        decisions=len(decisions),
+    )
+    return database, report
+
+
+def recover_sharded(
+    directory: Path | str,
+) -> tuple[ShardedDatabase, RecoveryReport]:
+    """Recover a sharded (optionally replicated) tier from disk."""
+    directory = Path(directory)
+    meta = read_meta(directory)
+    n_shards = int(meta["shards"])
+    replicas = int(meta.get("replicas", 0))
+    scheme = _deserialize_scheme(meta.get("scheme"))
+    decisions = _coordinator_decisions(directory)
+    sdb = ShardedDatabase(
+        meta.get("name", "main"),
+        shards=n_shards,
+        scheme=scheme,
+        replicas=replicas,
+    )
+    checkpoints = []
+    for index in range(n_shards):
+        checkpoints.append(
+            _require_checkpoint(
+                _read_checkpoint_file(directory / f"shard{index}.ckpt"),
+                directory / f"shard{index}.wal",
+            )
+        )
+    # DDL first, at the sharded level: every shard gets the catalog,
+    # sharded tables share one rowid allocator, replicas mirror it.
+    for spec in checkpoints[0]["tables"]:
+        sdb.create_table(
+            spec["name"],
+            [tuple(col) for col in spec["columns"]],
+            spec["primary_key"],
+            [
+                IndexSpec(ix_name, tuple(cols), unique, ordered)
+                for ix_name, cols, unique, ordered in spec["indexes"]
+            ],
+        )
+    report = RecoveryReport(
+        directory=str(directory),
+        name=sdb.name,
+        shards=n_shards,
+        replicas=replicas,
+        epoch=int(meta.get("epoch", 0)),
+        decisions=len(decisions),
+    )
+    horizon: dict[str, int] = {}
+    positions: dict[str, int] = {}
+    for index in range(n_shards):
+        database = sdb.shards[index]
+        rows, shard_positions = _restore_tables(database, checkpoints[index])
+        for name, position in shard_positions.items():
+            positions[name] = max(positions.get(name, 0), position)
+        shard_report = _replay_shard(
+            database,
+            directory / f"shard{index}.wal",
+            checkpoints[index]["lsn"],
+            decisions,
+            index,
+            horizon,
+        )
+        shard_report.checkpoint_rows = rows
+        report.shard_reports.append(shard_report)
+    _advance_allocators(sdb.shards, positions, horizon)
+    # Replicas restart as exact copies of their recovered primary with
+    # a fresh, empty commit log (applied_lsn 0 == log tip 0).
+    for group in sdb.groups:
+        if group is None:
+            continue
+        for table in group.primary.tables():
+            table.ensure_scan_order()
+            for replica in group.replicas:
+                replica_table = replica.database.table(table.schema.name)
+                for rowid, row in table.scan():
+                    replica_table.apply_insert(rowid, row)
+                replica_table.ensure_scan_order()
+    return sdb, report
+
+
+def _advance_allocators(
+    databases: list[Database],
+    positions: dict[str, int],
+    horizon: dict[str, int],
+) -> None:
+    """Restore rowid allocation points after replay.
+
+    The target is the max of the checkpointed allocator position and
+    one past the highest rowid any replayed insert produced.  (Rowids
+    burned by transactions that *aborted* after the last checkpoint
+    are not recoverable -- no redo exists for them -- which only
+    matters to post-restart bit-identity if the dying run aborted an
+    insert after its final checkpoint.)
+    """
+    for database in databases:
+        for table in database.tables():
+            name = table.schema.name.lower()
+            target = max(
+                positions.get(name, 0), horizon.get(name, 0)
+            )
+            allocator = table._next_rowid  # noqa: SLF001
+            if target and isinstance(allocator, RowidAllocator):
+                allocator.advance_to(target)

@@ -73,25 +73,55 @@ class LogEntry:
     ops: tuple[RedoOp, ...]
 
 
+@dataclass
+class CommitLogStats:
+    """Retention counters (truncation is silent otherwise)."""
+
+    truncated: int = 0
+
+
 class CommitLog:
-    """Ordered, append-only log of committed transactions."""
+    """Ordered, append-only log of committed transactions.
+
+    ``base_lsn`` is the truncation low-water mark: entries at or below
+    it have been dropped (every connected replica had applied them),
+    so in-memory growth stays bounded on long serve runs.  LSNs keep
+    counting from where they were -- truncation never renumbers.
+    """
 
     def __init__(self) -> None:
         self.entries: list[LogEntry] = []
+        self.base_lsn = 0
+        self.stats = CommitLogStats()
 
     @property
     def tip(self) -> int:
-        """LSN of the newest entry (0 when empty)."""
-        return len(self.entries)
+        """LSN of the newest entry (``base_lsn`` when empty)."""
+        return self.base_lsn + len(self.entries)
 
     def append(self, ops: list[RedoOp]) -> int:
-        entry = LogEntry(len(self.entries) + 1, tuple(ops))
+        entry = LogEntry(self.tip + 1, tuple(ops))
         self.entries.append(entry)
         return entry.lsn
 
     def entries_after(self, lsn: int) -> list[LogEntry]:
         """Entries with LSN strictly greater than ``lsn``, in order."""
-        return self.entries[lsn:]
+        if lsn < self.base_lsn:
+            raise ShardError(
+                f"log truncated to LSN {self.base_lsn}; cannot replay "
+                f"from {lsn} (a full resync is required)"
+            )
+        return self.entries[lsn - self.base_lsn:]
+
+    def truncate_below(self, lsn: int) -> int:
+        """Drop entries with LSN <= ``lsn``; returns how many."""
+        drop = min(lsn, self.tip) - self.base_lsn
+        if drop <= 0:
+            return 0
+        del self.entries[:drop]
+        self.base_lsn += drop
+        self.stats.truncated += drop
+        return drop
 
 
 @dataclass
@@ -125,6 +155,9 @@ class ReplicationStats:
     entries_shipped: int = 0
     ops_shipped: int = 0
     ship_failures: int = 0
+    # Replicas rebuilt by full snapshot copy because the log had been
+    # truncated past their position (reconnect after long partition).
+    resyncs: int = 0
 
 
 class ReplicaGroup:
@@ -147,6 +180,13 @@ class ReplicaGroup:
         # Observability: the serving engine swaps in its tracer so log
         # shipping and promotions land on the shared timeline.
         self.tracer = NULL_TRACER
+        # Durability: attach_wal points this at the shard's ShardWal,
+        # and every committed batch is logged before it ships.
+        self.wal = None
+        # Retention policy: keep at most this many in-memory entries
+        # before truncating below the minimum applied LSN of the
+        # connected replicas (None = unbounded, the historic default).
+        self.retention: Optional[int] = None
         primary.redo_collector = self.commit_redo
 
     # -- schema / bootstrap --------------------------------------------------
@@ -180,7 +220,14 @@ class ReplicaGroup:
     # -- log shipping --------------------------------------------------------
 
     def commit_redo(self, ops: list[RedoOp]) -> int:
-        """Append one committed transaction and ship to replicas."""
+        """Append one committed transaction and ship to replicas.
+
+        With a WAL attached the batch is made durable *before* it
+        ships -- the disk frame, not the in-memory log, is the record
+        of truth a restart recovers from.
+        """
+        if self.wal is not None:
+            self.wal.commit_ops(ops)
         lsn = self.log.append(ops)
         if self.tracer.active:
             self.tracer.instant(
@@ -189,7 +236,43 @@ class ReplicaGroup:
             )
         for replica in self.replicas:
             self._deliver(replica)
+        self._enforce_retention()
         return lsn
+
+    def _enforce_retention(self) -> None:
+        """Truncate the in-memory log per the retention policy.
+
+        The floor is the minimum applied LSN across *connected*
+        replicas: a partitioned replica does not pin the log (it will
+        resync on reconnect), but while every replica is partitioned
+        nothing is truncated -- dropping entries nobody applied would
+        turn every reconnect into a full resync.
+        """
+        if self.retention is None or len(self.log.entries) <= self.retention:
+            return
+        applied = [r.applied_lsn for r in self.replicas if r.connected]
+        if not applied:
+            return
+        self.log.truncate_below(min(applied))
+
+    def _resync(self, replica: Replica) -> None:
+        """Rebuild a replica whose position fell below the truncated
+        log: full snapshot copy from the primary, then stream."""
+        for table in self.primary.tables():
+            name = table.schema.name
+            table.ensure_scan_order()
+            replica_table = replica.database.table(name)
+            replica_table.truncate()
+            for rowid, row in table.scan():
+                replica_table.apply_insert(rowid, row)
+            replica_table.ensure_scan_order()
+        replica.applied_lsn = self.log.tip
+        self.stats.resyncs += 1
+        if self.tracer.active:
+            self.tracer.instant(
+                "replication.resync", track="replication",
+                group=self.name, applied=replica.applied_lsn,
+            )
 
     def _deliver(self, replica: Replica) -> None:
         """Apply every log entry the replica has not seen, in order."""
@@ -197,6 +280,9 @@ class ReplicaGroup:
             return
         from repro.sim.network import NetworkPartitionedError
 
+        if replica.applied_lsn < self.log.base_lsn:
+            self._resync(replica)
+            return
         for entry in self.log.entries_after(replica.applied_lsn):
             if replica.link is not None:
                 try:
@@ -292,6 +378,16 @@ class ReplicaGroup:
         )
         winner = self.replicas.pop(chosen)
         winner.connected = True
+        if winner.applied_lsn < self.log.base_lsn:
+            # Unreachable under the retention policy (truncation never
+            # passes a connected replica, and the winner has the max
+            # applied LSN) -- but promoting from a truncated hole would
+            # silently lose commits, so fail loudly if it ever happens.
+            raise ShardError(
+                f"cannot promote replica {chosen} of {self.name!r}: log "
+                f"truncated to {self.log.base_lsn}, replica applied "
+                f"{winner.applied_lsn}"
+            )
         behind = self.log.tip - winner.applied_lsn
         for entry in self.log.entries_after(winner.applied_lsn):
             self._apply_entry(winner.database, entry)

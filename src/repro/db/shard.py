@@ -38,14 +38,13 @@ and per-shard lock managers.
 
 from __future__ import annotations
 
-import itertools
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional, Sequence
 
 from repro.db.catalog import Column, IndexSpec, TableSchema
-from repro.db.engine import Database, Table
+from repro.db.engine import Database, RowidAllocator, Table
 from repro.db.errors import (
     ExecutionError,
     ShardDownError,
@@ -266,6 +265,10 @@ class ShardedDatabase:
             ReplicaGroup(shard, replicas) if replicas else None
             for shard in self.shards
         ]
+        # Set by repro.db.wal.attach_wal; when present, mutations are
+        # made durable (per-shard redo frames + coordinator decision
+        # records) and implicit statement transactions capture redo.
+        self.wal_manager = None
 
     @property
     def replicated(self) -> bool:
@@ -357,7 +360,7 @@ class ShardedDatabase:
             self._validate_sharding(tables[0].schema, sharding)
             # One global rowid sequence: merged per-shard scans
             # reconstruct single-server insertion order exactly.
-            counter = itertools.count(1)
+            counter = RowidAllocator()
             for table in tables:
                 table.use_rowid_counter(counter)
         # DDL is not logged: mirror it onto every replica now.  The
@@ -811,11 +814,18 @@ class ShardedConnection:
         txn = self._txn
         if txn is None and (
             self.lock_managers is not None
-            or (self.database.replicated and not prepared.is_query)
+            or (
+                not prepared.is_query
+                and (
+                    self.database.replicated
+                    or self.database.wal_manager is not None
+                )
+            )
         ):
-            # With locks off, a replicated tier still needs an implicit
-            # transaction around mutations: redo capture and commit-time
-            # log shipping hang off the transaction layer.
+            # With locks off, a replicated or WAL-backed tier still
+            # needs an implicit transaction around mutations: redo
+            # capture, commit-time log shipping and durable logging
+            # all hang off the transaction layer.
             txn = self._new_transaction()
             auto = True
         try:
@@ -859,6 +869,7 @@ class ShardedConnection:
             one_way_latency=self.one_way_latency,
             groups=self.database.groups if self.database.replicated else None,
             tracer=self.tracer,
+            wal=self.database.wal_manager,
         )
 
     def _commit_auto(self, txn: ShardedTransaction) -> None:

@@ -356,6 +356,14 @@ class Transaction:
     def undo_depth(self) -> int:
         return len(self._undo)
 
+    def pending_redo(self) -> "Optional[list[RedoOp]]":
+        """The captured-so-far redo batch (None when capture is off).
+
+        The 2PC coordinator reads this at prepare time to persist a
+        participant's after-images in its shard's WAL prepare frame.
+        """
+        return self._redo
+
     # -- outcome ---------------------------------------------------------------------
 
     def _check_resolvable(self) -> None:
@@ -458,6 +466,7 @@ class ShardedTransaction:
         one_way_latency: float = 0.0,
         groups=None,
         tracer=None,
+        wal=None,
     ) -> None:
         if not databases:
             raise TransactionError("a sharded transaction needs shards")
@@ -475,6 +484,12 @@ class ShardedTransaction:
         # generation at branch time and aborts on crash/promotion.
         self.groups = groups
         self._generations: dict[int, int] = {}
+        # Durability (repro.db.wal.WalManager): cross-shard commits
+        # write per-shard prepare frames and force a coordinator
+        # decision record before any branch commits.
+        self.wal = wal
+        self.gtid = wal.next_gtid() if wal is not None else None
+        self._wal_prepared_shards: list[int] = []
         self.state = TxnState.ACTIVE
         self._branches: dict[int, Transaction] = {}
         # (virtual time, protocol phase, event) triples; phases are
@@ -555,10 +570,21 @@ class ShardedTransaction:
             if group.crashed or group.generation != snapshot:
                 self._abort_for_failover(shard, phase)
 
+    def _wal_clear_pending(self) -> None:
+        """Forget this transaction's WAL prepare frames on abort, so
+        checkpoint truncation can drop them (recovery would presume
+        abort for them anyway -- no decision record exists)."""
+        if self.wal is None:
+            return
+        for shard in self._wal_prepared_shards:
+            self.wal.wal_for(shard).abort_prepare(self.gtid)
+        self._wal_prepared_shards = []
+
     def _abort_for_failover(self, shard: int, phase: str) -> None:
         self._record(
             "recovery", f"abort: shard {shard} failed during {phase}"
         )
+        self._wal_clear_pending()
         for touched in self.touched_shards():
             branch = self._branches[touched]
             if branch.state in (TxnState.ACTIVE, TxnState.PREPARED):
@@ -596,8 +622,37 @@ class ShardedTransaction:
         for shard in self.touched_shards():
             self._branches[shard].prepare()
             self._record("prepare", f"prepared shard {shard}")
+        if self.wal is not None:
+            # Persist each participant's redo in its shard log.  A
+            # prepare that cannot be forced durable is a no vote: the
+            # shard could not honor a later commit decision across a
+            # crash, so the whole transaction aborts (presumed abort).
+            for shard in self.touched_shards():
+                redo = self._branches[shard].pending_redo()
+                if not redo:
+                    continue  # read-only participant: nothing to redo
+                shard_wal = self.wal.wal_for(shard)
+                shard_wal.log_prepare(self.gtid, redo)
+                self._wal_prepared_shards.append(shard)
+                if not shard_wal.sync():
+                    self._record(
+                        "prepare", f"shard {shard} vote no: prepare "
+                        "record not durable"
+                    )
+                    span.finish()
+                    self._wal_abort(shard, "prepare")
         span.finish()
         self.state = TxnState.PREPARED
+
+    def _wal_abort(self, shard: int, phase: str) -> None:
+        self._wal_clear_pending()
+        for touched in self.touched_shards():
+            branch = self._branches[touched]
+            if branch.state in (TxnState.ACTIVE, TxnState.PREPARED):
+                branch.rollback()
+            self._record("rollback", f"rolled back shard {touched}")
+        self.state = TxnState.ABORTED
+        raise TwoPhaseAbortError(shard, phase)
 
     def commit(self) -> None:
         if self.state not in (TxnState.ACTIVE, TxnState.PREPARED):
@@ -627,6 +682,19 @@ class ShardedTransaction:
         # coordinator recovery path aborts every branch instead of
         # committing a transaction whose shard can no longer apply it.
         self._failover_check("commit")
+        if self.wal is not None and self._wal_prepared_shards:
+            # The commit point: force the decision record.  If the
+            # force fails the decision is NOT durable and presumed
+            # abort applies -- a restart would discard the prepares,
+            # so the live coordinator must abort too.
+            if not self.wal.coordinator.log_commit(
+                self.gtid, self._wal_prepared_shards
+            ):
+                self._record(
+                    "commit", "commit decision not durable; aborting"
+                )
+                self._wal_abort(shards[0], "commit")
+            self._record("commit", "commit decision durable")
         span = self.tracer.span(
             "2pc.commit", track="2pc", mode="2pc",
             shards=len(shards),
@@ -635,6 +703,11 @@ class ShardedTransaction:
         self._advance_round_trip()
         for shard in shards:
             branch = self._branches[shard]
+            if self.wal is not None and shard in self._wal_prepared_shards:
+                # The branch's redo is already durable in its prepare
+                # frame; the redo collector turns this commit into an
+                # ops-less resolve frame instead of logging it twice.
+                self.wal.mark_resolving(shard, self.gtid)
             branch.commit()
             self._record("commit", f"committed shard {shard}")
             if branch.last_commit_lsn is not None:
@@ -649,6 +722,7 @@ class ShardedTransaction:
                 "not active or prepared"
             )
         span = self.tracer.span("2pc.rollback", track="2pc")
+        self._wal_clear_pending()
         for shard in self.touched_shards():
             branch = self._branches[shard]
             if branch.state in (TxnState.ACTIVE, TxnState.PREPARED):

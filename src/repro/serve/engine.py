@@ -139,6 +139,11 @@ class ServeEngine:
         self._crash_times: dict[int, float] = {}
         self._databases: list = []
         self._clusters: list = []
+        self._wal_managers: list = []
+        # tornwrite/corrupt faults damage bytes already on disk, so
+        # they arm here and are applied to the log files at crash time
+        # (by the recovery scenario) rather than while the run is live.
+        self.armed_storage_faults: list[tuple[str, int]] = []
         self._supervisor: Optional["ReplicaSupervisor"] = None
         # Observability: spans on the engine's virtual clock (zero-cost
         # when tracing is off) and the unified metrics registry whose
@@ -199,6 +204,11 @@ class ServeEngine:
         self._databases = list(databases)
         self._clusters = list(clusters)
 
+    def attach_wal_managers(self, managers) -> None:
+        """Register the write-ahead-log managers (one per attached
+        database) so storage faults have a durable surface to hit."""
+        self._wal_managers = list(managers)
+
     def _check_shard(self, shard: int) -> None:
         if not 0 <= shard < len(self.dbs):
             raise ValueError(f"unknown database shard {shard}")
@@ -245,6 +255,35 @@ class ServeEngine:
             for idx in range(len(group.replicas)):
                 group.set_replica_connected(idx, not down)
 
+    def set_storage_fault(self, kind: str, shard: int, active: bool) -> None:
+        """Apply (or with ``active=False`` heal) one storage fault.
+
+        ``fsyncfail`` takes effect immediately: every attached WAL
+        manager's fsync for that shard fails until healed, so group
+        commits stop acknowledging.  ``tornwrite`` and ``corrupt``
+        damage on-disk bytes, which only matters at a crash boundary --
+        they arm here and the crash/recovery scenario applies them to
+        the log files when the cluster dies.
+        """
+        self._check_shard(shard)
+        if kind not in ("tornwrite", "corrupt", "fsyncfail"):
+            raise ValueError(f"unknown storage fault kind {kind!r}")
+        if not self._wal_managers:
+            raise ValueError(
+                f"storage fault {kind!r} needs an attached WAL "
+                "(serve with --wal DIR)"
+            )
+        if active:
+            self.metrics.counter("faults.injected", kind=kind).inc()
+        self.tracer.instant(
+            f"fault.{kind}", track="faults", shard=shard, active=active
+        )
+        if kind == "fsyncfail":
+            for manager in self._wal_managers:
+                manager.set_fsync_fail(shard, active)
+        elif active:
+            self.armed_storage_faults.append((kind, shard))
+
     def inject_faults(self, injector) -> None:
         """Arm a :class:`~repro.sim.cluster.FaultInjector`'s schedule
         against this engine's shard tier."""
@@ -255,6 +294,7 @@ class ServeEngine:
             crash_shard=self.crash_shard,
             set_shard_slowdown=self.set_shard_slowdown,
             set_shard_partition=self.set_shard_partition,
+            set_storage_fault=self.set_storage_fault,
         )
 
     def enable_failover(self, **kwargs) -> "ReplicaSupervisor":

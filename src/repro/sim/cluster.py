@@ -24,12 +24,25 @@ from repro.sim.server import CostModel, Server
 # ---------------------------------------------------------------------------
 
 
-FAULT_KINDS = ("crash", "slow", "partition")
+FAULT_KINDS = (
+    "crash", "slow", "partition", "tornwrite", "corrupt", "fsyncfail",
+)
+
+# Storage faults target a shard's write-ahead log rather than its
+# server: "tornwrite" leaves a half-written frame (crash mid-append),
+# "corrupt" flips bytes in a committed frame, "fsyncfail" makes every
+# fsync fail from ``at`` until ``until`` (None = rest of the run).
+STORAGE_FAULT_KINDS = ("tornwrite", "corrupt", "fsyncfail")
+
+# Kinds with a duration; the rest are instantaneous or permanent.
+_UNTIL_KINDS = ("slow", "partition", "fsyncfail")
 
 # kind:db<shard>@<at>[x<factor>][:until=<t>], e.g. "crash:db1@5",
-# "slow:db0@3x4:until=8", "partition:db1@2:until=6".
+# "slow:db0@3x4:until=8", "partition:db1@2:until=6",
+# "tornwrite:db0@5", "corrupt:db1@3", "fsyncfail:db0@2:until=4".
 _FAULT_RE = re.compile(
-    r"^(?P<kind>crash|slow|partition):db(?P<shard>\d+)"
+    r"^(?P<kind>crash|slow|partition|tornwrite|corrupt|fsyncfail)"
+    r":db(?P<shard>\d+)"
     r"@(?P<at>\d+(?:\.\d+)?)"
     r"(?:x(?P<factor>\d+(?:\.\d+)?))?"
     r"(?::until=(?P<until>\d+(?:\.\d+)?))?$"
@@ -51,7 +64,11 @@ class FaultEvent:
     is the failover controller's job, not the fault's).  ``slow``
     inflates the shard's service latency by ``factor`` from ``at``
     until ``until`` (None = rest of the run).  ``partition`` takes the
-    shard's network link down between ``at`` and ``until``.
+    shard's network link down between ``at`` and ``until``.  The
+    storage kinds hit the shard's WAL: ``tornwrite`` leaves a
+    half-written frame at ``at``, ``corrupt`` flips bytes in a
+    committed frame, ``fsyncfail`` fails every fsync between ``at``
+    and ``until``.
     """
 
     kind: str
@@ -69,6 +86,11 @@ class FaultEvent:
             raise ValueError("fault time must be non-negative")
         if self.kind == "slow" and self.factor <= 1.0:
             raise ValueError("slow faults need a factor > 1")
+        if self.until is not None and self.kind not in _UNTIL_KINDS:
+            raise ValueError(
+                f"only {'/'.join(_UNTIL_KINDS)} faults take 'until' "
+                f"(a {self.kind} fault has no duration)"
+            )
         if self.until is not None and self.until <= self.at:
             raise ValueError("fault 'until' must come after 'at'")
 
@@ -156,10 +178,39 @@ class FaultInjector:
         crash_shard: Callable[[int], None],
         set_shard_slowdown: Callable[[int, float], None],
         set_shard_partition: Callable[[int, bool], None],
+        set_storage_fault: Optional[Callable[[str, int, bool], None]] = None,
     ) -> None:
-        """Register every event with ``schedule_at(when, action)``."""
+        """Register every event with ``schedule_at(when, action)``.
+
+        ``set_storage_fault(kind, shard, active)`` handles the storage
+        kinds (tornwrite / corrupt / fsyncfail); it is optional so
+        callers without a WAL keep working, but scheduling a storage
+        event without the hook is an error rather than a silent no-op.
+        """
+        storage_events = [
+            e for e in self.events if e.kind in STORAGE_FAULT_KINDS
+        ]
+        if storage_events and set_storage_fault is None:
+            raise ValueError(
+                f"storage fault {storage_events[0].kind!r} needs a "
+                "set_storage_fault hook (a WAL-backed target)"
+            )
         for event in self.events:
-            if event.kind == "crash":
+            if event.kind in STORAGE_FAULT_KINDS:
+                self._arm(
+                    schedule_at, event.at,
+                    f"{event.kind} db{event.shard}",
+                    lambda e=event: set_storage_fault(e.kind, e.shard, True),
+                )
+                if event.until is not None:
+                    self._arm(
+                        schedule_at, event.until,
+                        f"heal {event.kind} db{event.shard}",
+                        lambda e=event: set_storage_fault(
+                            e.kind, e.shard, False
+                        ),
+                    )
+            elif event.kind == "crash":
                 self._arm(schedule_at, event.at, f"crash db{event.shard}",
                           lambda e=event: crash_shard(e.shard))
             elif event.kind == "slow":

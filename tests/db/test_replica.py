@@ -275,3 +275,70 @@ class TestRouterIntegration:
         rows = conn.query("SELECT v FROM kv WHERE k = ?", 1)
         assert [r.as_tuple() for r in rows] == [(111,)]
         assert conn.replica_read_count == offloaded + 1
+
+
+class TestLogRetentionAndTruncation:
+    def test_truncate_below_keeps_lsn_numbering(self):
+        primary, group = make_group(n_replicas=1)
+        for k in range(4):
+            commit_rows(primary, [(k, k)])
+        assert group.log.tip == 4
+        assert group.log.truncate_below(2) == 2
+        assert group.log.base_lsn == 2
+        assert group.log.tip == 4  # truncation never renumbers
+        assert group.log.stats.truncated == 2
+        assert [e.lsn for e in group.log.entries_after(2)] == [3, 4]
+        # Idempotent below the base.
+        assert group.log.truncate_below(1) == 0
+
+    def test_entries_after_below_base_requires_resync(self):
+        primary, group = make_group(n_replicas=1)
+        for k in range(3):
+            commit_rows(primary, [(k, k)])
+        group.log.truncate_below(2)
+        with pytest.raises(ShardError) as err:
+            group.log.entries_after(0)
+        assert "resync" in str(err.value)
+
+    def test_retention_bounds_the_log_when_replicas_keep_up(self):
+        primary, group = make_group(n_replicas=2)
+        group.retention = 2
+        for k in range(10):
+            commit_rows(primary, [(k, k)])
+        # Every replica applied everything, so truncation runs to the
+        # tip whenever the log exceeds the retention window.
+        assert len(group.log.entries) <= 2
+        assert group.log.stats.truncated >= 8
+        group.assert_replicas_consistent()
+
+    def test_partitioned_replica_does_not_pin_the_log(self):
+        primary, group = make_group(n_replicas=2)
+        group.retention = 2
+        group.set_replica_connected(1, False)
+        for k in range(6):
+            commit_rows(primary, [(k, k)])
+        # The floor is the *connected* minimum: replica 0's position.
+        assert group.log.base_lsn == 6
+        assert group.replicas[1].applied_lsn == 0
+        # Reconnect: its position is below the base, so catch-up is a
+        # full resync instead of an impossible replay.
+        group.set_replica_connected(1, True)
+        assert group.stats.resyncs == 1
+        assert group.replicas[1].applied_lsn == 6
+        group.assert_replicas_consistent()
+
+    def test_fully_partitioned_group_truncates_nothing(self):
+        primary, group = make_group(n_replicas=2)
+        group.retention = 1
+        group.set_replica_connected(0, False)
+        group.set_replica_connected(1, False)
+        for k in range(5):
+            commit_rows(primary, [(k, k)])
+        # Dropping entries nobody applied would force resyncs on every
+        # reconnect; the policy waits for at least one connected peer.
+        assert group.log.base_lsn == 0
+        assert len(group.log.entries) == 5
+        group.set_replica_connected(0, True)
+        group.set_replica_connected(1, True)
+        assert group.stats.resyncs == 0  # plain catch-up sufficed
+        group.assert_replicas_consistent()

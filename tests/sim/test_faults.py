@@ -196,3 +196,87 @@ class TestShardSlowdown:
             cluster.set_shard_slowdown(7, 2.0)
         with pytest.raises(ValueError, match="positive"):
             cluster.set_shard_slowdown(0, 0.0)
+
+
+class TestStorageFaultSpecs:
+    def test_tornwrite_spec(self):
+        event = parse_fault_spec("tornwrite:db0@5")
+        assert (event.kind, event.shard, event.at) == ("tornwrite", 0, 5.0)
+        assert event.until is None
+
+    def test_corrupt_spec(self):
+        event = parse_fault_spec("corrupt:db1@3")
+        assert (event.kind, event.shard, event.at) == ("corrupt", 1, 3.0)
+
+    def test_fsyncfail_takes_until(self):
+        event = parse_fault_spec("fsyncfail:db0@2:until=6")
+        assert event.kind == "fsyncfail"
+        assert (event.at, event.until) == (2.0, 6.0)
+
+    def test_open_ended_fsyncfail(self):
+        assert parse_fault_spec("fsyncfail:db1@4").until is None
+
+    @pytest.mark.parametrize("spec", [
+        "tornwrite:db0@5:until=8",   # one-shot faults take no window
+        "corrupt:db1@3:until=4",
+        "tornwrite:db0@5x2",         # and no factor
+    ])
+    def test_windows_rejected_on_one_shot_faults(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(spec)
+
+    def test_until_rejected_on_event_too(self):
+        with pytest.raises(ValueError, match="'until'"):
+            FaultEvent(kind="corrupt", shard=0, at=1.0, until=2.0)
+
+
+class TestStorageFaultScheduling:
+    def _hooks(self, log):
+        return dict(
+            crash_shard=lambda s: log.append(("crash", s)),
+            set_shard_slowdown=lambda s, f: log.append(("slow", s, f)),
+            set_shard_partition=lambda s, d: log.append(("part", s, d)),
+        )
+
+    def test_storage_events_need_a_hook(self):
+        injector = FaultInjector([parse_fault_spec("tornwrite:db0@1")])
+        with pytest.raises(ValueError, match="set_storage_fault"):
+            injector.schedule(
+                EventLoop().schedule_at, **self._hooks([])
+            )
+
+    def test_non_storage_events_do_not_need_the_hook(self):
+        loop = EventLoop()
+        log = []
+        injector = FaultInjector([parse_fault_spec("crash:db0@1")])
+        injector.schedule(loop.schedule_at, **self._hooks(log))
+        loop.run(until=5.0)
+        assert log == [("crash", 0)]
+
+    def test_storage_faults_compose_with_crash_and_partition(self):
+        loop = EventLoop()
+        log = []
+        injector = FaultInjector([
+            parse_fault_spec("tornwrite:db0@1"),
+            parse_fault_spec("fsyncfail:db1@2:until=4"),
+            parse_fault_spec("partition:db0@3:until=5"),
+            parse_fault_spec("corrupt:db1@6"),
+        ])
+        hooks = self._hooks(log)
+        hooks["set_storage_fault"] = (
+            lambda kind, shard, active: log.append((kind, shard, active))
+        )
+        injector.schedule(loop.schedule_at, **hooks)
+        loop.run(until=10.0)
+        assert log == [
+            ("tornwrite", 0, True),
+            ("fsyncfail", 1, True),
+            ("part", 0, True),
+            ("fsyncfail", 1, False),  # until= heals the fsync fault
+            ("part", 0, False),
+            ("corrupt", 1, True),
+        ]
+        assert [label for _, label in injector.fired] == [
+            "tornwrite db0", "fsyncfail db1", "partition db0",
+            "heal fsyncfail db1", "heal db0", "corrupt db1",
+        ]
