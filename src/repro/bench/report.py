@@ -12,6 +12,7 @@ from repro.bench.experiments import (
 )
 from repro.bench.serve_experiments import (
     FailoverRunResult,
+    HtapRunResult,
     RepartitionRunResult,
     ServeSwitchResult,
     ShardSweepResult,
@@ -221,6 +222,42 @@ def format_serve_failover(result: FailoverRunResult) -> str:
         "replica groups: "
         + ("bit-identical after catch-up"
            if result.replicas_consistent else "DIVERGED")
+    )
+    return "\n".join(lines)
+
+
+def format_serve_htap(result: HtapRunResult) -> str:
+    """HTAP run: OLTP cost of the concurrent analytics sessions."""
+    lines = [
+        f"== serve htap: tpcc ({result.clients} clients, analytics "
+        f"every {result.analytics_interval:g}s reserving "
+        f"{100 * result.analytics_load:.0f}% of DB cores for "
+        f"{result.report_window:g}s) =="
+    ]
+    lines.append(
+        f"throughput: {result.oltp_only_throughput:.1f} txn/s OLTP-only "
+        f"-> {result.htap_throughput:.1f} txn/s with analytics "
+        f"({100 * result.degradation:.1f}% degradation)"
+    )
+    lines.append(
+        f"analytics: {result.reports_run} report(s), "
+        f"{result.analytics_rows_scanned} mirror row(s) scanned, "
+        f"{result.district_groups} district group(s)"
+    )
+    for i_id, name, qty in result.best_sellers:
+        lines.append(f"  best seller: {name} (item {i_id}) sold {qty}")
+    counters = result.mirror_counters
+    if counters:
+        lines.append(
+            f"mirror: {counters['mirrored_tables']} table(s), "
+            f"{counters['mirrored_rows']} row(s), "
+            f"{counters['commits_applied']} commit(s) / "
+            f"{counters['ops_applied']} op(s) applied"
+        )
+    lines.append(
+        "columnar copy: "
+        + ("bit-identical to the row store"
+           if result.mirrors_consistent else "DIVERGED")
     )
     return "\n".join(lines)
 

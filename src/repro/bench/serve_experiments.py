@@ -1016,3 +1016,180 @@ def serve_repartition(
                 shifting.service.stats.snapshot()
             )
     return result
+
+
+# ---------------------------------------------------------------------------
+# HTAP: analytical sessions on the columnar mirror alongside OLTP
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HtapRunResult:
+    """OLTP throughput with and without concurrent analytics.
+
+    The analytical sessions never touch the row store: they scan the
+    :class:`~repro.db.htap.HtapMirror` columnar copy that the redo
+    stream maintains, so the only OLTP cost is the DB CPU the reports
+    reserve while they run.  ``degradation`` is the fraction of
+    OLTP-only throughput lost to that reservation.
+    """
+
+    clients: int
+    duration: float
+    analytics_interval: float
+    report_window: float
+    analytics_load: float
+    oltp_only_throughput: float = 0.0
+    htap_throughput: float = 0.0
+    reports_run: int = 0
+    analytics_rows_scanned: int = 0
+    best_sellers: list = field(default_factory=list)
+    district_groups: int = 0
+    mirror_counters: dict = field(default_factory=dict)
+    mirrors_consistent: bool = False
+    metrics: Optional[dict] = None
+    metrics_json: Optional[str] = None
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degradation(self) -> float:
+        if self.oltp_only_throughput <= 0:
+            return 0.0
+        return max(
+            0.0, 1.0 - self.htap_throughput / self.oltp_only_throughput
+        )
+
+
+HTAP_MIRROR_TABLES = ("order_line", "item", "district")
+
+
+def serve_htap(
+    fast: bool = True,
+    clients: int = 32,
+    db_cores: int = 4,
+    duration: Optional[float] = None,
+    think_time: float = 0.02,
+    seed: int = 23,
+    analytics_interval: Optional[float] = None,
+    report_window: Optional[float] = None,
+    analytics_load: float = 0.25,
+    tracing: bool = False,
+) -> HtapRunResult:
+    """Run TPC-C OLTP with and without concurrent analytical sessions.
+
+    Two identically seeded serve runs: the baseline drives the adaptive
+    TPC-C mix alone; the HTAP run additionally attaches an
+    :class:`~repro.db.htap.HtapMirror` to every partition option's
+    database and schedules recurring analytic client sessions.  Each
+    session executes the TPC-W-style best-seller report (order_line x
+    item join, GROUP BY, top-k) and the full-table district-volume
+    GROUP BY against the columnar mirror -- real scans over the data
+    the OLTP mix is mutating -- and reserves ``analytics_load`` of the
+    DB cores for ``report_window`` virtual seconds, modelling the CPU
+    the analytical query steals from the transactional tier.  Because
+    the mirror serves the scans lock-free, that reservation is the
+    *entire* interference channel; the acceptance bar is <= 10%
+    throughput degradation.
+    """
+    from repro.db.htap import HtapMirror, TpccAnalytics
+
+    duration = duration if duration is not None else (12.0 if fast else 40.0)
+    poll = duration / 10.0
+    interval = (
+        analytics_interval if analytics_interval is not None
+        else duration / 8.0
+    )
+    window = report_window if report_window is not None else interval / 10.0
+    if not 0.0 <= analytics_load <= 1.0:
+        raise ValueError("analytics_load must be in [0, 1]")
+    if window >= interval:
+        raise ValueError("report_window must be shorter than the interval")
+
+    result = HtapRunResult(
+        clients=clients, duration=duration,
+        analytics_interval=interval, report_window=window,
+        analytics_load=analytics_load,
+    )
+
+    def one_run(with_htap: bool):
+        built = make_tpcc_workload(
+            db_cores=db_cores, seed=seed, pool_size=6 if fast else 16,
+        )
+        engine = ServeEngine(
+            built.workload,
+            AdaptiveController(n_options=2, poll_interval=poll),
+            ServeConfig(
+                app_cores=8, db_cores=db_cores, network=built.network,
+                think_time=think_time, seed=seed,
+                warmup=min(2 * poll, duration / 4.0),
+                ramp=min(think_time, duration / 10.0),
+            ),
+            tracing=tracing and with_htap,
+        )
+        engine.attach_backends(built.databases, built.clusters)
+        sessions: list[TpccAnalytics] = []
+        if with_htap:
+            for opt in built.workload.options:
+                mirror = HtapMirror(
+                    opt.app.connection.database, HTAP_MIRROR_TABLES
+                ).attach()
+                sessions.append(TpccAnalytics(mirror))
+
+            def analytic_session() -> None:
+                if engine.now >= duration:
+                    return  # run is over: let the loop drain
+                for analytics in sessions:
+                    analytics.best_sellers()
+                    analytics.district_volume()
+                engine.set_db_external_load(analytics_load)
+                engine.schedule(
+                    window, lambda: engine.set_db_external_load(0.0)
+                )
+                engine.schedule(interval, analytic_session)
+
+            engine.schedule(interval, analytic_session)
+        run = engine.run(
+            clients=clients, duration=duration,
+            name="htap" if with_htap else "oltp_only",
+        )
+        return built, engine, run, sessions
+
+    _, _, baseline, _ = one_run(with_htap=False)
+    result.oltp_only_throughput = baseline.throughput
+
+    built, engine, run, sessions = one_run(with_htap=True)
+    result.htap_throughput = run.throughput
+    result.metrics = run.metrics
+    result.metrics_json = render_metrics(
+        run.metrics,
+        meta={"scenario": "htap", "seed": seed, "clients": clients},
+    )
+    result.reports_run = sum(s.reports_run for s in sessions)
+    result.analytics_rows_scanned = sum(s.rows_scanned for s in sessions)
+    # Final reports from the first option's mirror: the analytics path
+    # produced real answers over the freshly mutated data.
+    primary = sessions[0]
+    result.best_sellers = primary.best_sellers(k=5)
+    result.district_groups = len(primary.district_volume())
+    result.mirror_counters = primary.mirror.snapshot_counters()
+    # Acceptance: after the run drains, every mirror is byte-equal to
+    # its row store -- the redo stream kept the columnar copy exact.
+    for session in sessions:
+        mirror = session.mirror
+        for name in HTAP_MIRROR_TABLES:
+            table = mirror.table(name)
+            mirrored = {
+                rowid: table.row(pos)
+                for pos, rowid in enumerate(table.rowids)
+            }
+            if mirrored != dict(mirror.database.table(name).scan()):
+                result.notes["mirror_divergence"] = name
+                return result
+    result.mirrors_consistent = True
+    result.notes.update(
+        db_cores=db_cores, think_time=think_time, seed=seed,
+        warehouses=built.notes.get("warehouses"),
+        completed=run.completed, rejected=run.rejected,
+        live_executions=run.live_executions,
+    )
+    return result

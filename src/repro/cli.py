@@ -162,6 +162,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ("--switching", args.switching),
             ("--repartition", args.repartition),
             ("--shard-sweep", args.shard_sweep),
+            ("--htap", args.htap),
             ("--wal", bool(args.wal)),
             ("--inject", bool(args.inject) and not args.wal),
         ) if on
@@ -301,6 +302,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(result.metrics_json or "")
             print(f"metrics written to {args.metrics_out}")
+        return 0
+
+    if args.htap:
+        if args.workload != "tpcc":
+            print("error: --htap runs the TPC-C workload; "
+                  f"--workload {args.workload} has no analytics suite",
+                  file=sys.stderr)
+            return 2
+        if args.shards != 1:
+            print("error: --htap mirrors the single-server tier; "
+                  "drop --shards", file=sys.stderr)
+            return 2
+        db_cores = args.db_cores if args.db_cores is not None else 4
+        try:
+            clients = (
+                int(args.clients.split(",")[0]) if args.clients else 32
+            )
+        except ValueError:
+            print(f"error: --clients must be an int for --htap, "
+                  f"got {args.clients!r}", file=sys.stderr)
+            return 2
+        try:
+            result = serve_mod.serve_htap(
+                fast=args.fast,
+                clients=clients,
+                db_cores=db_cores,
+                duration=args.duration,
+                think_time=args.think if args.think is not None else 0.02,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report_mod.format_serve_htap(result))
         return 0
 
     if args.shard_sweep:
@@ -583,6 +618,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-sweep", action="store_true",
         help="sweep the shard count (1 -> --shards, default 4) at a "
              "fixed client population and report the scaling curve",
+    )
+    p_serve.add_argument(
+        "--htap", action="store_true",
+        help="run the hybrid OLTP+analytics scenario: TPC-C with "
+             "recurring analytical sessions (best-seller report, "
+             "district GROUP BY) served by a redo-maintained columnar "
+             "mirror, reporting the OLTP throughput cost",
     )
     p_serve.add_argument(
         "--switching", action="store_true",

@@ -55,6 +55,8 @@ from repro.db.sql import (
     compile_plan,
     resolve_sql_exec_mode,
 )
+from repro.db.mvcc import MvccState
+from repro.db.htap import ColumnTable, HtapMirror, TpccAnalytics
 from repro.db.txn import (
     LockManager,
     LockMode,
@@ -124,6 +126,10 @@ __all__ = [
     "resolve_sql_exec_mode",
     "LockManager",
     "LockMode",
+    "MvccState",
+    "ColumnTable",
+    "HtapMirror",
+    "TpccAnalytics",
     "Transaction",
     "ShardError",
     "ShardRoutingError",

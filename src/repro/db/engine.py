@@ -434,6 +434,35 @@ class Database:
         # on commit.  None on unreplicated databases: the redo path
         # costs nothing unless replication is on.
         self.redo_collector: Optional[Callable[[list], int]] = None
+        # Multi-version state (repro.db.mvcc.MvccState) once snapshot
+        # reads are enabled; None keeps the engine purely lock-based
+        # with zero version-tracking overhead.
+        self.mvcc: Optional[Any] = None
+
+    def enable_mvcc(self):
+        """Turn on snapshot-isolation support (idempotent).
+
+        Call before opening writer transactions: each transaction
+        binds the MVCC state at ``begin``, so writers started earlier
+        would not report their uncommitted rows to snapshot readers.
+        """
+        if self.mvcc is None:
+            from repro.db.mvcc import MvccState
+
+            self.mvcc = MvccState(self)
+        return self.mvcc
+
+    def adopt_table(self, schema: TableSchema) -> Table:
+        """Register an empty table around an existing schema object.
+
+        Snapshot reconstruction builds per-transaction table copies
+        that must plan/compile exactly like the originals, so the
+        schema is shared rather than re-declared column by column.
+        """
+        self.catalog.add(schema)
+        table = Table(schema)
+        self._tables[schema.name.lower()] = table
+        return table
 
     def create_table(
         self,

@@ -370,7 +370,13 @@ class Connection:
             txn = Transaction(self.database, self.lock_manager)
             auto = True
         try:
-            if prepared.compiled is not None:
+            if (
+                txn is not None
+                and txn.snapshot_ts is not None
+                and prepared.is_query
+            ):
+                result = self._snapshot_query(prepared, params, txn)
+            elif prepared.compiled is not None:
                 result = prepared.compiled.run(params, txn)
             else:
                 result = self.executor.execute(prepared.plan, params, txn)
@@ -399,6 +405,52 @@ class Connection:
             return ResultSet(result)
         return result.rowcount
 
+    def _snapshot_query(
+        self,
+        prepared: PreparedStatement,
+        params: Sequence[Any],
+        txn: Transaction,
+    ) -> StatementResult:
+        """Run a SELECT as of the transaction's pinned snapshot.
+
+        Fast path: when every table the plan touches is *clean* (no
+        version committed after the snapshot, no uncommitted writer),
+        the live tables already are the snapshot state and the
+        statement runs through the connection's normal rung -- which
+        is what makes a serial schedule bit-identical to the
+        lock-based engine.  Divergent tables are reconstructed once
+        per transaction into a private snapshot database and the
+        statement is re-prepared against it under the same executor
+        mode, so all three rungs serve snapshot-visible scans.
+        """
+        mvcc = self.database.mvcc
+        names = [access.table_name for access in prepared.plan.tables]
+        if all(
+            mvcc.table_is_clean(name, txn.snapshot_ts, txn.id)
+            for name in names
+        ):
+            if prepared.compiled is not None:
+                return prepared.compiled.run(params, txn)
+            return self.executor.execute(prepared.plan, params, txn)
+        conn = txn.snapshot_conn
+        if conn is None:
+            txn.snapshot_db = Database(f"{self.database.name}@snapshot")
+            conn = Connection(
+                txn.snapshot_db, None, sql_exec=self.sql_exec
+            )
+            txn.snapshot_conn = conn
+        for name in names:
+            lowered = name.lower()
+            if lowered not in txn.snapshot_tables:
+                mvcc.materialize(
+                    txn.snapshot_db, name, txn.snapshot_ts, txn.id
+                )
+                txn.snapshot_tables.add(lowered)
+        snap_prepared = conn.prepare(prepared.sql)
+        if snap_prepared.compiled is not None:
+            return snap_prepared.compiled.run(params, None)
+        return conn.executor.execute(snap_prepared.plan, params, None)
+
     def query(self, sql: str, *params: Any) -> ResultSet:
         """Parse (cached), plan and run a SELECT."""
         return self.prepare(sql).query(*params)
@@ -422,11 +474,15 @@ class Connection:
 
     # -- transactions ---------------------------------------------------------------
 
-    def begin(self) -> Transaction:
+    def begin(self, *, snapshot: bool = False) -> Transaction:
+        """Open a transaction; ``snapshot=True`` pins a read-only
+        snapshot-isolation transaction that takes no locks."""
         self._check_open()
         if self._txn is not None:
             raise TransactionError("a transaction is already open")
-        self._txn = Transaction(self.database, self.lock_manager)
+        self._txn = Transaction(
+            self.database, self.lock_manager, snapshot=snapshot
+        )
         return self._txn
 
     @property

@@ -132,8 +132,23 @@ class LockManager:
         if self._can_grant(state, txn_id, mode):
             state.holders[txn_id] = mode
             self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            # A compatible request can be granted past queued waiters
+            # (S alongside S holders); those waiters are now blocked
+            # by this holder too and need wait-for edges to it, or a
+            # later cycle closes undetected.
+            self._refresh_waiter_edges(state)
             return True
         return self._enqueue(txn_id, resource, mode, state, wait)
+
+    def _refresh_waiter_edges(self, state: _LockState) -> None:
+        """Point every queued waiter's wait-for edges at the current
+        holder set.  Callers invoke this whenever the holders of a
+        resource change while its queue is non-empty; stale or missing
+        edges turn detectable deadlocks into permanent stalls."""
+        for txn_id, _ in state.waiters:
+            blockers = {t for t in state.holders if t != txn_id}
+            if blockers:
+                self._waits_for.setdefault(txn_id, set()).update(blockers)
 
     def _enqueue(
         self,
@@ -184,8 +199,24 @@ class LockManager:
 
         Returns the list of (txn_id, resource) grants made, so a
         cooperative scheduler can resume the lucky waiters.
+
+        The released transaction's own queued requests and wait-for
+        edges are purged *before* any waiter is granted: granting
+        first could hand a queued S->X upgrade back to the departing
+        transaction, re-populating ``_held_by_txn`` after the pop (a
+        permanently leaked lock) and firing ``grant_callback`` for a
+        transaction that no longer exists.
         """
         grants: list[tuple[int, Resource]] = []
+        self._waits_for.pop(txn_id, None)
+        for waiter_edges in self._waits_for.values():
+            waiter_edges.discard(txn_id)
+        self._waits_for = {k: v for k, v in self._waits_for.items() if v}
+        for state in self._locks.values():
+            if any(t == txn_id for t, _ in state.waiters):
+                state.waiters = deque(
+                    (t, m) for t, m in state.waiters if t != txn_id
+                )
         resources = self._held_by_txn.pop(txn_id, set())
         for resource in list(resources):
             state = self._locks.get(resource)
@@ -193,31 +224,47 @@ class LockManager:
                 continue
             state.holders.pop(txn_id, None)
             grants.extend(self._grant_waiters(resource, state))
-            if not state.holders and not state.waiters:
-                del self._locks[resource]
-        # Remove wait-for edges pointing at the released transaction and
-        # any queued requests it had outstanding.
-        for waiter_edges in self._waits_for.values():
-            waiter_edges.discard(txn_id)
-        self._waits_for.pop(txn_id, None)
-        self._waits_for = {k: v for k, v in self._waits_for.items() if v}
         for resource, state in list(self._locks.items()):
-            state.waiters = deque(
-                (t, m) for t, m in state.waiters if t != txn_id
-            )
             if not state.holders and not state.waiters:
                 del self._locks[resource]
         return grants
+
+    def _next_grantable(self, state: _LockState) -> Optional[int]:
+        """Index of the queued request to grant next, or ``None``.
+
+        Upgrade requests (the waiter already holds S and asks for X)
+        get queue priority: an upgrader can never be granted while it
+        sits behind another transaction's X request -- its own S hold
+        blocks that request -- and the wait-for graph only tracks
+        holders, so leaving it mid-queue is an undetectable permanent
+        stall.  Fresh requests stay FIFO: only the queue head is
+        considered, so granted S batches never starve a queued X.
+        """
+        for index, (txn_id, mode) in enumerate(state.waiters):
+            upgrade = (
+                state.holders.get(txn_id) is LockMode.SHARED
+                and mode is LockMode.EXCLUSIVE
+            )
+            if upgrade and self._can_grant(state, txn_id, mode):
+                return index
+        if state.waiters:
+            txn_id, mode = state.waiters[0]
+            if txn_id not in state.holders and self._can_grant(
+                state, txn_id, mode
+            ):
+                return 0
+        return None
 
     def _grant_waiters(
         self, resource: Resource, state: _LockState
     ) -> list[tuple[int, Resource]]:
         grants: list[tuple[int, Resource]] = []
         while state.waiters:
-            txn_id, mode = state.waiters[0]
-            if not self._can_grant(state, txn_id, mode):
+            index = self._next_grantable(state)
+            if index is None:
                 break
-            state.waiters.popleft()
+            txn_id, mode = state.waiters[index]
+            del state.waiters[index]
             held = state.holders.get(txn_id)
             if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
                 state.holders[txn_id] = LockMode.EXCLUSIVE
@@ -231,8 +278,8 @@ class LockManager:
             grants.append((txn_id, resource))
             if self.grant_callback is not None:
                 self.grant_callback(txn_id, resource)
-            if mode is LockMode.EXCLUSIVE:
-                break
+        # Grants rewire who blocks whom for the waiters left behind.
+        self._refresh_waiter_edges(state)
         return grants
 
 
@@ -259,6 +306,7 @@ class Transaction:
         lock_manager: Optional[LockManager] = None,
         *,
         wait_for_locks: bool = False,
+        snapshot: bool = False,
     ) -> None:
         self.id = next(Transaction._ids)
         self.database = database
@@ -273,6 +321,23 @@ class Transaction:
             [] if database.redo_collector is not None else None
         )
         self.last_commit_lsn: Optional[int] = None
+        # MVCC: a snapshot transaction pins its read timestamp at
+        # begin, never takes locks, and is read-only; a writer under
+        # MVCC registers its undo log so snapshot readers can strip
+        # uncommitted rows.  ``_mvcc`` is bound once -- enable MVCC on
+        # the database before opening transactions.
+        if snapshot:
+            self._mvcc = database.enable_mvcc()
+            self.snapshot_ts: Optional[int] = self._mvcc.pin()
+        else:
+            self._mvcc = database.mvcc
+            self.snapshot_ts = None
+        self._mvcc_registered = False
+        # Per-transaction snapshot reconstruction cache, managed by the
+        # connection layer (repro.db.jdbc) for divergent tables.
+        self.snapshot_db: Optional[Database] = None
+        self.snapshot_conn = None
+        self.snapshot_tables: set[str] = set()
 
     # -- lock helpers ------------------------------------------------------------
 
@@ -289,6 +354,12 @@ class Transaction:
 
     def lock_table(self, table: str, *, exclusive: bool = True) -> None:
         self._check_active()
+        if self.snapshot_ts is not None:
+            if exclusive:
+                raise TransactionError(
+                    f"snapshot transaction {self.id} is read-only"
+                )
+            return  # snapshot readers never take read locks
         if self.lock_manager is None:
             return
         mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
@@ -300,6 +371,12 @@ class Transaction:
 
     def lock_row(self, table: str, rowid: int, *, exclusive: bool = True) -> None:
         self._check_active()
+        if self.snapshot_ts is not None:
+            if exclusive:
+                raise TransactionError(
+                    f"snapshot transaction {self.id} is read-only"
+                )
+            return  # snapshot readers never take read locks
         if self.lock_manager is None:
             return
         mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
@@ -312,8 +389,22 @@ class Transaction:
 
     # -- undo ---------------------------------------------------------------------
 
+    def _register_mvcc(self) -> None:
+        """First-mutation MVCC bookkeeping: reject writes on snapshot
+        (read-only) transactions and expose this writer's undo log to
+        snapshot readers."""
+        if self.snapshot_ts is not None:
+            raise TransactionError(
+                f"snapshot transaction {self.id} is read-only"
+            )
+        if not self._mvcc_registered:
+            self._mvcc.register(self)
+            self._mvcc_registered = True
+
     def record_undo(self, record: UndoRecord) -> None:
         self._check_active()
+        if self._mvcc is not None:
+            self._register_mvcc()
         self._undo.append(record)
         if self._redo is not None:
             self._capture_redo(record)
@@ -322,6 +413,8 @@ class Transaction:
         """Append a statement's undo records in one call (the compiled
         executor batches per statement instead of appending per row)."""
         self._check_active()
+        if self._mvcc is not None:
+            self._register_mvcc()
         if self._redo is None:
             self._undo.extend(records)
             return
@@ -335,6 +428,8 @@ class Transaction:
         calls :meth:`ensure_active` (or acquires a lock, which checks)
         earlier in the same statement, and the state cannot change
         mid-statement in this single-threaded runtime."""
+        if self._mvcc is not None:
+            self._register_mvcc()
         self._undo.append(record)
         if self._redo is not None:
             self._capture_redo(record)
@@ -400,6 +495,14 @@ class Transaction:
             if collector is not None:
                 self.last_commit_lsn = collector(self._redo)
             self._redo = []
+        if self._mvcc is not None:
+            if self.snapshot_ts is not None:
+                self._mvcc.unpin(self.snapshot_ts)
+                self.snapshot_ts = None
+            else:
+                # Stamp before-images with the commit timestamp while
+                # the undo log still holds them.
+                self._mvcc.note_commit(self)
         self._undo.clear()
         self.state = TxnState.COMMITTED
         if self.lock_manager is not None:
@@ -420,6 +523,14 @@ class Transaction:
             table.undo(record, defer_reorder=True)
         for table in touched.values():
             table.ensure_scan_order()
+        if self._mvcc is not None:
+            if self.snapshot_ts is not None:
+                self._mvcc.unpin(self.snapshot_ts)
+                self.snapshot_ts = None
+            else:
+                # The in-place undo above restored the live rows, so
+                # readers no longer need this writer's before-images.
+                self._mvcc.forget(self)
         self._undo.clear()
         self.state = TxnState.ABORTED
         if self.lock_manager is not None:

@@ -4,8 +4,8 @@ The open-loop simulator, the serving engine and the benchmark reports
 all roll samples up into the same p50/p95/p99 view; this module is the
 single implementation they share (``sim.metrics`` re-exports it for
 backwards compatibility).  The percentile is the nearest-rank variant
-the paper's plots use: index ``int(p/100 * n)`` into the sorted
-samples, clamped to the last element.
+the paper's plots use: 1-based rank ``ceil(p/100 * n)`` into the
+sorted samples, clamped to the valid index range.
 """
 
 from __future__ import annotations
@@ -39,8 +39,8 @@ def percentile(samples: Sequence[float], p: float, *,
     if not samples:
         return 0.0
     ordered = samples if presorted else sorted(samples)
-    idx = min(int(p / 100.0 * len(ordered)), len(ordered) - 1)
-    return ordered[idx]
+    idx = max(math.ceil(p / 100.0 * len(ordered)) - 1, 0)
+    return ordered[min(idx, len(ordered) - 1)]
 
 
 def summarize(samples: Sequence[float]) -> Summary:

@@ -1,0 +1,152 @@
+"""Property test: random lock schedules against the LockManager.
+
+Drives seeded random acquire/upgrade/release schedules and checks,
+after every step, the two invariants the PR-10 lock fixes pin:
+
+(a) no resource is ever held (or queued for) by a finished
+    transaction -- ``release_all`` must purge the departing txn's own
+    queued requests before granting anything;
+(b) the manager is always *saturated*: no queued request that the
+    grant policy says is grantable (an upgrade with no other holders,
+    or a compatible queue head) is left waiting.  Together with
+    deadlock detection this gives liveness -- every blocked schedule
+    either makes progress after some release or raises
+    ``DeadlockError``.
+"""
+
+import random
+
+import pytest
+
+from repro.db.errors import DeadlockError
+from repro.db.txn import LockManager, LockMode
+
+RESOURCES = ["a", "b", "c"]
+MAX_ALIVE = 6
+STEPS = 300
+
+
+class _Harness:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.lm = LockManager()
+        self.next_id = 1
+        self.alive: set[int] = set()
+        self.blocked: set[int] = set()
+        self.finished: set[int] = set()
+        self.lm.grant_callback = self._on_grant
+
+    def _on_grant(self, txn_id: int, resource) -> None:
+        assert txn_id not in self.finished, (
+            f"grant_callback fired for finished txn {txn_id} on {resource}"
+        )
+        self.blocked.discard(txn_id)
+
+    # -- schedule actions ---------------------------------------------------
+
+    def begin(self) -> None:
+        self.alive.add(self.next_id)
+        self.next_id += 1
+
+    def acquire(self, txn_id: int) -> None:
+        resource = self.rng.choice(RESOURCES)
+        mode = self.rng.choice([LockMode.SHARED, LockMode.EXCLUSIVE])
+        try:
+            granted = self.lm.acquire(txn_id, resource, mode)
+        except DeadlockError as exc:
+            assert txn_id in exc.cycle or txn_id == exc.args[0]
+            self.finish(txn_id)  # victim aborts
+            return
+        if not granted:
+            self.blocked.add(txn_id)
+
+    def finish(self, txn_id: int) -> None:
+        self.finished.add(txn_id)
+        self.alive.discard(txn_id)
+        self.blocked.discard(txn_id)
+        self.lm.release_all(txn_id)
+
+    def step(self) -> None:
+        runnable = sorted(self.alive - self.blocked)
+        choices = []
+        if len(self.alive) < MAX_ALIVE:
+            choices.append("begin")
+        if runnable:
+            choices.extend(["acquire"] * 4)
+        if self.alive:
+            choices.append("finish")
+        if not choices:
+            choices = ["begin"]
+        action = self.rng.choice(choices)
+        if action == "begin":
+            self.begin()
+        elif action == "acquire":
+            self.acquire(self.rng.choice(runnable))
+        else:
+            self.finish(self.rng.choice(sorted(self.alive)))
+        self.check_invariants()
+
+    # -- invariants ---------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        for txn_id in self.finished:
+            assert not self.lm.held_by(txn_id)
+        for resource in RESOURCES:
+            holders = self.lm.holders(resource)
+            waiters = self.lm.waiting(resource)
+            for txn_id in holders:
+                assert txn_id not in self.finished, (
+                    f"finished txn {txn_id} still holds {resource}"
+                )
+                assert resource in self.lm.held_by(txn_id)
+            for txn_id, _ in waiters:
+                assert txn_id not in self.finished, (
+                    f"finished txn {txn_id} still queued on {resource}"
+                )
+            self._check_saturated(resource, holders, waiters)
+        # Progress: if anything is alive, something must be runnable --
+        # an all-blocked schedule would mean an undetected deadlock.
+        if self.alive:
+            assert self.alive - self.blocked, (
+                "every live txn is blocked and no DeadlockError was raised"
+            )
+
+    def _check_saturated(self, resource, holders, waiters) -> None:
+        for txn_id, mode in waiters:
+            others = {t: m for t, m in holders.items() if t != txn_id}
+            upgrade = (
+                holders.get(txn_id) is LockMode.SHARED
+                and mode is LockMode.EXCLUSIVE
+            )
+            if upgrade and not others:
+                pytest.fail(
+                    f"grantable upgrade for txn {txn_id} left queued "
+                    f"on {resource}"
+                )
+        if waiters:
+            head_txn, head_mode = waiters[0]
+            if head_txn not in holders:
+                compatible = not holders or (
+                    head_mode is LockMode.SHARED
+                    and all(m is LockMode.SHARED for m in holders.values())
+                )
+                if compatible:
+                    pytest.fail(
+                        f"grantable head waiter {head_txn} left queued "
+                        f"on {resource}"
+                    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_schedules_hold_lock_invariants(seed):
+    harness = _Harness(seed)
+    for _ in range(STEPS):
+        harness.step()
+    # Drain: finish everything; the manager must come back empty.
+    for txn_id in sorted(harness.alive, key=lambda t: harness.rng.random()):
+        harness.finish(txn_id)
+        harness.check_invariants()
+    assert harness.lm.wait_for_edges() == {}
+    for resource in RESOURCES:
+        assert harness.lm.holders(resource) == {}
+        assert harness.lm.waiting(resource) == []

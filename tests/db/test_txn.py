@@ -128,6 +128,64 @@ class TestLockManager:
         assert lm.holders("r") == {}
 
 
+class TestLockManagerRegressions:
+    """Pin the two lock-manager bugs found during the MVCC audit."""
+
+    def test_release_never_grants_back_to_released_txn(self):
+        """release_all must purge the departing txn's queued requests
+        *before* granting: 1 holds S with its own queued S->X upgrade;
+        once the queue drains down to that upgrade, releasing 1 used to
+        grant the lock back to the finished txn (leaked forever)."""
+        lm = LockManager()
+        callbacks = []
+        lm.grant_callback = lambda t, r: callbacks.append((t, r))
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(2, "r", LockMode.SHARED)
+        assert lm.acquire(3, "r", LockMode.EXCLUSIVE) is False
+        assert lm.acquire(1, "r", LockMode.EXCLUSIVE) is False  # upgrade
+        lm.release_all(2)
+        lm.release_all(3)  # waiter gives up
+        seen_before_finish = len(callbacks)
+        grants = lm.release_all(1)
+        assert all(txn != 1 for txn, _ in grants)
+        assert all(txn != 1 for txn, _ in callbacks[seen_before_finish:])
+        assert 1 not in lm.holders("r")
+        assert not lm.held_by(1)
+        assert lm.waiting("r") == []
+
+    def test_upgrade_waiter_has_priority_over_queued_exclusive(self):
+        """An S->X upgrader queued behind another txn's X request used
+        to stall forever: the head X can't be granted while the
+        upgrader holds S, and the head blocked the scan."""
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(2, "r", LockMode.SHARED)
+        assert lm.acquire(3, "r", LockMode.EXCLUSIVE) is False
+        assert lm.acquire(1, "r", LockMode.EXCLUSIVE) is False  # upgrade
+        grants = lm.release_all(2)
+        assert grants == [(1, "r")]
+        assert lm.holders("r") == {1: LockMode.EXCLUSIVE}
+        assert lm.waiting("r") == [(3, LockMode.EXCLUSIVE)]
+        # The stalled chain drains cleanly once the upgrader finishes.
+        assert lm.release_all(1) == [(3, "r")]
+        assert lm.holders("r") == {3: LockMode.EXCLUSIVE}
+
+    def test_symmetric_upgraders_still_deadlock(self):
+        """Two S holders both requesting X wait on each other; the
+        second request must raise rather than queue."""
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(2, "r", LockMode.SHARED)
+        assert lm.acquire(1, "r", LockMode.EXCLUSIVE) is False
+        with pytest.raises(DeadlockError) as excinfo:
+            lm.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert set(excinfo.value.cycle) >= {1, 2}
+        # Victim aborts; the surviving upgrader gets its X.
+        grants = lm.release_all(2)
+        assert grants == [(1, "r")]
+        assert lm.holders("r") == {1: LockMode.EXCLUSIVE}
+
+
 class TestTransaction:
     def test_commit_clears_undo(self, db):
         txn = Transaction(db)

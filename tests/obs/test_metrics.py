@@ -100,9 +100,16 @@ class TestRegistry:
 class TestSummaryHelpers:
     def test_percentile_nearest_rank(self):
         samples = [float(i) for i in range(1, 101)]
-        assert percentile(samples, 50) == 51.0
-        assert percentile(samples, 99) == 100.0
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
         assert percentile([], 50) == 0.0
+
+    def test_percentile_two_samples(self):
+        # Nearest-rank p50 of two samples is the *smaller* one:
+        # rank = ceil(0.5 * 2) = 1 (1-based).
+        assert percentile([1.0, 9.0], 50) == 1.0
+        assert percentile([1.0, 9.0], 95) == 9.0
 
     def test_summarize_routes_through_percentile(self):
         samples = [1.0, 2.0, 3.0, 4.0]

@@ -132,6 +132,31 @@ class TestServeCommand:
         assert args.switching
         assert args.command == "serve"
 
+    def test_serve_htap_prints_report(self, capsys):
+        code = main([
+            "serve", "--htap", "--clients", "8", "--duration", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve htap: tpcc" in out
+        assert "degradation" in out
+        assert "bit-identical to the row store" in out
+
+    def test_serve_htap_excludes_other_scenarios(self, capsys):
+        code = main(["serve", "--htap", "--switching"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_htap_needs_single_server(self, capsys):
+        code = main(["serve", "--htap", "--shards", "2"])
+        assert code == 2
+        assert "single-server" in capsys.readouterr().err
+
+    def test_serve_htap_needs_tpcc(self, capsys):
+        code = main(["serve", "--htap", "--workload", "micro"])
+        assert code == 2
+        assert "analytics" in capsys.readouterr().err
+
 
 class TestParser:
     def test_requires_subcommand(self):
